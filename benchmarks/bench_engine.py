@@ -1,0 +1,52 @@
+"""Bench: raw engine performance (group-by throughput, lattice build).
+
+Not a paper artifact — these keep the substrate honest: the roll-up
+executor should stream hundreds of thousands of rows per second, and
+lattice construction should be trivial at sales/SSB sizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cube import CuboidLattice
+from repro.data import generate_sales, generate_ssb
+from repro.engine import Executor
+from repro.schema import ssb_schema
+
+
+@pytest.fixture(scope="module")
+def sales_executor():
+    return Executor(generate_sales(n_rows=200_000, seed=1))
+
+
+@pytest.fixture(scope="module")
+def ssb_executor():
+    return Executor(generate_ssb(n_rows=200_000, seed=1))
+
+
+def test_rollup_coarse_grain(benchmark, sales_executor):
+    result = benchmark(sales_executor.materialize, ("year", "country"))
+    assert result.stats.rows_scanned == 200_000
+
+
+def test_rollup_fine_grain(benchmark, sales_executor):
+    result = benchmark(sales_executor.materialize, ("day", "department"))
+    assert result.table.n_rows > 100_000
+
+
+def test_rollup_ssb_four_dims(benchmark, ssb_executor):
+    result = benchmark(
+        ssb_executor.materialize, ("month", "nation", "region", "category")
+    )
+    assert result.table.n_rows > 0
+
+
+def test_lattice_construction_ssb(benchmark):
+    lattice = benchmark(CuboidLattice, ssb_schema())
+    assert len(lattice) == 256
+
+
+def test_dataset_generation(benchmark):
+    dataset = benchmark(generate_sales, 100_000, None, 3)
+    assert dataset.fact.n_rows == 100_000

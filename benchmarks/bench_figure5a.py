@@ -1,0 +1,27 @@
+"""Bench: Figure 5(a) — MV1 response time under budget limits.
+
+Shape requirements (the paper's qualitative claims):
+* materialized views are faster on every bar,
+* workload time grows with the number of queries,
+* the budgets of Table 6 are all satisfied by the selections.
+"""
+
+from __future__ import annotations
+
+from conftest import parse_rate
+
+from repro.experiments import figure5a
+
+
+def test_figure5a(benchmark, context, save_table):
+    table = benchmark(figure5a, context)
+    save_table("figure5a", table)
+
+    without = table.column("T without (h)")
+    with_mv = table.column("T with MV (h)")
+    assert all(w < wo for w, wo in zip(with_mv, without))
+    assert without == sorted(without)
+    for cell in table.column("IP rate"):
+        assert parse_rate(cell) > 0
+    print()
+    print(table.render())

@@ -1,0 +1,24 @@
+"""Bench: Figure 5(b) — MV2 cost under response-time limits.
+
+Shape requirements: views are cheaper on every bar, and the measured
+IC rates sit in the paper's regime (its Table 7 reports 72-75%).
+"""
+
+from __future__ import annotations
+
+from conftest import parse_rate
+
+from repro.experiments import figure5b
+
+
+def test_figure5b(benchmark, context, save_table):
+    table = benchmark(figure5b, context)
+    save_table("figure5b", table)
+
+    without = [float(c.lstrip("$")) for c in table.column("C/run without")]
+    with_mv = [float(c.lstrip("$")) for c in table.column("C/run with MV")]
+    assert all(w < wo for w, wo in zip(with_mv, without))
+    for cell in table.column("IC rate"):
+        assert 0.5 <= parse_rate(cell) <= 0.9
+    print()
+    print(table.render())

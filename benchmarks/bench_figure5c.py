@@ -1,0 +1,25 @@
+"""Bench: Figure 5(c) — MV3 tradeoff with alpha = 0.3.
+
+Shape requirement: the weighted objective improves with views at every
+workload size (the paper's "materialized views help achieve a tradeoff
+... whether the priority is put on cost or response time").
+"""
+
+from __future__ import annotations
+
+from conftest import parse_rate
+
+from repro.experiments import figure5c
+
+
+def test_figure5c(benchmark, context, save_table):
+    table = benchmark(figure5c, context)
+    save_table("figure5c", table)
+
+    without = table.column("objective without")
+    with_mv = table.column("objective with MV")
+    assert all(w < wo for w, wo in zip(with_mv, without))
+    for cell in table.column("tradeoff rate"):
+        assert parse_rate(cell) > 0
+    print()
+    print(table.render())

@@ -1,0 +1,24 @@
+"""Bench: Figure 5(d) — MV3 tradeoff with alpha = 0.65.
+
+Same shape requirements as panel (c), at the time-leaning weight the
+figure's caption uses.
+"""
+
+from __future__ import annotations
+
+from conftest import parse_rate
+
+from repro.experiments import figure5d
+
+
+def test_figure5d(benchmark, context, save_table):
+    table = benchmark(figure5d, context)
+    save_table("figure5d", table)
+
+    without = table.column("objective without")
+    with_mv = table.column("objective with MV")
+    assert all(w < wo for w, wo in zip(with_mv, without))
+    for cell in table.column("tradeoff rate"):
+        assert parse_rate(cell) > 0
+    print()
+    print(table.render())

@@ -1,0 +1,55 @@
+"""Bench: optimizer scaling (knapsack DP, exhaustive, greedy).
+
+Keeps the selection algorithms honest on the sizes the experiments
+use: the knapsack must stay well under a millisecond-per-item regime
+and the exhaustive ground truth must be usable at 2^9 subsets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentConfig, ExperimentContext
+from repro.money import Money
+from repro.optimizer import (
+    exhaustive_select,
+    greedy_select,
+    max_value_knapsack,
+    mv1,
+    mv2,
+)
+
+
+@pytest.fixture(scope="module")
+def problem():
+    context = ExperimentContext(ExperimentConfig(n_rows=20_000, seed=42))
+    return context.problem(10), context
+
+
+def test_knapsack_dp_200_items(benchmark):
+    weights = [(7 * i) % 50 + 1 for i in range(200)]
+    values = [float((13 * i) % 97) for i in range(200)]
+    solution = benchmark(max_value_knapsack, weights, values, 1_000)
+    assert solution.total_value > 0
+
+
+def test_knapsack_selection_end_to_end(benchmark, problem):
+    prob, context = problem
+    from repro.optimizer import select_views
+
+    result = benchmark(
+        select_views, prob, mv1(context.paper_budget(10)), "knapsack"
+    )
+    assert result.outcome.total_cost <= context.paper_budget(10)
+
+
+def test_greedy_selection(benchmark, problem):
+    prob, context = problem
+    result = benchmark(greedy_select, prob, mv2(context.paper_time_limit(10)))
+    assert result.processing_hours <= context.paper_time_limit(10)
+
+
+def test_exhaustive_512_subsets(benchmark, problem):
+    prob, _context = problem
+    outcome = benchmark(exhaustive_select, prob, mv1(Money(10_000)))
+    assert outcome.subset

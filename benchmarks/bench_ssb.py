@@ -1,0 +1,31 @@
+"""Bench: the SSB-like experiment (the paper's future-work validation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import parse_rate
+
+from repro.experiments import ssb_experiment, ssb_problem
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return ssb_problem(n_rows=60_000)
+
+
+def test_ssb_experiment(benchmark, problem, save_table):
+    table = benchmark(ssb_experiment, problem)
+    save_table("ssb", table)
+
+    rows = {row[0]: row for row in table.rows}
+    base_t = rows["no views"][1]
+    base_c = float(rows["no views"][2].lstrip("$"))
+    for label, row in rows.items():
+        if label == "no views":
+            continue
+        assert row[1] <= base_t               # never slower
+        assert float(row[2].lstrip("$")) <= base_c * 1.2
+        assert parse_rate(row[3]) >= 0
+    print()
+    print(table.render())

@@ -1,0 +1,42 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerating a paper artifact writes its table to
+``benchmarks/results/<name>.txt`` (rendered) and ``.csv`` (data), so the
+paper-vs-measured comparison in EXPERIMENTS.md can be re-checked from
+artifacts rather than scrollback.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ExperimentConfig, ExperimentContext
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def context():
+    """The Section 6 world, sized for quick benchmark rounds."""
+    return ExperimentContext(ExperimentConfig(n_rows=30_000, seed=42))
+
+
+@pytest.fixture(scope="session")
+def save_table():
+    """Write a ReportTable to the results directory (txt + csv)."""
+
+    def _save(name, table):
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(table.render() + "\n")
+        table.to_csv(RESULTS_DIR / f"{name}.csv")
+        return table
+
+    return _save
+
+
+def parse_rate(cell: str) -> float:
+    """'60%' -> 0.60 (shared by shape assertions)."""
+    assert cell.endswith("%")
+    return float(cell[:-1]) / 100.0

@@ -1,0 +1,44 @@
+"""SSB warehouse: the paper's proposed wider validation, end to end.
+
+Builds the SSB-like 4-dimensional star (the paper's Section 8 names the
+Star Schema Benchmark as its next validation target), a 12-query
+drill-down workload, and runs the three scenarios on a larger cluster.
+
+Run:  python examples/ssb_warehouse.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ssb_experiment, ssb_problem
+
+
+def main() -> None:
+    problem = ssb_problem(n_rows=100_000, dataset_gb=60.0, n_instances=8)
+    inputs = problem.inputs
+
+    print(f"Schema   : {inputs.workload.schema.name} "
+          f"({len(inputs.workload.schema.dimensions)} dimensions)")
+    print(f"Dataset  : {inputs.dataset_gb:.0f} GB logical")
+    print(f"Workload : {len(inputs.workload)} queries")
+    print(f"Candidates: {len(inputs.candidates)} views\n")
+
+    print(ssb_experiment(problem).render())
+    print()
+
+    # Show the candidate economics: size vs. the queries each answers.
+    schema = inputs.workload.schema
+    print("Candidate economics:")
+    for candidate in inputs.candidates:
+        stats = inputs.view_stats[candidate.name]
+        answers = sum(
+            schema.grain_answers(candidate.grain, q.grain)
+            for q in inputs.workload
+        )
+        print(
+            f"  {candidate.name:<4} answers {answers:>2} queries, "
+            f"{stats.rows:>12,.0f} rows, {stats.size_gb:.4f} GB"
+        )
+
+
+if __name__ == "__main__":
+    main()

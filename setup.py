@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+This offline environment lacks the ``wheel`` package, so PEP 517
+editable installs (``pip install -e .``) cannot build; ``python
+setup.py develop --no-deps`` installs the package from pyproject.toml
+metadata without needing wheels or network access.
+"""
+
+from setuptools import setup
+
+setup()

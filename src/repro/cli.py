@@ -1,0 +1,103 @@
+"""Command-line interface: regenerate the paper's artifacts.
+
+Usage::
+
+    repro-experiments list
+    repro-experiments run figure5a [--csv-dir out/]
+    repro-experiments all [--csv-dir out/]
+
+(or ``python -m repro.cli ...``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .errors import ReproError
+from .experiments.context import ExperimentConfig, ExperimentContext
+from .experiments.runner import EXPERIMENTS, run_all, run_experiment
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Regenerate the tables and figures of 'Cost Models for View "
+            "Materialization in the Cloud' (Nguyen et al., DanaC 2012)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiment ids")
+
+    run = sub.add_parser("run", help="run one experiment")
+    run.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    _add_common(run)
+
+    everything = sub.add_parser("all", help="run every experiment")
+    _add_common(everything)
+
+    return parser
+
+
+def _add_common(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--csv-dir", default=None, help="also write each table as CSV here"
+    )
+    sub.add_argument(
+        "--rows",
+        type=int,
+        default=ExperimentConfig().n_rows,
+        help="physical fact rows to generate (default %(default)s)",
+    )
+    sub.add_argument(
+        "--seed",
+        type=int,
+        default=ExperimentConfig().seed,
+        help="dataset RNG seed (default %(default)s)",
+    )
+
+
+def _context(args: argparse.Namespace) -> ExperimentContext:
+    return ExperimentContext(
+        ExperimentConfig(n_rows=args.rows, seed=args.seed)
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            for experiment_id in sorted(EXPERIMENTS):
+                print(experiment_id)
+            return 0
+        if args.command == "run":
+            tables = run_experiment(
+                args.experiment, _context(args), csv_dir=args.csv_dir
+            )
+            for table in tables:
+                print(table.render())
+                print()
+            return 0
+        # args.command == "all"
+        for experiment_id, tables in run_all(
+            _context(args), csv_dir=args.csv_dir
+        ).items():
+            print(f"### {experiment_id}")
+            for table in tables:
+                print(table.render())
+                print()
+        return 0
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

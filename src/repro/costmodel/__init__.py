@@ -1,0 +1,38 @@
+"""The paper's cost models: transfer, computing, storage, total.
+
+Formula map:
+
+* Formula 1 (``C = Cc + Cs + Ct``) — :class:`~repro.costmodel.total.CloudCostModel`
+* Formulas 2-3 (transfer) — :mod:`repro.costmodel.transfer`
+* Formula 4 (computing) — :func:`repro.costmodel.computing.computing_cost`
+* Formula 5 (storage intervals) — :mod:`repro.costmodel.storage`
+* Formulas 6-12 (views) — :func:`repro.costmodel.computing.view_computing_cost`
+"""
+
+from .computing import ComputingBreakdown, computing_cost, view_computing_cost
+from .estimator import PlanningEstimator, PlanningInputs
+from .maintenance import MaintenancePolicy, maintenance_hours_per_cycle
+from .params import DeploymentSpec, StorageInterval, StorageTimeline
+from .storage import storage_cost, storage_cost_with_views
+from .total import CloudCostModel, CostBreakdown, WorkloadPlan
+from .transfer import transfer_cost, transfer_cost_general
+
+__all__ = [
+    "CloudCostModel",
+    "ComputingBreakdown",
+    "CostBreakdown",
+    "DeploymentSpec",
+    "MaintenancePolicy",
+    "maintenance_hours_per_cycle",
+    "PlanningEstimator",
+    "PlanningInputs",
+    "StorageInterval",
+    "StorageTimeline",
+    "WorkloadPlan",
+    "computing_cost",
+    "storage_cost",
+    "storage_cost_with_views",
+    "transfer_cost",
+    "transfer_cost_general",
+    "view_computing_cost",
+]

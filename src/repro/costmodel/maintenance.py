@@ -1,0 +1,73 @@
+"""Maintenance policies for materialized views.
+
+The paper treats ``t_maintenance(V_k)`` as a given input (Formula 11).
+This module supplies the two standard ways a warehouse produces that
+number, plus a chooser:
+
+* **INCREMENTAL** — each refresh cycle processes the newly inserted
+  delta and merges it into the view (Ceri & Widom-style incremental
+  maintenance, reference [12] of the paper).  Cheap for small deltas,
+  but every cycle still pays the job overhead and touches up to the
+  whole view.
+* **FULL_REBUILD** — each cycle recomputes the view from the base
+  table (the paper's [27]-style deferred strategy taken to its
+  simplest form).  Wasteful for small deltas, but immune to delta
+  bookkeeping and sometimes cheaper for very large views.
+* **CHEAPEST** — per view, whichever of the two is cheaper under the
+  deployment's timing model: the choice an optimizer-facing estimator
+  should make.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING
+
+from ..errors import CostModelError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .params import DeploymentSpec
+
+__all__ = ["MaintenancePolicy", "maintenance_hours_per_cycle"]
+
+
+class MaintenancePolicy(enum.Enum):
+    """How a view is refreshed each maintenance cycle."""
+
+    INCREMENTAL = "incremental"
+    FULL_REBUILD = "full-rebuild"
+    #: Per view, the cheaper of the two above.
+    CHEAPEST = "cheapest"
+
+
+def maintenance_hours_per_cycle(
+    policy: MaintenancePolicy,
+    deployment: "DeploymentSpec",
+    dataset_gb: float,
+    view_rows: float,
+) -> float:
+    """Hours one refresh cycle of one view takes under ``policy``.
+
+    Incremental processes ``update_fraction_per_cycle`` of the dataset
+    and merges into the view's groups; full rebuild re-aggregates the
+    whole dataset (with the deployment's write amplification, since the
+    rebuilt view is written out again).
+    """
+    if dataset_gb < 0 or view_rows < 0:
+        raise CostModelError("sizes cannot be negative")
+
+    def incremental() -> float:
+        delta_gb = dataset_gb * deployment.update_fraction_per_cycle
+        return deployment.job_hours(delta_gb, view_rows)
+
+    def full_rebuild() -> float:
+        return (
+            deployment.job_hours(dataset_gb, view_rows)
+            * deployment.materialization_write_factor
+        )
+
+    if policy is MaintenancePolicy.INCREMENTAL:
+        return incremental()
+    if policy is MaintenancePolicy.FULL_REBUILD:
+        return full_rebuild()
+    return min(incremental(), full_rebuild())

@@ -1,0 +1,221 @@
+"""Cost-model parameters: the deployment and the storage timeline.
+
+A :class:`DeploymentSpec` bundles everything Section 4 holds constant:
+the provider's price book, which instance type, how many instances
+(``nbIC``), the timing model that turns work into hours, and the
+billing period's shape (storage months, maintenance cycles).
+
+A :class:`StorageTimeline` is Formula 5's input: the storage period
+divided into intervals of constant volume, volume changing only at
+insertion events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..engine.timing import ClusterTimingModel, paper_cluster
+from ..errors import CostModelError
+from ..pricing.providers import Provider, aws_2012
+from .maintenance import MaintenancePolicy
+
+__all__ = ["DeploymentSpec", "StorageInterval", "StorageTimeline"]
+
+
+@dataclass(frozen=True)
+class DeploymentSpec:
+    """The fixed context queries are priced in.
+
+    The paper (Section 4) assumes "queries are executed on a constant
+    number, nbIC, of identical instances IC"; this type is that
+    assumption made explicit, plus the billing-period conventions the
+    experiments need.
+    """
+
+    provider: Provider
+    instance_type: str = "small"
+    n_instances: int = 2
+    timing: ClusterTimingModel = field(default_factory=paper_cluster)
+    #: Months the dataset (and any views) stay stored — ts(DS).
+    storage_months: float = 1.0
+    #: View refresh cycles per billing period (daily refresh -> ~30).
+    maintenance_cycles: int = 30
+    #: Fraction of the dataset arriving as new data per refresh cycle.
+    update_fraction_per_cycle: float = 0.002
+    #: How many times the workload executes per billing period.  The
+    #: paper's introduction bills a "monthly query workload"; a steady
+    #: state of daily runs amortizes one materialization over ~30
+    #: executions.  T_processingQ (the scenarios' time objective) stays
+    #: a single run's response time; only the bill is multiplied.
+    runs_per_period: float = 1.0
+    #: Materialization write amplification: building a view both scans
+    #: the dataset *and* writes the view out (HDFS-era replication made
+    #: writes expensive), so t_materialization = factor x aggregation
+    #: job time.  1.0 = writing is free.
+    materialization_write_factor: float = 1.0
+    #: Optional cap on how much faster a view answers a query than the
+    #: base table does (t_iV >= t_i / cap).  The paper's running
+    #: example exhibits ~2x view speedups (Q1: 0.2 h -> 0.1 h); capping
+    #: reproduces that regime on overhead-dominated clusters where raw
+    #: physics would give 10x+.  ``None`` = uncapped.
+    view_speedup_cap: Optional[float] = None
+    #: How views are refreshed each cycle (see
+    #: :mod:`repro.costmodel.maintenance`).  The paper's inputs are
+    #: closest to INCREMENTAL; CHEAPEST picks per view.
+    maintenance_policy: "MaintenancePolicy" = None  # type: ignore[assignment]
+    #: Build selected views from each other where the lattice allows it
+    #: (see :mod:`repro.cube.build_plan`) instead of the paper's
+    #: one-base-scan-per-view Formula 7.
+    cascade_materialization: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_instances < 1:
+            raise CostModelError(
+                f"need at least one instance, got {self.n_instances}"
+            )
+        if self.storage_months < 0:
+            raise CostModelError("storage_months cannot be negative")
+        if self.maintenance_cycles < 0:
+            raise CostModelError("maintenance_cycles cannot be negative")
+        if not 0 <= self.update_fraction_per_cycle < 1:
+            raise CostModelError("update_fraction_per_cycle must be in [0, 1)")
+        if self.runs_per_period <= 0:
+            raise CostModelError("runs_per_period must be positive")
+        if self.materialization_write_factor < 1.0:
+            raise CostModelError(
+                "materialization cannot cost less than its defining query"
+            )
+        if self.view_speedup_cap is not None and self.view_speedup_cap < 1.0:
+            raise CostModelError("view_speedup_cap must be >= 1")
+        if self.maintenance_policy is None:
+            # Dataclass default indirection avoids a module cycle.
+            object.__setattr__(
+                self, "maintenance_policy", MaintenancePolicy.INCREMENTAL
+            )
+        # Fail fast on unknown instance names.
+        self.provider.compute.instance(self.instance_type)
+
+    @property
+    def compute_units(self) -> float:
+        """ECU of the chosen instance type."""
+        return self.provider.compute.instance(self.instance_type).compute_units
+
+    def job_hours(self, input_gb: float, groups_out: float) -> float:
+        """Hours one aggregation job takes on this deployment."""
+        return self.timing.job_hours(
+            input_gb, groups_out, self.n_instances, self.compute_units
+        )
+
+    @classmethod
+    def paper_deployment(cls, n_instances: int = 2) -> "DeploymentSpec":
+        """The running example's deployment: AWS small instances.
+
+        Section 2.2 prices the use case "running on two small
+        instances"; the experiments in Section 6 use five VMs (pass
+        ``n_instances=5``).
+        """
+        return cls(provider=aws_2012(), instance_type="small", n_instances=n_instances)
+
+
+@dataclass(frozen=True)
+class StorageInterval:
+    """One constant-volume span of the storage period (months)."""
+
+    start_month: float
+    end_month: float
+    volume_gb: float
+
+    def __post_init__(self) -> None:
+        if self.end_month < self.start_month:
+            raise CostModelError(
+                f"interval ends ({self.end_month}) before it starts "
+                f"({self.start_month})"
+            )
+        if self.volume_gb < 0:
+            raise CostModelError("stored volume cannot be negative")
+
+    @property
+    def months(self) -> float:
+        """Duration of the interval."""
+        return self.end_month - self.start_month
+
+
+class StorageTimeline:
+    """Stored volume over a billing horizon, changing at insert events.
+
+    Formula 5's "storage period ... divided into intervals; in each
+    interval, the size of the stored data is fixed".
+
+    Examples
+    --------
+    The paper's Example 3 — 512 GB for 12 months, 2 048 GB inserted at
+    the start of the eighth month (month index 7):
+
+    >>> timeline = StorageTimeline(512, 12, [(7, 2048)])
+    >>> [(i.start_month, i.end_month, i.volume_gb) for i in timeline.intervals()]
+    [(0, 7, 512.0), (7, 12, 2560.0)]
+    """
+
+    def __init__(
+        self,
+        initial_volume_gb: float,
+        horizon_months: float,
+        inserts: Sequence[Tuple[float, float]] = (),
+    ) -> None:
+        if initial_volume_gb < 0:
+            raise CostModelError("initial volume cannot be negative")
+        if horizon_months < 0:
+            raise CostModelError("horizon cannot be negative")
+        self._initial = float(initial_volume_gb)
+        self._horizon = float(horizon_months)
+        self._inserts = sorted((float(m), float(gb)) for m, gb in inserts)
+        for month, delta_gb in self._inserts:
+            if not 0 <= month <= horizon_months:
+                raise CostModelError(
+                    f"insert at month {month} outside [0, {horizon_months}]"
+                )
+            if delta_gb < 0:
+                raise CostModelError("deletions are not modelled; delta >= 0")
+
+    @property
+    def horizon_months(self) -> float:
+        """Length of the storage period."""
+        return self._horizon
+
+    @property
+    def initial_volume_gb(self) -> float:
+        """Volume stored from month 0."""
+        return self._initial
+
+    @property
+    def final_volume_gb(self) -> float:
+        """Volume stored at the end of the horizon."""
+        return self._initial + sum(gb for _, gb in self._inserts)
+
+    def with_extra_volume(self, extra_gb: float) -> "StorageTimeline":
+        """A timeline with ``extra_gb`` stored for the whole horizon.
+
+        Section 4.3: "original data and materialized views are stored
+        for the whole considered storage period" — adding views shifts
+        every interval's volume up by the views' total size.
+        """
+        if extra_gb < 0:
+            raise CostModelError("extra volume cannot be negative")
+        return StorageTimeline(
+            self._initial + extra_gb, self._horizon, self._inserts
+        )
+
+    def intervals(self) -> List[StorageInterval]:
+        """Constant-volume intervals covering [0, horizon]."""
+        result: List[StorageInterval] = []
+        volume = self._initial
+        start = 0.0
+        for month, delta_gb in self._inserts:
+            if month > start:
+                result.append(StorageInterval(start, month, volume))
+                start = month
+            volume += delta_gb
+        if self._horizon > start or not result:
+            result.append(StorageInterval(start, self._horizon, volume))
+        return result

@@ -1,0 +1,52 @@
+"""Storage cost — the paper's Section 3.3 (Formula 5) and Section 4.3.
+
+    Cs = sum over intervals of cs(DS) x (t_end - t_start) x s(DS)
+
+where ``cs`` is the provider's (tiered) GB-month rate and intervals are
+spans of constant stored volume (:class:`~repro.costmodel.params.StorageTimeline`).
+
+With materialized views (Section 4.3) the same formula runs on a
+timeline whose every interval is shifted up by the views' total size:
+"original data and materialized views are stored for the whole
+considered storage period".
+"""
+
+from __future__ import annotations
+
+from ..money import Money, ZERO
+from ..pricing.storage import StoragePricing
+from .params import StorageTimeline
+
+__all__ = ["storage_cost", "storage_cost_with_views"]
+
+
+def storage_cost(pricing: StoragePricing, timeline: StorageTimeline) -> Money:
+    """Formula 5: tiered GB-month cost over the timeline's intervals.
+
+    >>> from repro.pricing import aws_2012
+    >>> timeline = StorageTimeline(512, 12, [(7, 2048)])
+    >>> storage_cost(aws_2012().storage, timeline)   # paper's Example 3 setup
+    Money('2101.76')
+
+    (The paper prints $2131.76 for this computation; its own formula
+    yields $2101.76 — see EXPERIMENTS.md, "arithmetic discrepancies".)
+    """
+    total = ZERO
+    for interval in timeline.intervals():
+        total = total + pricing.monthly_cost(interval.volume_gb) * interval.months
+    return total
+
+
+def storage_cost_with_views(
+    pricing: StoragePricing,
+    timeline: StorageTimeline,
+    views_total_gb: float,
+) -> Money:
+    """Section 4.3: Formula 5 on the view-augmented timeline.
+
+    >>> from repro.pricing import aws_2012
+    >>> base = StorageTimeline(500, 12)
+    >>> storage_cost_with_views(aws_2012().storage, base, 50.0)  # Example 9
+    Money('924.00')
+    """
+    return storage_cost(pricing, timeline.with_extra_volume(views_total_gb))

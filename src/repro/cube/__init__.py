@@ -1,0 +1,25 @@
+"""Data-cube lattice, candidate views, and the HRU baseline selector."""
+
+from .build_plan import BuildPlan, BuildStep, plan_builds
+from .candidates import (
+    candidates_from_grains,
+    candidates_from_workload,
+    enumerate_candidates,
+)
+from .hru import HruSelection, hru_select
+from .lattice import CuboidLattice
+from .views import CandidateView, ViewStats
+
+__all__ = [
+    "BuildPlan",
+    "BuildStep",
+    "CandidateView",
+    "CuboidLattice",
+    "HruSelection",
+    "ViewStats",
+    "plan_builds",
+    "candidates_from_grains",
+    "candidates_from_workload",
+    "enumerate_candidates",
+    "hru_select",
+]

@@ -1,0 +1,111 @@
+"""Cascaded materialization plans.
+
+The paper charges every selected view a full scan of the base dataset
+(its Formula 7 sums independent materialization times).  Real
+warehouses pipeline the build instead: compute the finest selected
+view from the base table, then derive each coarser view from the
+smallest already-built view that answers it — the classic trick from
+Harinarayan et al.'s cube construction.  On a lattice where selected
+views nest, this collapses k base scans into one base scan plus k-1
+small scans.
+
+:func:`plan_builds` computes that schedule for any selected subset;
+the planning estimator uses it when the deployment sets
+``cascade_materialization=True``, making materialization cost
+subset-dependent (and strictly no worse than the paper's independent
+charging — asserted by a property test).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence, Tuple
+
+from .views import ViewStats
+from ..errors import CostModelError
+from ..schema.star import StarSchema
+
+__all__ = ["BuildStep", "BuildPlan", "plan_builds"]
+
+#: Signature of the deployment's job-time oracle: (input_gb, groups_out) -> hours.
+JobHours = Callable[[float, float], float]
+
+
+@dataclass(frozen=True)
+class BuildStep:
+    """One view build: where it reads from and what it costs."""
+
+    view_name: str
+    #: Name of the source view, or ``None`` when built from the base table.
+    source_name: Optional[str]
+    input_gb: float
+    hours: float
+
+
+@dataclass(frozen=True)
+class BuildPlan:
+    """An ordered, dependency-respecting materialization schedule."""
+
+    steps: Tuple[BuildStep, ...]
+
+    @property
+    def total_hours(self) -> float:
+        """Total materialization time (the cascaded Formula 7)."""
+        return sum(step.hours for step in self.steps)
+
+    def hours_for(self, view_name: str) -> float:
+        """The build time charged to one view."""
+        for step in self.steps:
+            if step.view_name == view_name:
+                return step.hours
+        raise CostModelError(f"no build step for view {view_name!r}")
+
+    @property
+    def base_scans(self) -> int:
+        """How many steps read the base table (1 is the ideal)."""
+        return sum(1 for step in self.steps if step.source_name is None)
+
+
+def plan_builds(
+    schema: StarSchema,
+    stats: Sequence[ViewStats],
+    dataset_gb: float,
+    job_hours: JobHours,
+    write_factor: float = 1.0,
+) -> BuildPlan:
+    """Schedule the views in ``stats``, cascading where possible.
+
+    Views are built finest-first (descending row count is a linear
+    extension of the lattice order restricted to the subset: an
+    answering ancestor never has fewer rows).  Each view reads from the
+    smallest already-built ancestor, falling back to the base table.
+    """
+    if dataset_gb < 0:
+        raise CostModelError("dataset size cannot be negative")
+    if write_factor < 1.0:
+        raise CostModelError("write factor cannot be below 1")
+
+    ordered = sorted(stats, key=lambda s: (-s.rows, s.view.name))
+    built: list = []  # ViewStats already scheduled
+    steps = []
+    for view_stats in ordered:
+        source: Optional[ViewStats] = None
+        for candidate in built:
+            if not schema.grain_answers(
+                candidate.view.grain, view_stats.view.grain
+            ):
+                continue
+            if source is None or candidate.size_gb < source.size_gb:
+                source = candidate
+        input_gb = source.size_gb if source is not None else dataset_gb
+        hours = job_hours(input_gb, view_stats.rows) * write_factor
+        steps.append(
+            BuildStep(
+                view_name=view_stats.view.name,
+                source_name=source.view.name if source is not None else None,
+                input_gb=input_gb,
+                hours=hours,
+            )
+        )
+        built.append(view_stats)
+    return BuildPlan(steps=tuple(steps))

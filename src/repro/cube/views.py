@@ -1,0 +1,58 @@
+"""Candidate views and their planning statistics.
+
+A :class:`CandidateView` is a grain proposed for materialization; a
+:class:`ViewStats` carries everything the cost models need to price it:
+logical size (drives Formula 5's storage term), materialization time
+(Formulas 7-8), and per-cycle maintenance time (Formulas 11-12).
+Statistics are *estimates produced by the planning estimator*, kept
+separate from the view identity so the same candidate can be priced
+under different deployments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CostModelError
+from ..schema.star import Grain
+
+__all__ = ["CandidateView", "ViewStats"]
+
+
+@dataclass(frozen=True)
+class CandidateView:
+    """A view proposed for materialization, identified by its grain."""
+
+    name: str
+    grain: Grain
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise CostModelError("a candidate view needs a non-empty name")
+
+
+@dataclass(frozen=True)
+class ViewStats:
+    """Planning statistics for one candidate view.
+
+    ``maintenance_hours_per_cycle`` is the paper's
+    ``t_maintenance(V_k)`` for one refresh; the deployment spec says
+    how many cycles a billing period contains (the running example's
+    5 h is a month of cycles, not a single refresh).
+    """
+
+    view: CandidateView
+    rows: float
+    size_gb: float
+    materialization_hours: float
+    maintenance_hours_per_cycle: float
+
+    def __post_init__(self) -> None:
+        if self.rows < 0 or self.size_gb < 0:
+            raise CostModelError(
+                f"view {self.view.name!r}: size cannot be negative"
+            )
+        if self.materialization_hours < 0 or self.maintenance_hours_per_cycle < 0:
+            raise CostModelError(
+                f"view {self.view.name!r}: times cannot be negative"
+            )

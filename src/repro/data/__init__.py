@@ -1,0 +1,19 @@
+"""Synthetic datasets: columnar tables, hierarchy maps, size model."""
+
+from .generator import Dataset, seasonal_day_codes, skewed_codes
+from .sales_generator import calendar_time_index, generate_sales
+from .sizing import LogicalSizeModel
+from .ssb_generator import generate_ssb
+from .table import GrainTable, HierarchyIndex
+
+__all__ = [
+    "Dataset",
+    "GrainTable",
+    "HierarchyIndex",
+    "LogicalSizeModel",
+    "calendar_time_index",
+    "generate_sales",
+    "generate_ssb",
+    "seasonal_day_codes",
+    "skewed_codes",
+]

@@ -1,0 +1,114 @@
+"""Shared scaffolding for deterministic synthetic data generation.
+
+Every generator in this package is a pure function of its parameters
+and a seed: same inputs, same bytes.  Determinism is what lets the
+test suite assert exact group counts and the benchmarks regenerate the
+paper's tables run after run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from .sizing import LogicalSizeModel
+from .table import GrainTable, HierarchyIndex
+from ..errors import DataGenerationError
+from ..schema.star import StarSchema
+
+__all__ = ["Dataset", "skewed_codes", "seasonal_day_codes"]
+
+
+@dataclass
+class Dataset:
+    """A generated dataset: fact table + hierarchy maps + size model.
+
+    This is the object the rest of the library consumes; nothing
+    downstream cares whether it came from the sales generator, the SSB
+    generator, or a test fixture.
+    """
+
+    schema: StarSchema
+    fact: GrainTable
+    hierarchy_indexes: Dict[str, HierarchyIndex]
+    size_model: LogicalSizeModel
+    seed: int = 0
+    name: str = field(default="dataset")
+
+    def __post_init__(self) -> None:
+        if self.fact.grain != self.schema.base_grain:
+            raise DataGenerationError(
+                "the fact table must live at the schema's base grain"
+            )
+        missing = set(self.schema.dimension_names) - set(self.hierarchy_indexes)
+        if missing:
+            raise DataGenerationError(
+                f"missing hierarchy indexes for dimensions: {sorted(missing)}"
+            )
+
+    def hierarchy_index(self, dim_name: str) -> HierarchyIndex:
+        """The parent-code maps of ``dim_name``."""
+        return self.hierarchy_indexes[dim_name]
+
+    @property
+    def logical_size_gb(self) -> float:
+        """Billable size of the base dataset (the paper's ``s(DS)``)."""
+        return self.size_model.table_gb(self.fact)
+
+
+def skewed_codes(
+    rng: np.random.Generator,
+    n_rows: int,
+    cardinality: int,
+    skew: float = 1.0,
+) -> np.ndarray:
+    """Draw ``n_rows`` member codes in ``[0, cardinality)`` with Zipf skew.
+
+    ``skew=0`` is uniform; larger values concentrate mass on low codes
+    the way real sales concentrate on few products/places.  Implemented
+    by inverse-CDF sampling of a Zipf-Mandelbrot weight vector so the
+    draw is exact and cheap for the cardinalities we use.
+    """
+    if n_rows < 0:
+        raise DataGenerationError("n_rows cannot be negative")
+    if cardinality <= 0:
+        raise DataGenerationError("cardinality must be positive")
+    if skew < 0:
+        raise DataGenerationError("skew cannot be negative")
+    if skew == 0:
+        return rng.integers(0, cardinality, size=n_rows, dtype=np.int64)
+    ranks = np.arange(1, cardinality + 1, dtype=np.float64)
+    weights = ranks ** (-skew)
+    cdf = np.cumsum(weights)
+    cdf /= cdf[-1]
+    u = rng.random(n_rows)
+    return np.searchsorted(cdf, u, side="left").astype(np.int64)
+
+
+def seasonal_day_codes(
+    rng: np.random.Generator,
+    n_rows: int,
+    n_days: int,
+    amplitude: float = 0.3,
+) -> np.ndarray:
+    """Draw day codes with a yearly seasonality wave.
+
+    Sales data is not uniform over the calendar; a sinusoidal weight
+    with the given ``amplitude`` (0 = uniform) concentrates rows in a
+    "high season", which makes month-level group counts realistic.
+    """
+    if not 0 <= amplitude < 1:
+        raise DataGenerationError("amplitude must be in [0, 1)")
+    days = np.arange(n_days, dtype=np.float64)
+    weights = 1.0 + amplitude * np.sin(2 * np.pi * (days % 365) / 365.0)
+    cdf = np.cumsum(weights)
+    cdf /= cdf[-1]
+    u = rng.random(n_rows)
+    return np.searchsorted(cdf, u, side="left").astype(np.int64)
+
+
+def make_rng(seed: Optional[int]) -> np.random.Generator:
+    """The library-wide RNG construction (PCG64, explicit seed)."""
+    return np.random.default_rng(seed)

@@ -1,0 +1,91 @@
+"""Generator for the SSB-like dataset (the paper's future-work target).
+
+Four dimensions (date, customer, supplier, part) with SSB hierarchies;
+two SUM measures (revenue, supplycost).  Skews follow SSB's spirit:
+part and customer activity are skewed, suppliers nearly uniform.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .generator import Dataset, make_rng, skewed_codes
+from .sizing import LogicalSizeModel
+from .table import GrainTable, HierarchyIndex
+from ..errors import DataGenerationError
+from ..schema.ssb import ssb_schema
+from ..schema.star import StarSchema
+
+__all__ = ["generate_ssb"]
+
+
+def _date_index(schema: StarSchema) -> HierarchyIndex:
+    """Day -> month -> year maps for SSB's 7-year, 365-day calendar."""
+    date_dim = schema.dimension("date")
+    n_days = date_dim.cardinality("day")
+    n_months = date_dim.cardinality("month")
+    days_per_month = n_days // n_months
+    day_to_month = np.minimum(
+        np.arange(n_days, dtype=np.int64) // days_per_month, n_months - 1
+    )
+    month_to_year = np.arange(n_months, dtype=np.int64) // 12
+    return HierarchyIndex(date_dim, [day_to_month, month_to_year])
+
+
+def generate_ssb(
+    n_rows: int = 300_000,
+    scale_factor: float = 1.0,
+    seed: int = 7,
+    target_gb: Optional[float] = None,
+    schema: Optional[StarSchema] = None,
+) -> Dataset:
+    """Generate the SSB-like dataset.
+
+    ``target_gb`` plays the same role as in the sales generator: the
+    fact table bills as that size regardless of physical row count.
+    """
+    if n_rows <= 0:
+        raise DataGenerationError("n_rows must be positive")
+    schema = schema if schema is not None else ssb_schema(scale_factor)
+    rng = make_rng(seed)
+
+    codes = {
+        "date": skewed_codes(rng, n_rows, schema.dimension("date").cardinality("day"), 0.2),
+        "customer": skewed_codes(
+            rng, n_rows, schema.dimension("customer").cardinality("city"), 0.7
+        ),
+        "supplier": skewed_codes(
+            rng, n_rows, schema.dimension("supplier").cardinality("city"), 0.1
+        ),
+        "part": skewed_codes(rng, n_rows, schema.dimension("part").cardinality("brand"), 1.0),
+    }
+    revenue = np.round(rng.lognormal(mean=np.log(4_000.0), sigma=0.5, size=n_rows), 2)
+    supplycost = np.round(revenue * rng.uniform(0.4, 0.7, size=n_rows), 2)
+
+    fact = GrainTable(
+        schema,
+        schema.base_grain,
+        dim_codes=codes,
+        measures={"revenue": revenue, "supplycost": supplycost},
+    )
+    indexes = {
+        "date": _date_index(schema),
+        "customer": HierarchyIndex.evenly_nested(schema.dimension("customer")),
+        "supplier": HierarchyIndex.evenly_nested(schema.dimension("supplier")),
+        "part": HierarchyIndex.evenly_nested(schema.dimension("part")),
+    }
+    size_model = (
+        LogicalSizeModel.for_target_size(schema, n_rows, target_gb)
+        if target_gb is not None
+        else LogicalSizeModel(schema)
+    )
+    return Dataset(
+        schema=schema,
+        fact=fact,
+        hierarchy_indexes=indexes,
+        size_model=size_model,
+        seed=seed,
+        name="ssb",
+    )

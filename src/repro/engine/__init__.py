@@ -1,0 +1,16 @@
+"""Execution engine: exact roll-ups, cardinality estimates, job timing."""
+
+from .cardinality import estimate_group_count, expected_distinct, grain_space
+from .executor import Executor, QueryResult, WorkStats
+from .timing import ClusterTimingModel, paper_cluster
+
+__all__ = [
+    "ClusterTimingModel",
+    "Executor",
+    "QueryResult",
+    "WorkStats",
+    "estimate_group_count",
+    "expected_distinct",
+    "grain_space",
+    "paper_cluster",
+]

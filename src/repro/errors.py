@@ -1,0 +1,73 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch one base class at an API
+boundary.  Subclasses mirror the package layout: pricing, schema/data,
+engine, cost-model and optimizer errors are distinct types because they
+signal different caller mistakes (a bad price sheet vs. an infeasible
+optimization problem).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "PricingError",
+    "SchemaError",
+    "DataGenerationError",
+    "EngineError",
+    "CostModelError",
+    "OptimizationError",
+    "InfeasibleProblemError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class PricingError(ReproError):
+    """A pricing schedule or billing request is invalid.
+
+    Raised for malformed tier schedules (unordered bounds, negative
+    rates), unknown instance types, or billing requests with negative
+    quantities.
+    """
+
+
+class SchemaError(ReproError):
+    """A star-schema, hierarchy or query definition is inconsistent.
+
+    Raised when a query references levels that do not exist in the
+    schema, or when a hierarchy is declared with duplicate level names.
+    """
+
+
+class DataGenerationError(ReproError):
+    """Synthetic data generation was asked for impossible parameters."""
+
+
+class EngineError(ReproError):
+    """Query execution failed (missing columns, empty group-by, ...)."""
+
+
+class CostModelError(ReproError):
+    """Cost-model inputs are inconsistent (negative sizes/times, ...)."""
+
+
+class OptimizationError(ReproError):
+    """The optimizer was configured incorrectly."""
+
+
+class InfeasibleProblemError(OptimizationError):
+    """No candidate subset satisfies the scenario's constraint.
+
+    MV1 raises this when even the empty view set exceeds the budget;
+    MV2 raises it when even materializing every candidate cannot meet
+    the response-time limit.
+    """
+
+
+class ExperimentError(ReproError):
+    """An experiment was configured with unknown ids or parameters."""

@@ -1,0 +1,60 @@
+"""Experiments regenerating the paper's tables and figures."""
+
+from .ablations import (
+    ablation_algorithms,
+    ablation_all,
+    ablation_billing_granularity,
+    ablation_cascade,
+    ablation_elastic_joint,
+    ablation_elasticity,
+    ablation_hru_baseline,
+    ablation_maintenance_policy,
+    ablation_tier_semantics,
+    ablation_tight_budget,
+)
+from .context import PAPER_WORKLOAD_SIZES, ExperimentConfig, ExperimentContext
+from .figure5 import figure5_all, figure5a, figure5b, figure5c, figure5d
+from .reporting import ReportTable, format_rate, render_table, write_csv
+from .robustness import ablation_workload_drift
+from .runner import EXPERIMENTS, run_all, run_experiment
+from .running_example import intro_example_table, running_example_table
+from .ssb import ssb_experiment, ssb_problem, ssb_workload
+from .tables import PAPER_RATES, table6, table7, table8
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentConfig",
+    "ExperimentContext",
+    "PAPER_RATES",
+    "PAPER_WORKLOAD_SIZES",
+    "ReportTable",
+    "ablation_algorithms",
+    "ablation_all",
+    "ablation_billing_granularity",
+    "ablation_cascade",
+    "ablation_elastic_joint",
+    "ablation_elasticity",
+    "ablation_hru_baseline",
+    "ablation_maintenance_policy",
+    "ablation_tier_semantics",
+    "ablation_tight_budget",
+    "ablation_workload_drift",
+    "figure5_all",
+    "figure5a",
+    "figure5b",
+    "figure5c",
+    "figure5d",
+    "format_rate",
+    "intro_example_table",
+    "render_table",
+    "run_all",
+    "run_experiment",
+    "running_example_table",
+    "ssb_experiment",
+    "ssb_problem",
+    "ssb_workload",
+    "table6",
+    "table7",
+    "table8",
+    "write_csv",
+]

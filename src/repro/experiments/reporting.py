@@ -1,0 +1,120 @@
+"""Report rendering: ASCII tables and CSV emission.
+
+The benchmark harness prints the same rows the paper's tables report;
+this module owns the formatting so experiments stay purely numeric.
+No plotting dependency is available offline, so "figures" are emitted
+as aligned series tables plus CSV files that any plotting tool can
+ingest.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Union
+
+__all__ = ["render_table", "write_csv", "format_rate", "ReportTable"]
+
+Cell = Union[str, int, float]
+
+
+def format_rate(fraction: float) -> str:
+    """A fraction as the paper prints rates: '60%'."""
+    return f"{fraction * 100.0:.0f}%"
+
+
+def _format_cell(cell: Cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned ASCII table.
+
+    >>> print(render_table(["a", "b"], [[1, 2.5]]))
+    a | b
+    --+----
+    1 | 2.5
+    """
+    text_rows: List[List[str]] = [[_format_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, header has {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_line(cells: Sequence[str]) -> str:
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt_line(list(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt_line(row) for row in text_rows)
+    return "\n".join(lines)
+
+
+def write_csv(
+    path: Union[str, Path],
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+) -> Path:
+    """Write rows as CSV, creating parent directories; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        for row in rows:
+            writer.writerow(row)
+    return path
+
+
+class ReportTable:
+    """A headers+rows pair that renders, CSVs, and compares itself."""
+
+    def __init__(
+        self,
+        title: str,
+        headers: Sequence[str],
+        rows: Optional[List[List[Cell]]] = None,
+    ) -> None:
+        self.title = title
+        self.headers = list(headers)
+        self.rows: List[List[Cell]] = rows if rows is not None else []
+
+    def add_row(self, *cells: Cell) -> None:
+        """Append one row (cell count checked at render time)."""
+        self.rows.append(list(cells))
+
+    def render(self) -> str:
+        """The aligned ASCII form."""
+        return render_table(self.headers, self.rows, self.title)
+
+    def to_csv(self, path: Union[str, Path]) -> Path:
+        """Write the table to a CSV file."""
+        return write_csv(path, self.headers, self.rows)
+
+    def to_csv_text(self) -> str:
+        """The CSV form as a string (used by tests)."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(self.headers)
+        writer.writerows(self.rows)
+        return buffer.getvalue()
+
+    def column(self, name: str) -> List[Cell]:
+        """All values of one column (used by assertions in benches)."""
+        index = self.headers.index(name)
+        return [row[index] for row in self.rows]

@@ -1,0 +1,188 @@
+"""Exact monetary arithmetic.
+
+Cloud bills are money, and money must never be a float.  :class:`Money`
+wraps :class:`decimal.Decimal` with a small, closed set of operations:
+addition/subtraction with other :class:`Money`, multiplication/division
+by dimensionless numbers, comparisons, and explicit rounding to cents.
+
+The paper's cost models (Formulas 1-12) produce dollar amounts from
+per-GB and per-hour rates; keeping the arithmetic in ``Decimal`` means
+the worked examples of the paper ($1.08, $9.6, $924, ...) are matched
+digit-for-digit rather than to within float epsilon.
+
+Two deliberately missing operations:
+
+* ``Money * Money`` — dollars squared has no meaning in a bill;
+* implicit float construction — ``Money(0.1)`` would smuggle binary
+  rounding error into the ledger, so floats are converted via ``str``.
+"""
+
+from __future__ import annotations
+
+import functools
+from decimal import ROUND_HALF_UP, Decimal
+from typing import Union
+
+__all__ = ["Money", "ZERO", "dollars", "cents"]
+
+_Number = Union[int, str, float, Decimal]
+
+# One cent: the resolution every bill is quantized to on request.
+_CENT = Decimal("0.01")
+
+
+def _to_decimal(value: _Number) -> Decimal:
+    """Convert a supported numeric type to ``Decimal`` exactly.
+
+    Floats are routed through ``str`` so that ``0.1`` becomes
+    ``Decimal('0.1')`` rather than the 55-digit binary expansion —
+    callers passing floats mean the decimal literal they wrote.
+    """
+    if isinstance(value, Decimal):
+        return value
+    if isinstance(value, float):
+        return Decimal(str(value))
+    return Decimal(value)
+
+
+@functools.total_ordering
+class Money:
+    """An exact dollar amount.
+
+    ``Money`` is immutable and hashable.  Arithmetic keeps full
+    precision; call :meth:`quantized` to round to cents (half-up, the
+    convention invoices use).
+
+    Examples
+    --------
+    >>> Money("0.12") * 9
+    Money('1.08')
+    >>> (Money("0.14") * 550 * 12).quantized()
+    Money('924.00')
+    """
+
+    __slots__ = ("_amount",)
+
+    def __init__(self, amount: _Number = 0) -> None:
+        self._amount = _to_decimal(amount)
+
+    # -- accessors ----------------------------------------------------
+
+    @property
+    def amount(self) -> Decimal:
+        """The underlying ``Decimal`` dollar amount."""
+        return self._amount
+
+    def to_float(self) -> float:
+        """Lossy float view, for plotting and quick display only."""
+        return float(self._amount)
+
+    def to_cents(self) -> int:
+        """The amount in integer cents, rounded half-up.
+
+        This is the discretization used by the knapsack dynamic
+        program, which needs integer weights.
+        """
+        return int(self._amount.quantize(_CENT, rounding=ROUND_HALF_UP) * 100)
+
+    def quantized(self) -> "Money":
+        """This amount rounded to whole cents (half-up)."""
+        return Money(self._amount.quantize(_CENT, rounding=ROUND_HALF_UP))
+
+    # -- arithmetic ---------------------------------------------------
+
+    def __add__(self, other: "Money") -> "Money":
+        if not isinstance(other, Money):
+            return NotImplemented
+        return Money(self._amount + other._amount)
+
+    def __radd__(self, other: object) -> "Money":
+        # Support sum() which starts from int 0.
+        if other == 0:
+            return self
+        return NotImplemented  # type: ignore[return-value]
+
+    def __sub__(self, other: "Money") -> "Money":
+        if not isinstance(other, Money):
+            return NotImplemented
+        return Money(self._amount - other._amount)
+
+    def __mul__(self, factor: _Number) -> "Money":
+        if isinstance(factor, Money):
+            raise TypeError("cannot multiply Money by Money")
+        return Money(self._amount * _to_decimal(factor))
+
+    def __rmul__(self, factor: _Number) -> "Money":
+        return self.__mul__(factor)
+
+    def __truediv__(self, divisor: _Number) -> "Money":
+        if isinstance(divisor, Money):
+            raise TypeError(
+                "Money / Money is a ratio; use .ratio_to() for that"
+            )
+        return Money(self._amount / _to_decimal(divisor))
+
+    def __neg__(self) -> "Money":
+        return Money(-self._amount)
+
+    def __abs__(self) -> "Money":
+        return Money(abs(self._amount))
+
+    def ratio_to(self, other: "Money") -> float:
+        """Dimensionless ratio ``self / other`` as a float.
+
+        Used for improvement *rates* (Tables 6-8 of the paper), which
+        are percentages, not dollar amounts.
+        """
+        if not isinstance(other, Money):
+            raise TypeError("ratio_to expects Money")
+        if other._amount == 0:
+            raise ZeroDivisionError("ratio to zero Money")
+        return float(self._amount / other._amount)
+
+    # -- comparisons / hashing ---------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Money):
+            return NotImplemented
+        return self._amount == other._amount
+
+    def __lt__(self, other: "Money") -> bool:
+        if not isinstance(other, Money):
+            return NotImplemented
+        return self._amount < other._amount
+
+    def __hash__(self) -> int:
+        # Normalize so Money('1.0') and Money('1.00') hash identically,
+        # matching __eq__ (Decimal("1.0") == Decimal("1.00")).
+        return hash(self._amount.normalize())
+
+    def __bool__(self) -> bool:
+        return self._amount != 0
+
+    # -- display ------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return f"Money('{self._amount}')"
+
+    def __str__(self) -> str:
+        return f"${self._amount.quantize(_CENT, rounding=ROUND_HALF_UP)}"
+
+    def __format__(self, spec: str) -> str:
+        if not spec:
+            return str(self)
+        return format(self.to_float(), spec)
+
+
+#: The zero dollar amount, handy as a fold seed.
+ZERO = Money(0)
+
+
+def dollars(amount: _Number) -> Money:
+    """Shorthand constructor: ``dollars('0.12')``."""
+    return Money(amount)
+
+
+def cents(amount: int) -> Money:
+    """Construct Money from integer cents (inverse of ``to_cents``)."""
+    return Money(Decimal(amount) / 100)

@@ -1,0 +1,37 @@
+"""View-selection optimization: scenarios MV1/MV2/MV3 and algorithms."""
+
+from .elastic import ElasticChoice, elastic_select, scale_out_only
+from .exhaustive import exhaustive_select, iterate_subsets
+from .greedy import greedy_select
+from .knapsack import KnapsackSolution, max_value_knapsack, min_weight_cover
+from .pareto import dominates, frontier_outcomes, pareto_frontier
+from .problem import SelectionOutcome, SelectionProblem
+from .scenarios import BudgetLimit, Scenario, TimeLimit, Tradeoff, mv1, mv2, mv3
+from .selector import ALGORITHMS, SelectionResult, select_views
+
+__all__ = [
+    "ALGORITHMS",
+    "BudgetLimit",
+    "ElasticChoice",
+    "KnapsackSolution",
+    "elastic_select",
+    "scale_out_only",
+    "Scenario",
+    "SelectionOutcome",
+    "SelectionProblem",
+    "SelectionResult",
+    "TimeLimit",
+    "Tradeoff",
+    "dominates",
+    "exhaustive_select",
+    "frontier_outcomes",
+    "greedy_select",
+    "iterate_subsets",
+    "max_value_knapsack",
+    "min_weight_cover",
+    "mv1",
+    "mv2",
+    "mv3",
+    "pareto_frontier",
+    "select_views",
+]

@@ -1,0 +1,124 @@
+"""Elastic selection: choose the fleet size *and* the views jointly.
+
+The paper fixes ``nbIC`` and lists "expand our cost models on variable
+resources" as future work (§8); its introduction frames the real
+problem as raw scalability (scale-out) versus materialization.  This
+module implements that joint choice: given one selection problem per
+candidate fleet size, pick the (instance count, view set) pair that is
+best for the scenario.
+
+The search is exact over the fleet axis (it simply evaluates every
+candidate count — fleet ranges are small) and delegates the view axis
+to any of the standard algorithms, so an elastic MV1 with the
+exhaustive algorithm is globally optimal over both axes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..errors import InfeasibleProblemError, OptimizationError
+from .problem import SelectionProblem
+from .scenarios import Scenario
+from .selector import SelectionResult, select_views
+
+__all__ = ["ElasticChoice", "elastic_select", "scale_out_only"]
+
+
+@dataclass(frozen=True)
+class ElasticChoice:
+    """The winning fleet size with its selection result."""
+
+    n_instances: int
+    result: SelectionResult
+    #: Per-fleet-size results for the losing candidates (diagnostics);
+    #: infeasible sizes are absent.
+    per_size: Mapping[int, SelectionResult]
+
+    @property
+    def selected_views(self):
+        """The winning view set."""
+        return self.result.selected_views
+
+
+def elastic_select(
+    problems: Mapping[int, SelectionProblem],
+    scenario: Scenario,
+    algorithm: str = "greedy",
+) -> ElasticChoice:
+    """Pick the best (fleet size, view set) pair for ``scenario``.
+
+    Parameters
+    ----------
+    problems:
+        One exactly-priced selection problem per candidate instance
+        count (build them with
+        :meth:`repro.experiments.context.ExperimentContext.elastic_problems`
+        or directly from per-fleet ``DeploymentSpec``s).
+    scenario:
+        Any of MV1/MV2/MV3; comparison uses the scenario's key, so MV1
+        picks the fastest feasible pair and MV2 the cheapest.
+
+    Raises
+    ------
+    InfeasibleProblemError
+        If no fleet size admits a feasible view set.
+    """
+    if not problems:
+        raise OptimizationError("elastic_select needs at least one fleet size")
+    per_size: Dict[int, SelectionResult] = {}
+    best_n: Optional[int] = None
+    for n, problem in sorted(problems.items()):
+        if n < 1:
+            raise OptimizationError(f"fleet size must be positive, got {n}")
+        try:
+            result = select_views(problem, scenario, algorithm)
+        except InfeasibleProblemError:
+            continue
+        per_size[n] = result
+        if best_n is None or scenario.key(result.outcome) < scenario.key(
+            per_size[best_n].outcome
+        ):
+            best_n = n
+    if best_n is None:
+        raise InfeasibleProblemError(
+            f"no fleet size in {sorted(problems)} admits a feasible plan "
+            f"for {scenario.describe()}"
+        )
+    return ElasticChoice(
+        n_instances=best_n, result=per_size[best_n], per_size=per_size
+    )
+
+
+def scale_out_only(
+    problems: Mapping[int, SelectionProblem],
+    scenario: Scenario,
+) -> Tuple[int, SelectionResult]:
+    """The pure scale-out answer: best fleet size with **no** views.
+
+    This is the paper's "raw scalability" alternative — the comparison
+    the elastic ablation draws.  Returns the winning size and a
+    :class:`SelectionResult` whose outcome is that size's baseline.
+    """
+    best: Optional[Tuple[int, SelectionResult]] = None
+    for n, problem in sorted(problems.items()):
+        baseline = problem.baseline()
+        if not scenario.feasible(baseline):
+            continue
+        result = SelectionResult(
+            scenario=scenario,
+            algorithm="scale-out",
+            outcome=baseline,
+            baseline=baseline,
+        )
+        if best is None or scenario.key(baseline) < scenario.key(
+            best[1].outcome
+        ):
+            best = (n, result)
+    if best is None:
+        raise InfeasibleProblemError(
+            f"no fleet size in {sorted(problems)} meets "
+            f"{scenario.describe()} without views"
+        )
+    return best

@@ -1,0 +1,62 @@
+"""Exhaustive subset search: the ground truth the heuristics answer to.
+
+Enumerates every subset of the candidates (guarded to 2^20 states),
+prices each exactly — interactions, tiered storage and all — and keeps
+the scenario's best feasible outcome.  Experiments quote the knapsack's
+and greedy's optimality gaps against this.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterator, Optional
+
+from ..errors import InfeasibleProblemError, OptimizationError
+from .problem import SelectionOutcome, SelectionProblem
+from .scenarios import Scenario
+
+__all__ = ["exhaustive_select", "iterate_subsets"]
+
+#: Enumeration guard: 2**20 subsets is seconds of work; beyond that the
+#: caller should be using the knapsack or the greedy.
+MAX_CANDIDATES = 20
+
+
+def iterate_subsets(problem: SelectionProblem) -> Iterator[SelectionOutcome]:
+    """Yield every subset's exact outcome, smallest subsets first."""
+    names = problem.candidate_names
+    for size in range(len(names) + 1):
+        for combo in combinations(names, size):
+            yield problem.evaluate(frozenset(combo))
+
+
+def exhaustive_select(
+    problem: SelectionProblem,
+    scenario: Scenario,
+) -> SelectionOutcome:
+    """The scenario-optimal subset, by full enumeration.
+
+    Raises
+    ------
+    OptimizationError
+        If the candidate set exceeds the enumeration guard.
+    InfeasibleProblemError
+        If no subset (including the empty one) is feasible.
+    """
+    n = len(problem.candidate_names)
+    if n > MAX_CANDIDATES:
+        raise OptimizationError(
+            f"exhaustive search over {n} candidates would enumerate "
+            f"2^{n} subsets; use the knapsack or greedy algorithm"
+        )
+    best: Optional[SelectionOutcome] = None
+    for outcome in iterate_subsets(problem):
+        if not scenario.feasible(outcome):
+            continue
+        if best is None or scenario.key(outcome) < scenario.key(best):
+            best = outcome
+    if best is None:
+        raise InfeasibleProblemError(
+            f"no feasible subset exists for {scenario.describe()}"
+        )
+    return best

@@ -1,0 +1,88 @@
+"""The (time, cost) Pareto frontier.
+
+The paper's Figures 2-4 are drawn over the cloud of (processing time,
+monetary cost) points that candidate subsets induce; the interesting
+boundary is the set of non-dominated points.  MV1 picks the leftmost
+frontier point under a vertical budget line, MV2 the lowest under a
+horizontal deadline, MV3 the point a slanted iso-objective line touches
+first — computing the frontier once visualizes all three scenarios.
+
+For small candidate sets the frontier is exact (full enumeration); for
+larger ones a sampled frontier is built from singles, pairs, and greedy
+prefixes — clearly labelled as a lower-bound approximation.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Sequence, Set
+
+from .exhaustive import MAX_CANDIDATES, iterate_subsets
+from .problem import SelectionOutcome, SelectionProblem
+
+__all__ = ["pareto_frontier", "dominates", "frontier_outcomes"]
+
+
+def dominates(a: SelectionOutcome, b: SelectionOutcome) -> bool:
+    """True iff ``a`` is no worse on both axes and better on one."""
+    not_worse = (
+        a.processing_hours <= b.processing_hours and a.total_cost <= b.total_cost
+    )
+    strictly_better = (
+        a.processing_hours < b.processing_hours or a.total_cost < b.total_cost
+    )
+    return not_worse and strictly_better
+
+
+def pareto_frontier(outcomes: Iterable[SelectionOutcome]) -> List[SelectionOutcome]:
+    """Non-dominated outcomes, sorted by processing time.
+
+    Duplicate (time, cost) points keep the smallest subset.
+    """
+    pool = sorted(
+        outcomes,
+        key=lambda o: (o.processing_hours, o.total_cost.to_float(), len(o.subset)),
+    )
+    frontier: List[SelectionOutcome] = []
+    best_cost = None
+    seen_points: Set[tuple] = set()
+    for outcome in pool:
+        cost = outcome.total_cost
+        if best_cost is not None and cost >= best_cost:
+            continue
+        point = (round(outcome.processing_hours, 12), cost.amount)
+        if point in seen_points:
+            continue
+        frontier.append(outcome)
+        seen_points.add(point)
+        best_cost = cost
+    return frontier
+
+
+def _sampled_subsets(problem: SelectionProblem) -> Iterable[FrozenSet[str]]:
+    """Singles, pairs and savings-ordered prefixes: a frontier sketch."""
+    names: Sequence[str] = problem.candidate_names
+    yield frozenset()
+    for name in names:
+        yield frozenset({name})
+    for i, a in enumerate(names):
+        for b in names[i + 1 :]:
+            yield frozenset({a, b})
+    by_saving = sorted(
+        names, key=lambda n: problem.marginal_saving_hours(n), reverse=True
+    )
+    prefix: Set[str] = set()
+    for name in by_saving:
+        prefix.add(name)
+        yield frozenset(prefix)
+
+
+def frontier_outcomes(problem: SelectionProblem) -> List[SelectionOutcome]:
+    """The problem's Pareto frontier (exact when enumerable).
+
+    Exact for up to :data:`~repro.optimizer.exhaustive.MAX_CANDIDATES`
+    candidates; a sampled approximation beyond that.
+    """
+    if len(problem.candidate_names) <= MAX_CANDIDATES:
+        return pareto_frontier(iterate_subsets(problem))
+    outcomes = (problem.evaluate(s) for s in _sampled_subsets(problem))
+    return pareto_frontier(outcomes)

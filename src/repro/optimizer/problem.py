@@ -1,0 +1,111 @@
+"""The view-selection problem: subsets of candidates, exactly priced.
+
+A :class:`SelectionProblem` binds :class:`~repro.costmodel.estimator.PlanningInputs`
+to a :class:`~repro.costmodel.total.CloudCostModel` and answers one
+question: *what does this subset of candidate views cost, and how fast
+is the workload with it?*  Every algorithm — the paper's knapsack, the
+exhaustive ground truth, the greedy — speaks to this object, so they
+are compared on identical physics.
+
+Evaluation is **exact** (interactions included): the processing time of
+a subset takes, per query, the best answering source actually in the
+subset.  The knapsack's independence approximation lives in the
+*algorithm*, not here; its final answer is re-priced exactly before
+being reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import AbstractSet, Dict, FrozenSet, Optional, Tuple
+
+from ..costmodel.estimator import PlanningInputs
+from ..costmodel.total import CloudCostModel, CostBreakdown
+from ..money import Money
+
+__all__ = ["SelectionOutcome", "SelectionProblem"]
+
+
+@dataclass(frozen=True)
+class SelectionOutcome:
+    """One subset, exactly priced."""
+
+    subset: FrozenSet[str]
+    breakdown: CostBreakdown
+
+    @property
+    def processing_hours(self) -> float:
+        """T_processingQ under this subset (Formula 9)."""
+        return self.breakdown.processing_hours
+
+    @property
+    def total_cost(self) -> Money:
+        """C under this subset (Formula 1)."""
+        return self.breakdown.total
+
+    def describe(self) -> str:
+        """Short display: views + headline numbers."""
+        views = ", ".join(sorted(self.subset)) if self.subset else "(no views)"
+        return f"[{views}] {self.breakdown.summary()}"
+
+
+class SelectionProblem:
+    """Binds planning inputs to a cost model; memoizes subset pricing."""
+
+    def __init__(
+        self,
+        inputs: PlanningInputs,
+        cost_model: Optional[CloudCostModel] = None,
+    ) -> None:
+        self._inputs = inputs
+        self._model = cost_model or CloudCostModel(inputs.deployment)
+        self._cache: Dict[FrozenSet[str], SelectionOutcome] = {}
+
+    @property
+    def inputs(self) -> PlanningInputs:
+        """The numeric world the problem is defined over."""
+        return self._inputs
+
+    @property
+    def cost_model(self) -> CloudCostModel:
+        """The pricing side of the problem."""
+        return self._model
+
+    @property
+    def candidate_names(self) -> Tuple[str, ...]:
+        """Candidate view names, in deterministic order."""
+        return tuple(c.name for c in self._inputs.candidates)
+
+    def evaluate(self, subset: AbstractSet[str]) -> SelectionOutcome:
+        """Exactly price ``subset`` (memoized)."""
+        key = self._inputs.check_subset(subset)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        breakdown = self._model.evaluate(self._inputs.plan_for(key))
+        outcome = SelectionOutcome(subset=key, breakdown=breakdown)
+        self._cache[key] = outcome
+        return outcome
+
+    def baseline(self) -> SelectionOutcome:
+        """The without-views outcome (Section 3 of the paper)."""
+        return self.evaluate(frozenset())
+
+    def singleton(self, view_name: str) -> SelectionOutcome:
+        """The outcome of materializing exactly one view."""
+        return self.evaluate(frozenset({view_name}))
+
+    def marginal_cost(self, view_name: str) -> Money:
+        """C({v}) - C(∅): the view's standalone net dollar impact.
+
+        Negative means the view pays for itself in compute savings —
+        these are the items the knapsack pre-accepts.
+        """
+        return self.singleton(view_name).total_cost - self.baseline().total_cost
+
+    def marginal_saving_hours(self, view_name: str) -> float:
+        """T(∅) - T({v}): the view's standalone time saving (>= 0)."""
+        return (
+            self.baseline().processing_hours
+            - self.singleton(view_name).processing_hours
+        )

@@ -1,0 +1,256 @@
+"""High-level view selection: the paper's Section 5.2, plus baselines.
+
+:func:`select_views` runs one scenario with one algorithm:
+
+* ``"knapsack"`` — the paper's approach.  Per-view weights (net dollar
+  cost in cents) and values (hours saved) are computed *independently*
+  (each view priced as if it were the only one), the matching 0/1
+  knapsack DP is solved exactly, and the resulting subset is re-priced
+  exactly.  Because independence over-counts savings shared between
+  overlapping views, the exact re-pricing can come out infeasible; a
+  documented repair pass (drop lowest-density items for MV1, add
+  fastest views for MV2) then restores feasibility.  This keeps the
+  algorithm honest without silently changing its character.
+* ``"greedy"`` — interaction-aware greedy (:mod:`repro.optimizer.greedy`).
+* ``"exhaustive"`` — ground truth by enumeration
+  (:mod:`repro.optimizer.exhaustive`).
+
+Every algorithm returns a :class:`SelectionResult` carrying the chosen
+outcome *and* the no-views baseline, because the paper's reported
+quantities (Tables 6-8) are improvement rates against that baseline.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List
+
+from ..errors import InfeasibleProblemError, OptimizationError
+from .exhaustive import exhaustive_select
+from .greedy import greedy_select
+from .knapsack import max_value_knapsack, min_weight_cover
+from .problem import SelectionOutcome, SelectionProblem
+from .scenarios import BudgetLimit, Scenario, TimeLimit, Tradeoff
+
+__all__ = ["SelectionResult", "select_views", "ALGORITHMS"]
+
+ALGORITHMS = ("knapsack", "greedy", "exhaustive")
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """A scenario's answer: chosen subset vs. the no-views baseline."""
+
+    scenario: Scenario
+    algorithm: str
+    outcome: SelectionOutcome
+    baseline: SelectionOutcome
+
+    @property
+    def selected_views(self) -> FrozenSet[str]:
+        """Names of the views chosen for materialization."""
+        return self.outcome.subset
+
+    @property
+    def time_improvement(self) -> float:
+        """Paper's "IP rate": fractional T reduction vs. no views."""
+        base = self.baseline.processing_hours
+        if base == 0:
+            return 0.0
+        return (base - self.outcome.processing_hours) / base
+
+    @property
+    def cost_improvement(self) -> float:
+        """Paper's "IC rate": fractional C reduction vs. no views."""
+        base = self.baseline.total_cost
+        if not base:
+            return 0.0
+        saved = base - self.outcome.total_cost
+        return saved.ratio_to(base)
+
+    def objective_improvement(self) -> float:
+        """MV3's "tradeoff rate": fractional objective reduction."""
+        if not isinstance(self.scenario, Tradeoff):
+            raise OptimizationError(
+                "objective_improvement is defined for MV3 (Tradeoff) only"
+            )
+        base = self.scenario.objective(self.baseline)
+        if base == 0:
+            return 0.0
+        return (base - self.scenario.objective(self.outcome)) / base
+
+    def describe(self) -> str:
+        """Multi-line report used by the CLI and examples."""
+        lines = [
+            self.scenario.describe() + f"  [{self.algorithm}]",
+            f"  baseline : {self.baseline.describe()}",
+            f"  selected : {self.outcome.describe()}",
+            f"  time improvement: {self.time_improvement:.1%}",
+            f"  cost improvement: {self.cost_improvement:.1%}",
+        ]
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# The paper's knapsack, per scenario.
+# ---------------------------------------------------------------------------
+
+
+def _independent_marginals(problem: SelectionProblem):
+    """Per-view (weight cents, saving hours), each priced standalone."""
+    weights: Dict[str, int] = {}
+    savings: Dict[str, float] = {}
+    for name in problem.candidate_names:
+        weights[name] = problem.marginal_cost(name).to_cents()
+        savings[name] = max(0.0, problem.marginal_saving_hours(name))
+    return weights, savings
+
+
+def _repair_budget(
+    problem: SelectionProblem,
+    scenario: BudgetLimit,
+    chosen: List[str],
+    savings: Dict[str, float],
+    weights: Dict[str, int],
+) -> FrozenSet[str]:
+    """Drop lowest-saving-density views until the budget truly holds."""
+    current = list(chosen)
+    while current:
+        outcome = problem.evaluate(frozenset(current))
+        if scenario.feasible(outcome):
+            return outcome.subset
+        current.sort(
+            key=lambda n: savings[n] / max(weights[n], 1), reverse=True
+        )
+        current.pop()  # drop the worst density
+    outcome = problem.evaluate(frozenset())
+    if scenario.feasible(outcome):
+        return outcome.subset
+    raise InfeasibleProblemError(
+        f"even the empty view set violates {scenario.describe()}"
+    )
+
+
+def _knapsack_mv1(
+    problem: SelectionProblem, scenario: BudgetLimit
+) -> SelectionOutcome:
+    baseline = problem.baseline()
+    weights, savings = _independent_marginals(problem)
+    names = [n for n in problem.candidate_names if savings[n] > 0]
+    capacity = scenario.budget.to_cents() - baseline.total_cost.to_cents()
+    solution = max_value_knapsack(
+        [weights[n] for n in names],
+        [savings[n] for n in names],
+        capacity,
+    )
+    chosen = [names[i] for i in solution.chosen]
+    subset = _repair_budget(problem, scenario, chosen, savings, weights)
+    return problem.evaluate(subset)
+
+
+def _knapsack_mv2(
+    problem: SelectionProblem, scenario: TimeLimit
+) -> SelectionOutcome:
+    baseline = problem.baseline()
+    # Exact feasibility check first: interactions only ever shrink the
+    # combined saving, so "everything materialized" is the true bound.
+    everything = problem.evaluate(frozenset(problem.candidate_names))
+    if not scenario.feasible(everything):
+        raise InfeasibleProblemError(
+            f"even materializing all candidates misses {scenario.describe()}"
+        )
+    weights, savings = _independent_marginals(problem)
+    names = list(problem.candidate_names)
+    required_s = max(
+        0,
+        math.ceil((baseline.processing_hours - scenario.limit_hours) * 3600.0),
+    )
+    try:
+        solution = min_weight_cover(
+            [weights[n] for n in names],
+            [int(savings[n] * 3600.0) for n in names],
+            required_s,
+        )
+    except OptimizationError:
+        # Independent savings under-discretized; fall back to greedy.
+        return greedy_select(problem, scenario)
+    chosen = {names[i] for i in solution.chosen}
+    outcome = problem.evaluate(frozenset(chosen))
+    # Interactions may leave the deadline missed: add fastest views.
+    while not scenario.feasible(outcome):
+        best_name = None
+        best_hours = outcome.processing_hours
+        for name in problem.candidate_names:
+            if name in outcome.subset:
+                continue
+            trial = problem.evaluate(outcome.subset | {name})
+            if trial.processing_hours < best_hours:
+                best_hours = trial.processing_hours
+                best_name = name
+        if best_name is None:
+            raise InfeasibleProblemError(
+                f"repair could not reach {scenario.describe()}"
+            )
+        outcome = problem.evaluate(outcome.subset | {best_name})
+    return outcome
+
+
+def _knapsack_mv3(
+    problem: SelectionProblem, scenario: Tradeoff
+) -> SelectionOutcome:
+    # With no constraint the knapsack degenerates: under independence
+    # the objective is separable, so a view belongs in the set exactly
+    # when its standalone delta is an improvement.
+    baseline = problem.baseline()
+    base_obj = scenario.objective(baseline)
+    chosen = set()
+    for name in problem.candidate_names:
+        if scenario.objective(problem.singleton(name)) < base_obj:
+            chosen.add(name)
+    return problem.evaluate(frozenset(chosen))
+
+
+def _knapsack_select(
+    problem: SelectionProblem, scenario: Scenario
+) -> SelectionOutcome:
+    if isinstance(scenario, BudgetLimit):
+        return _knapsack_mv1(problem, scenario)
+    if isinstance(scenario, TimeLimit):
+        return _knapsack_mv2(problem, scenario)
+    if isinstance(scenario, Tradeoff):
+        return _knapsack_mv3(problem, scenario)
+    raise OptimizationError(f"unknown scenario type: {type(scenario).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# Public API
+# ---------------------------------------------------------------------------
+
+
+def select_views(
+    problem: SelectionProblem,
+    scenario: Scenario,
+    algorithm: str = "knapsack",
+) -> SelectionResult:
+    """Choose the views to materialize for ``scenario``.
+
+    >>> # doctest-style sketch; see examples/quickstart.py for a
+    >>> # runnable end-to-end version.
+    """
+    if algorithm not in ALGORITHMS:
+        raise OptimizationError(
+            f"unknown algorithm {algorithm!r}; choose from {ALGORITHMS}"
+        )
+    if algorithm == "knapsack":
+        outcome = _knapsack_select(problem, scenario)
+    elif algorithm == "greedy":
+        outcome = greedy_select(problem, scenario)
+    else:
+        outcome = exhaustive_select(problem, scenario)
+    return SelectionResult(
+        scenario=scenario,
+        algorithm=algorithm,
+        outcome=outcome,
+        baseline=problem.baseline(),
+    )

@@ -1,0 +1,36 @@
+"""Cloud pricing substrate: tiered rates, instance catalogues, providers.
+
+This package is the monetary half of the paper's inputs: the cost
+models in :mod:`repro.costmodel` multiply *times and sizes* produced by
+the engine with *rates* produced here.
+"""
+
+from .compute import BillingGranularity, ComputePricing, InstanceType
+from .providers import (
+    Provider,
+    all_providers,
+    archive_cloud,
+    aws_2012,
+    aws_2012_marginal,
+    flat_cloud,
+)
+from .storage import StoragePricing
+from .tiers import Tier, TierMode, TierSchedule
+from .transfer import TransferPricing
+
+__all__ = [
+    "BillingGranularity",
+    "ComputePricing",
+    "InstanceType",
+    "Provider",
+    "StoragePricing",
+    "Tier",
+    "TierMode",
+    "TierSchedule",
+    "TransferPricing",
+    "all_providers",
+    "archive_cloud",
+    "aws_2012",
+    "aws_2012_marginal",
+    "flat_cloud",
+]

@@ -1,0 +1,216 @@
+"""Tiered (volume-banded) price schedules.
+
+Cloud providers price storage and bandwidth in volume bands: the paper's
+Table 3 (bandwidth: first GB free, $0.12/GB up to 10 TB, $0.09 for the
+next 40 TB, ...) and Table 4 (storage: $0.14/GB-month for the first TB,
+$0.125 for the next 49 TB, ...).
+
+Two *semantics* exist for such bands and the paper uses both:
+
+* **marginal** (progressive, how AWS actually bills): each unit is
+  charged at the rate of the band it falls into.  The paper's Example 1
+  prices 10 GB of egress as ``(10 - 1) x 0.12`` — the first free GB is a
+  marginal band.
+* **slab**: the whole volume is charged at the rate of the band the
+  *total* falls into.  The paper's Example 3 prices 2 560 GB of storage
+  at a flat 0.125/GB because the total crossed the first-TB boundary.
+
+:class:`TierSchedule` implements both so the library can be
+paper-faithful where the paper is slab-shaped and AWS-faithful
+everywhere else.  Slab pricing is famously non-monotonic at band edges
+(1 025 GB can cost less than 1 024 GB); that is a property of the
+semantics, preserved and covered by tests, not a bug.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import PricingError
+from ..money import Money, ZERO
+
+__all__ = ["Tier", "TierMode", "TierSchedule"]
+
+
+class TierMode(enum.Enum):
+    """How a :class:`TierSchedule` interprets its bands."""
+
+    #: Progressive: each unit billed at its own band's rate (AWS-style).
+    MARGINAL = "marginal"
+    #: Whole volume billed at the rate of the band containing the total
+    #: (the simplification the paper's Example 3 uses).
+    SLAB = "slab"
+
+
+@dataclass(frozen=True)
+class Tier:
+    """One price band.
+
+    Parameters
+    ----------
+    upper_gb:
+        Exclusive upper bound of the band in GB, measured from zero
+        (i.e. cumulative volume), or ``None`` for an unbounded final
+        band.
+    rate:
+        Price per GB (for transfer) or per GB-month (for storage)
+        within this band.
+    """
+
+    upper_gb: Optional[float]
+    rate: Money
+
+    def __post_init__(self) -> None:
+        if self.upper_gb is not None and self.upper_gb <= 0:
+            raise PricingError(
+                f"tier upper bound must be positive, got {self.upper_gb}"
+            )
+        if self.rate < ZERO:
+            raise PricingError(f"tier rate cannot be negative: {self.rate}")
+
+
+class TierSchedule:
+    """An ordered sequence of price bands with a billing semantics.
+
+    Bands are given in increasing order of cumulative volume; the final
+    band must be unbounded so that any volume is priceable.
+
+    Examples
+    --------
+    The paper's Table 3 outbound-bandwidth schedule:
+
+    >>> from repro.money import dollars
+    >>> schedule = TierSchedule([
+    ...     Tier(1.0, dollars(0)),                 # first GB free
+    ...     Tier(10 * 1024.0, dollars("0.12")),    # up to 10 TB
+    ...     Tier(50 * 1024.0, dollars("0.09")),    # next 40 TB
+    ...     Tier(150 * 1024.0, dollars("0.07")),   # next 100 TB
+    ...     Tier(None, dollars("0.05")),
+    ... ])
+    >>> schedule.cost(10.0)            # Example 1 of the paper
+    Money('1.08')
+    """
+
+    def __init__(
+        self,
+        tiers: Iterable[Tier],
+        mode: TierMode = TierMode.MARGINAL,
+    ) -> None:
+        self._tiers: Tuple[Tier, ...] = tuple(tiers)
+        self._mode = mode
+        self._validate()
+
+    def _validate(self) -> None:
+        if not self._tiers:
+            raise PricingError("a tier schedule needs at least one tier")
+        previous_bound = 0.0
+        for tier in self._tiers[:-1]:
+            if tier.upper_gb is None:
+                raise PricingError(
+                    "only the final tier may be unbounded (upper_gb=None)"
+                )
+            if tier.upper_gb <= previous_bound:
+                raise PricingError(
+                    "tier bounds must be strictly increasing: "
+                    f"{tier.upper_gb} after {previous_bound}"
+                )
+            previous_bound = tier.upper_gb
+        if self._tiers[-1].upper_gb is not None:
+            raise PricingError("the final tier must be unbounded (upper_gb=None)")
+
+    # -- introspection ------------------------------------------------
+
+    @property
+    def tiers(self) -> Sequence[Tier]:
+        """The bands, in increasing volume order."""
+        return self._tiers
+
+    @property
+    def mode(self) -> TierMode:
+        """The billing semantics of this schedule."""
+        return self._mode
+
+    def with_mode(self, mode: TierMode) -> "TierSchedule":
+        """A copy of this schedule under a different semantics."""
+        return TierSchedule(self._tiers, mode)
+
+    # -- pricing ------------------------------------------------------
+
+    def marginal_rate(self, volume_gb: float) -> Money:
+        """The per-GB rate charged for the *next* unit after ``volume_gb``."""
+        if volume_gb < 0:
+            raise PricingError(f"volume cannot be negative: {volume_gb}")
+        for tier in self._tiers:
+            if tier.upper_gb is None or volume_gb < tier.upper_gb:
+                return tier.rate
+        raise AssertionError("unreachable: final tier is unbounded")
+
+    def cost(self, volume_gb: float) -> Money:
+        """Price ``volume_gb`` under this schedule's semantics."""
+        if volume_gb < 0:
+            raise PricingError(f"volume cannot be negative: {volume_gb}")
+        if volume_gb == 0:
+            return ZERO
+        if self._mode is TierMode.SLAB:
+            return self.marginal_rate(volume_gb) * volume_gb
+        return self._marginal_cost(volume_gb)
+
+    def _marginal_cost(self, volume_gb: float) -> Money:
+        total = ZERO
+        lower = 0.0
+        for tier in self._tiers:
+            upper = tier.upper_gb if tier.upper_gb is not None else volume_gb
+            band_volume = min(volume_gb, upper) - lower
+            if band_volume <= 0:
+                break
+            total = total + tier.rate * band_volume
+            lower = upper
+            if volume_gb <= upper:
+                break
+        return total
+
+    def average_rate(self, volume_gb: float) -> Money:
+        """Effective per-GB rate at ``volume_gb`` (cost / volume)."""
+        if volume_gb <= 0:
+            raise PricingError("average rate needs a positive volume")
+        return self.cost(volume_gb) / volume_gb
+
+    # -- convenience constructors -------------------------------------
+
+    @classmethod
+    def flat(cls, rate: Money) -> "TierSchedule":
+        """A single-band schedule: every GB at ``rate``."""
+        return cls([Tier(None, rate)], TierMode.MARGINAL)
+
+    @classmethod
+    def from_band_widths(
+        cls,
+        bands: Sequence[Tuple[Optional[float], Money]],
+        mode: TierMode = TierMode.MARGINAL,
+    ) -> "TierSchedule":
+        """Build from (band width, rate) pairs, the way price sheets read.
+
+        The paper's Table 4 reads "first 1 TB / next 49 TB / next
+        450 TB"; widths are cumulative-ized here so callers can
+        transcribe the sheet directly.
+        """
+        tiers: List[Tier] = []
+        cumulative = 0.0
+        for width_gb, rate in bands:
+            if width_gb is None:
+                tiers.append(Tier(None, rate))
+            else:
+                cumulative += width_gb
+                tiers.append(Tier(cumulative, rate))
+        return cls(tiers, mode)
+
+    def __repr__(self) -> str:
+        bands = ", ".join(
+            f"<= {tier.upper_gb} GB @ {tier.rate}"
+            if tier.upper_gb is not None
+            else f"rest @ {tier.rate}"
+            for tier in self._tiers
+        )
+        return f"TierSchedule({self._mode.value}: {bands})"

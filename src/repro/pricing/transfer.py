@@ -1,0 +1,78 @@
+"""Bandwidth pricing (the paper's Table 3).
+
+The 2012 AWS model the paper adopts: all inbound transfer is free;
+outbound transfer is tiered with the first GB free.  Formula 2 of the
+paper includes inbound terms (queries, the initial dataset, inserted
+data) which vanish under this model, collapsing to Formula 3 — both
+formulas are implemented so the simplification is testable rather than
+assumed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .tiers import TierSchedule
+from ..errors import PricingError
+from ..money import Money, ZERO
+
+__all__ = ["TransferPricing"]
+
+
+class TransferPricing:
+    """A provider's data-transfer schedule, split by direction.
+
+    Parameters
+    ----------
+    outbound:
+        Tier schedule for data leaving the cloud (query results).
+    inbound:
+        Tier schedule for data entering the cloud, or ``None`` when
+        inbound transfer is free (the AWS model of the paper).
+    """
+
+    def __init__(
+        self,
+        outbound: TierSchedule,
+        inbound: Optional[TierSchedule] = None,
+    ) -> None:
+        self._outbound = outbound
+        self._inbound = inbound
+
+    @property
+    def outbound_schedule(self) -> TierSchedule:
+        """The outbound (egress) tier schedule."""
+        return self._outbound
+
+    @property
+    def inbound_schedule(self) -> Optional[TierSchedule]:
+        """The inbound schedule, or ``None`` if ingress is free."""
+        return self._inbound
+
+    @property
+    def inbound_is_free(self) -> bool:
+        """Whether this provider charges nothing for ingress."""
+        return self._inbound is None
+
+    def outbound_cost(self, volume_gb: float) -> Money:
+        """Cost of sending ``volume_gb`` out of the cloud.
+
+        Examples
+        --------
+        The paper's Example 1 — a 10 GB query result:
+
+        >>> from repro.pricing.providers import aws_2012
+        >>> aws_2012().transfer.outbound_cost(10.0)
+        Money('1.08')
+        """
+        if volume_gb < 0:
+            raise PricingError(f"volume cannot be negative: {volume_gb}")
+        return self._outbound.cost(volume_gb)
+
+    def inbound_cost(self, volume_gb: float) -> Money:
+        """Cost of sending ``volume_gb`` into the cloud (often zero)."""
+        if volume_gb < 0:
+            raise PricingError(f"volume cannot be negative: {volume_gb}")
+        if self._inbound is None:
+            return ZERO
+        return self._inbound.cost(volume_gb)

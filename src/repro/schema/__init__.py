@@ -1,0 +1,21 @@
+"""Star-schema descriptors: hierarchies, dimensions, measures, grains."""
+
+from .hierarchy import ALL, Dimension, Hierarchy
+from .sales import GEOGRAPHY, PROFIT, TIME, sales_schema
+from .ssb import SSB_BASE_ROWS, ssb_schema
+from .star import Grain, Measure, StarSchema
+
+__all__ = [
+    "ALL",
+    "Dimension",
+    "GEOGRAPHY",
+    "Grain",
+    "Hierarchy",
+    "Measure",
+    "PROFIT",
+    "SSB_BASE_ROWS",
+    "StarSchema",
+    "TIME",
+    "sales_schema",
+    "ssb_schema",
+]

@@ -1,0 +1,166 @@
+"""Dimension hierarchies.
+
+The paper's running dataset (Table 1) carries two hierarchies:
+``day < month < year`` on time and ``department < region < country`` on
+geography.  Queries and materialized views are group-bys at one *level*
+per dimension; whether a view can answer a query is a per-dimension
+comparison of levels, so levels need a total order within their
+hierarchy.
+
+Levels are ordered from **finest to coarsest**; index 0 is the finest.
+Every hierarchy implicitly ends in the virtual level :data:`ALL`
+(complete aggregation over the dimension), which is coarser than every
+named level.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+from ..errors import SchemaError
+
+__all__ = ["ALL", "Hierarchy", "Dimension"]
+
+#: Virtual coarsest level: the dimension is fully aggregated away.
+ALL = "ALL"
+
+
+class Hierarchy:
+    """A totally ordered list of aggregation levels, finest first.
+
+    Examples
+    --------
+    >>> time = Hierarchy("time", ["day", "month", "year"])
+    >>> time.is_finer_or_equal("day", "year")
+    True
+    >>> time.is_finer_or_equal("year", "month")
+    False
+    >>> time.is_finer_or_equal("month", ALL)
+    True
+    """
+
+    def __init__(self, name: str, levels: Iterable[str]) -> None:
+        self._name = name
+        self._levels: Tuple[str, ...] = tuple(levels)
+        if not self._levels:
+            raise SchemaError(f"hierarchy {name!r} needs at least one level")
+        if len(set(self._levels)) != len(self._levels):
+            raise SchemaError(f"hierarchy {name!r} has duplicate levels")
+        if ALL in self._levels:
+            raise SchemaError(
+                f"hierarchy {name!r} must not name the virtual level {ALL!r}"
+            )
+        self._index = {level: i for i, level in enumerate(self._levels)}
+
+    @property
+    def name(self) -> str:
+        """The hierarchy's name (usually the dimension's name)."""
+        return self._name
+
+    @property
+    def levels(self) -> Sequence[str]:
+        """Named levels, finest first (excludes the virtual ALL)."""
+        return self._levels
+
+    @property
+    def levels_with_all(self) -> Sequence[str]:
+        """Named levels plus the virtual ALL, finest first."""
+        return self._levels + (ALL,)
+
+    @property
+    def finest(self) -> str:
+        """The finest named level (what fact rows are recorded at)."""
+        return self._levels[0]
+
+    def index_of(self, level: str) -> int:
+        """Position of ``level``; ALL sits past the last named level."""
+        if level == ALL:
+            return len(self._levels)
+        try:
+            return self._index[level]
+        except KeyError:
+            raise SchemaError(
+                f"hierarchy {self._name!r} has no level {level!r}; "
+                f"known levels: {', '.join(self._levels)}"
+            ) from None
+
+    def is_finer_or_equal(self, a: str, b: str) -> bool:
+        """True iff data at level ``a`` can be rolled up to level ``b``."""
+        return self.index_of(a) <= self.index_of(b)
+
+    def coarser_levels(self, level: str) -> Sequence[str]:
+        """All levels strictly coarser than ``level``, including ALL."""
+        return self.levels_with_all[self.index_of(level) + 1 :]
+
+    def __contains__(self, level: str) -> bool:
+        return level == ALL or level in self._index
+
+    def __repr__(self) -> str:
+        chain = " < ".join(self._levels)
+        return f"Hierarchy({self._name!r}: {chain} < {ALL})"
+
+
+class Dimension:
+    """A dimension of the star schema: a hierarchy plus level fan-outs.
+
+    ``level_cardinalities`` maps each named level to its number of
+    distinct members (e.g. ``{"day": 3653, "month": 120, "year": 10}``).
+    Cardinalities drive both synthetic data generation and analytic
+    group-count estimation, so they live on the schema rather than the
+    dataset.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        hierarchy: Hierarchy,
+        level_cardinalities: "dict[str, int]",
+    ) -> None:
+        self._name = name
+        self._hierarchy = hierarchy
+        missing = [lv for lv in hierarchy.levels if lv not in level_cardinalities]
+        if missing:
+            raise SchemaError(
+                f"dimension {name!r} lacks cardinalities for levels: {missing}"
+            )
+        extra = [lv for lv in level_cardinalities if lv not in hierarchy]
+        if extra:
+            raise SchemaError(
+                f"dimension {name!r} has cardinalities for unknown levels: {extra}"
+            )
+        cards = [level_cardinalities[lv] for lv in hierarchy.levels]
+        if any(c <= 0 for c in cards):
+            raise SchemaError(f"dimension {name!r}: cardinalities must be positive")
+        # A coarser level cannot have more members than a finer one.
+        for finer, coarser, cf, cc in zip(
+            hierarchy.levels, hierarchy.levels[1:], cards, cards[1:]
+        ):
+            if cc > cf:
+                raise SchemaError(
+                    f"dimension {name!r}: level {coarser!r} ({cc} members) "
+                    f"cannot be larger than finer level {finer!r} ({cf})"
+                )
+        self._cardinalities = dict(level_cardinalities)
+
+    @property
+    def name(self) -> str:
+        """The dimension name (e.g. ``"time"``)."""
+        return self._name
+
+    @property
+    def hierarchy(self) -> Hierarchy:
+        """The level ordering of this dimension."""
+        return self._hierarchy
+
+    def cardinality(self, level: str) -> int:
+        """Number of distinct members at ``level`` (ALL has exactly 1)."""
+        if level == ALL:
+            return 1
+        if level not in self._hierarchy:
+            raise SchemaError(
+                f"dimension {self._name!r} has no level {level!r}"
+            )
+        return self._cardinalities[level]
+
+    def __repr__(self) -> str:
+        return f"Dimension({self._name!r}, {self._hierarchy!r})"

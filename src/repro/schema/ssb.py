@@ -1,0 +1,81 @@
+"""A Star Schema Benchmark-flavoured schema.
+
+The paper's future work (Section 8) proposes validating the cost models
+on "a full-fledged database or data warehouse benchmark, such as TPC-E
+or the Star Schema Benchmark".  This module supplies an SSB-like star:
+the LINEORDER fact with date, customer, supplier and part dimensions,
+each with its SSB hierarchy, scaled by the usual SSB scale factor.
+
+It is *SSB-like*, not a certified SSB implementation: cardinalities
+follow O'Neil et al.'s scaling rules closely enough that the view
+lattice has SSB's shape (a 4-dimensional lattice of 256 cuboids with
+wildly varying cuboid sizes), which is what the optimizer experiments
+need.
+"""
+
+from __future__ import annotations
+
+from .hierarchy import Dimension, Hierarchy
+from .star import Measure, StarSchema
+
+__all__ = ["ssb_schema", "SSB_BASE_ROWS"]
+
+#: LINEORDER rows at scale factor 1 (6 million in SSB).
+SSB_BASE_ROWS = 6_000_000
+
+
+def ssb_schema(scale_factor: float = 1.0) -> StarSchema:
+    """Build the SSB-like schema at a given scale factor.
+
+    Dimension cardinalities follow SSB's scaling: customers and
+    suppliers grow with the scale factor, parts grow logarithmically
+    (approximated here as a fixed 200k at SF>=1, scaled down linearly
+    below), and the 7-year date dimension is fixed.
+    """
+    sf = max(scale_factor, 0.01)
+    n_customers = max(int(30_000 * sf), 100)
+    n_suppliers = max(int(2_000 * sf), 50)
+    n_parts = max(int(200_000 * min(sf, 1.0)), 200)
+
+    date = Dimension(
+        "date",
+        Hierarchy("date", ["day", "month", "year"]),
+        {"day": 7 * 365, "month": 7 * 12, "year": 7},
+    )
+    customer = Dimension(
+        "customer",
+        Hierarchy("customer", ["city", "nation", "region"]),
+        {"city": min(250, n_customers), "nation": 25, "region": 5},
+    )
+    supplier = Dimension(
+        "supplier",
+        Hierarchy("supplier", ["city", "nation", "region"]),
+        {"city": min(250, n_suppliers), "nation": 25, "region": 5},
+    )
+    part = Dimension(
+        "part",
+        Hierarchy("part", ["brand", "category", "mfgr"]),
+        {"brand": min(1000, n_parts), "category": 25, "mfgr": 5},
+    )
+    return StarSchema(
+        "ssb",
+        dimensions=[date, customer, supplier, part],
+        measures=[
+            Measure("revenue", logical_bytes=8),
+            Measure("supplycost", logical_bytes=8),
+        ],
+        level_bytes={
+            "date.day": 10,
+            "date.month": 7,
+            "date.year": 4,
+            "customer.city": 10,
+            "customer.nation": 15,
+            "customer.region": 12,
+            "supplier.city": 10,
+            "supplier.nation": 15,
+            "supplier.region": 12,
+            "part.brand": 9,
+            "part.category": 7,
+            "part.mfgr": 6,
+        },
+    )

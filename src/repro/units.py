@@ -1,0 +1,86 @@
+"""Unit conventions and conversion helpers.
+
+The whole library speaks a single unit vocabulary:
+
+* **data volume** — gigabytes (GB), as floats, with ``1 TB = 1024 GB``
+  (the paper's Example 3 converts 0.5 TB to 512 GB, so it uses binary
+  terabytes; we follow it),
+* **time** — hours for billing and storage durations, seconds inside
+  the execution engine (converted at the timing-model boundary),
+* **money** — :class:`repro.money.Money`.
+
+Keeping conversions in one module means a reviewer can audit every
+unit boundary in one place.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "GB_PER_TB",
+    "BYTES_PER_GB",
+    "SECONDS_PER_HOUR",
+    "HOURS_PER_MONTH",
+    "tb_to_gb",
+    "gb_to_tb",
+    "bytes_to_gb",
+    "gb_to_bytes",
+    "seconds_to_hours",
+    "hours_to_seconds",
+    "round_up_hours",
+]
+
+#: Binary terabyte, as used by the paper (0.5 TB == 512 GB in Example 3).
+GB_PER_TB = 1024.0
+
+#: Decimal-free binary gigabyte.
+BYTES_PER_GB = 1024.0 ** 3
+
+SECONDS_PER_HOUR = 3600.0
+
+#: Convention for amortizing monthly storage prices to hourly figures:
+#: 30-day month, as cloud calculators of the period used.
+HOURS_PER_MONTH = 30 * 24.0
+
+
+def tb_to_gb(tb: float) -> float:
+    """Terabytes to gigabytes (binary: 1 TB = 1024 GB)."""
+    return tb * GB_PER_TB
+
+
+def gb_to_tb(gb: float) -> float:
+    """Gigabytes to terabytes (binary)."""
+    return gb / GB_PER_TB
+
+
+def bytes_to_gb(n_bytes: float) -> float:
+    """Bytes to gigabytes (binary)."""
+    return n_bytes / BYTES_PER_GB
+
+
+def gb_to_bytes(gb: float) -> float:
+    """Gigabytes to bytes (binary)."""
+    return gb * BYTES_PER_GB
+
+
+def seconds_to_hours(seconds: float) -> float:
+    """Engine seconds to billing hours."""
+    return seconds / SECONDS_PER_HOUR
+
+
+def hours_to_seconds(hours: float) -> float:
+    """Billing hours to engine seconds."""
+    return hours * SECONDS_PER_HOUR
+
+
+def round_up_hours(hours: float) -> int:
+    """Round a duration up to whole hours.
+
+    The paper's Example 2: "every started hour is charged", so 50.0
+    stays 50 but 50.01 becomes 51.  Negative durations are a caller
+    bug and raise ``ValueError``.
+    """
+    if hours < 0:
+        raise ValueError(f"duration cannot be negative: {hours}")
+    return math.ceil(hours)

@@ -1,0 +1,12 @@
+"""Query and workload definitions."""
+
+from .query import AggregateQuery, DimensionFilter
+from .workload import Workload, cross_workload, paper_sales_workload
+
+__all__ = [
+    "AggregateQuery",
+    "DimensionFilter",
+    "Workload",
+    "cross_workload",
+    "paper_sales_workload",
+]

@@ -1,0 +1,55 @@
+"""Shared fixtures.
+
+Datasets and experiment contexts are module-expensive to build, so the
+commonly reused ones are session-scoped; tests must treat them as
+read-only (they are, structurally: GrainTable and PlanningInputs expose
+no mutators).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.costmodel import DeploymentSpec, PlanningEstimator
+from repro.cube import CuboidLattice, candidates_from_workload
+from repro.data import generate_sales
+from repro.experiments import ExperimentConfig, ExperimentContext
+from repro.optimizer import SelectionProblem
+from repro.schema import sales_schema
+from repro.workload import paper_sales_workload
+
+
+@pytest.fixture(scope="session")
+def sales_dataset_unscaled():
+    """A small sales dataset with a 1:1 size model (empirical-mode safe)."""
+    return generate_sales(n_rows=20_000, seed=11)
+
+
+@pytest.fixture(scope="session")
+def sales_dataset_10gb():
+    """The paper-scale dataset: 60k physical rows billing as 10 GB."""
+    return generate_sales(n_rows=60_000, seed=42, target_gb=10.0)
+
+
+@pytest.fixture(scope="session")
+def sales_lattice():
+    return CuboidLattice(sales_schema())
+
+
+@pytest.fixture(scope="session")
+def paper_problem(sales_dataset_10gb):
+    """A 5-query selection problem in the paper's deployment."""
+    deployment = DeploymentSpec.paper_deployment(n_instances=5)
+    workload = paper_sales_workload(sales_dataset_10gb.schema, 5)
+    lattice = CuboidLattice(sales_dataset_10gb.schema)
+    candidates = candidates_from_workload(lattice, workload)
+    inputs = PlanningEstimator(sales_dataset_10gb, deployment).build(
+        workload, candidates
+    )
+    return SelectionProblem(inputs)
+
+
+@pytest.fixture(scope="session")
+def experiment_context():
+    """A fast experiment context (fewer physical rows, same logical world)."""
+    return ExperimentContext(ExperimentConfig(n_rows=30_000, seed=42))

@@ -1,0 +1,207 @@
+"""The planning estimator and subset evaluation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.costmodel import (
+    CloudCostModel,
+    DeploymentSpec,
+    PlanningEstimator,
+)
+from repro.cube import CuboidLattice, candidates_from_workload
+from repro.data import generate_sales
+from repro.errors import CostModelError
+from repro.pricing import BillingGranularity, aws_2012
+from repro.workload import paper_sales_workload
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    return DeploymentSpec(
+        provider=aws_2012(BillingGranularity.PER_SECOND),
+        instance_type="small",
+        n_instances=5,
+    )
+
+
+@pytest.fixture(scope="module")
+def inputs(sales_dataset_10gb, deployment):
+    workload = paper_sales_workload(sales_dataset_10gb.schema, 5)
+    lattice = CuboidLattice(sales_dataset_10gb.schema)
+    candidates = candidates_from_workload(lattice, workload)
+    return PlanningEstimator(sales_dataset_10gb, deployment).build(
+        workload, candidates
+    )
+
+
+class TestModes:
+    def test_unknown_mode_rejected(self, sales_dataset_10gb, deployment):
+        with pytest.raises(CostModelError):
+            PlanningEstimator(sales_dataset_10gb, deployment, mode="magic")
+
+    def test_empirical_mode_requires_unscaled_dataset(
+        self, sales_dataset_10gb, deployment
+    ):
+        with pytest.raises(CostModelError, match="row_scale"):
+            PlanningEstimator(sales_dataset_10gb, deployment, mode="empirical")
+
+    def test_empirical_mode_on_unscaled_dataset(
+        self, sales_dataset_unscaled, deployment
+    ):
+        workload = paper_sales_workload(sales_dataset_unscaled.schema, 3)
+        lattice = CuboidLattice(sales_dataset_unscaled.schema)
+        candidates = candidates_from_workload(lattice, workload)
+        estimator = PlanningEstimator(
+            sales_dataset_unscaled, deployment, mode="empirical"
+        )
+        built = estimator.build(workload, candidates)
+        # Empirical view rows are exact group counts.
+        from repro.engine import Executor
+
+        executor = Executor(sales_dataset_unscaled)
+        for candidate in candidates:
+            exact = executor.materialize(candidate.grain).stats.groups_out
+            assert built.view_stats[candidate.name].rows == exact
+
+    def test_analytic_and_empirical_agree_on_coarse_views(
+        self, sales_dataset_unscaled, deployment
+    ):
+        # Coarse grains saturate, so the Cardenas estimate matches the
+        # exact count closely even on skewed data.
+        workload = paper_sales_workload(sales_dataset_unscaled.schema, 3)
+        lattice = CuboidLattice(sales_dataset_unscaled.schema)
+        candidates = candidates_from_workload(lattice, workload)
+        analytic = PlanningEstimator(
+            sales_dataset_unscaled, deployment, mode="analytic"
+        ).build(workload, candidates)
+        empirical = PlanningEstimator(
+            sales_dataset_unscaled, deployment, mode="empirical"
+        ).build(workload, candidates)
+        for candidate in candidates:
+            a = analytic.view_stats[candidate.name].rows
+            e = empirical.view_stats[candidate.name].rows
+            assert e <= a * 1.02
+            assert e >= a * 0.5
+
+
+class TestViewStats:
+    def test_views_smaller_than_dataset(self, inputs):
+        for stats in inputs.view_stats.values():
+            assert stats.size_gb < inputs.dataset_gb
+
+    def test_materialization_at_least_one_scan(self, inputs):
+        # Write factor >= 1 means materializing costs at least the
+        # aggregation itself, which scans the whole dataset.
+        for name, stats in inputs.view_stats.items():
+            base_scan = inputs.deployment.job_hours(
+                inputs.dataset_gb, stats.rows
+            )
+            assert stats.materialization_hours >= base_scan * 0.999
+
+    def test_maintenance_positive_when_cycles_positive(self, inputs):
+        for stats in inputs.view_stats.values():
+            assert stats.maintenance_hours_per_cycle > 0
+
+
+class TestQueryTimes:
+    def test_view_times_only_for_answerable_pairs(self, inputs):
+        schema = inputs.workload.schema
+        for (q_name, v_name) in inputs.view_query_hours:
+            query = next(q for q in inputs.workload if q.name == q_name)
+            view = inputs.view(v_name)
+            assert schema.grain_answers(view.grain, query.grain)
+
+    def test_view_times_beat_base_times(self, inputs):
+        for (q_name, _v), hours in inputs.view_query_hours.items():
+            assert hours <= inputs.base_query_hours[q_name]
+
+    def test_speedup_cap_limits_view_times(self, sales_dataset_10gb):
+        capped_dep = DeploymentSpec(
+            provider=aws_2012(BillingGranularity.PER_SECOND),
+            instance_type="small",
+            n_instances=5,
+            view_speedup_cap=2.0,
+        )
+        workload = paper_sales_workload(sales_dataset_10gb.schema, 5)
+        lattice = CuboidLattice(sales_dataset_10gb.schema)
+        candidates = candidates_from_workload(lattice, workload)
+        built = PlanningEstimator(sales_dataset_10gb, capped_dep).build(
+            workload, candidates
+        )
+        for (q_name, _v), hours in built.view_query_hours.items():
+            assert hours >= built.base_query_hours[q_name] / 2.0 - 1e-12
+
+
+class TestSubsetEvaluation:
+    def test_unknown_subset_rejected(self, inputs):
+        with pytest.raises(CostModelError):
+            inputs.check_subset({"V99"})
+
+    def test_empty_subset_is_base_times(self, inputs):
+        hours = inputs.query_hours_with(frozenset())
+        assert hours == dict(inputs.base_query_hours)
+
+    def test_processing_hours_monotone_under_inclusion(self, inputs):
+        # Adding views can only help (min over more sources).
+        names = [c.name for c in inputs.candidates]
+        subset = frozenset()
+        previous = inputs.processing_hours(subset)
+        for name in names:
+            subset = subset | {name}
+            current = inputs.processing_hours(subset)
+            assert current <= previous + 1e-12
+            previous = current
+
+    def test_best_source_picks_fastest(self, inputs):
+        all_views = frozenset(c.name for c in inputs.candidates)
+        for query in inputs.workload:
+            best = inputs.best_source(query.name, all_views)
+            if best is None:
+                continue
+            best_hours = inputs.view_query_hours[(query.name, best)]
+            for other in all_views:
+                other_hours = inputs.view_query_hours.get((query.name, other))
+                if other_hours is not None:
+                    assert best_hours <= other_hours
+
+    def test_plan_for_counts_views_once(self, inputs):
+        subset = frozenset(c.name for c in inputs.candidates[:2])
+        plan = inputs.plan_for(subset)
+        assert len(plan.materialization_hours) == 2
+        assert len(plan.maintenance_hours) == 2
+        assert plan.views_total_gb == pytest.approx(
+            sum(inputs.view_stats[n].size_gb for n in subset)
+        )
+
+    def test_baseline_plan_has_no_view_terms(self, inputs):
+        plan = inputs.baseline_plan()
+        assert plan.materialization_hours == ()
+        assert plan.maintenance_hours == ()
+        assert plan.views_total_gb == 0.0
+
+
+class TestRunsPerPeriod:
+    def test_runs_multiply_bill_not_response_time(self, sales_dataset_10gb):
+        def build(runs):
+            dep = DeploymentSpec(
+                provider=aws_2012(BillingGranularity.PER_SECOND),
+                instance_type="small",
+                n_instances=5,
+                runs_per_period=runs,
+            )
+            workload = paper_sales_workload(sales_dataset_10gb.schema, 3)
+            lattice = CuboidLattice(sales_dataset_10gb.schema)
+            candidates = candidates_from_workload(lattice, workload)
+            inputs = PlanningEstimator(sales_dataset_10gb, dep).build(
+                workload, candidates
+            )
+            outcome = CloudCostModel(dep).evaluate(inputs.baseline_plan())
+            return outcome
+
+        once = build(1.0)
+        thirty = build(30.0)
+        assert thirty.processing_hours == pytest.approx(once.processing_hours)
+        assert thirty.computing.processing_cost.to_float() == pytest.approx(
+            once.computing.processing_cost.to_float() * 30, rel=1e-9
+        )

@@ -1,0 +1,126 @@
+"""Maintenance policies and their integration with the estimator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.costmodel import (
+    DeploymentSpec,
+    MaintenancePolicy,
+    PlanningEstimator,
+    maintenance_hours_per_cycle,
+)
+from repro.cube import CuboidLattice, candidates_from_workload
+from repro.errors import CostModelError
+from repro.pricing import BillingGranularity, aws_2012
+from repro.workload import paper_sales_workload
+
+
+def deployment_with(policy: MaintenancePolicy, **kwargs) -> DeploymentSpec:
+    return DeploymentSpec(
+        provider=aws_2012(BillingGranularity.PER_SECOND),
+        instance_type="small",
+        n_instances=5,
+        maintenance_policy=policy,
+        **kwargs,
+    )
+
+
+class TestPolicies:
+    def test_incremental_processes_the_delta(self):
+        dep = deployment_with(
+            MaintenancePolicy.INCREMENTAL, update_fraction_per_cycle=0.01
+        )
+        hours = maintenance_hours_per_cycle(
+            MaintenancePolicy.INCREMENTAL, dep, 10.0, 1000
+        )
+        assert hours == pytest.approx(dep.job_hours(0.1, 1000))
+
+    def test_full_rebuild_reaggregates_everything(self):
+        dep = deployment_with(
+            MaintenancePolicy.FULL_REBUILD, materialization_write_factor=2.0
+        )
+        hours = maintenance_hours_per_cycle(
+            MaintenancePolicy.FULL_REBUILD, dep, 10.0, 1000
+        )
+        assert hours == pytest.approx(dep.job_hours(10.0, 1000) * 2.0)
+
+    def test_cheapest_is_the_min(self):
+        dep = deployment_with(MaintenancePolicy.CHEAPEST)
+        cheapest = maintenance_hours_per_cycle(
+            MaintenancePolicy.CHEAPEST, dep, 10.0, 1000
+        )
+        incremental = maintenance_hours_per_cycle(
+            MaintenancePolicy.INCREMENTAL, dep, 10.0, 1000
+        )
+        rebuild = maintenance_hours_per_cycle(
+            MaintenancePolicy.FULL_REBUILD, dep, 10.0, 1000
+        )
+        assert cheapest == min(incremental, rebuild)
+
+    def test_incremental_wins_for_small_deltas(self):
+        dep = deployment_with(
+            MaintenancePolicy.CHEAPEST, update_fraction_per_cycle=0.001
+        )
+        incremental = maintenance_hours_per_cycle(
+            MaintenancePolicy.INCREMENTAL, dep, 10.0, 100
+        )
+        rebuild = maintenance_hours_per_cycle(
+            MaintenancePolicy.FULL_REBUILD, dep, 10.0, 100
+        )
+        assert incremental < rebuild
+
+    def test_negative_sizes_rejected(self):
+        dep = deployment_with(MaintenancePolicy.INCREMENTAL)
+        with pytest.raises(CostModelError):
+            maintenance_hours_per_cycle(
+                MaintenancePolicy.INCREMENTAL, dep, -1.0, 10
+            )
+
+    def test_default_policy_is_incremental(self):
+        dep = DeploymentSpec(provider=aws_2012())
+        assert dep.maintenance_policy is MaintenancePolicy.INCREMENTAL
+
+
+class TestEstimatorIntegration:
+    @pytest.fixture(scope="class")
+    def build(self, sales_dataset_10gb):
+        def _build(policy, **kwargs):
+            dep = deployment_with(policy, **kwargs)
+            workload = paper_sales_workload(sales_dataset_10gb.schema, 3)
+            lattice = CuboidLattice(sales_dataset_10gb.schema)
+            candidates = candidates_from_workload(lattice, workload)
+            return PlanningEstimator(sales_dataset_10gb, dep).build(
+                workload, candidates
+            )
+
+        return _build
+
+    def test_cheapest_never_exceeds_either_policy(self, build):
+        incremental = build(MaintenancePolicy.INCREMENTAL)
+        rebuild = build(MaintenancePolicy.FULL_REBUILD)
+        cheapest = build(MaintenancePolicy.CHEAPEST)
+        for name in cheapest.view_stats:
+            c = cheapest.view_stats[name].maintenance_hours_per_cycle
+            i = incremental.view_stats[name].maintenance_hours_per_cycle
+            r = rebuild.view_stats[name].maintenance_hours_per_cycle
+            assert c == pytest.approx(min(i, r))
+
+
+class TestCascadeIntegration:
+    def test_cascade_reduces_materialization_bill(self, sales_dataset_10gb):
+        def total_materialization(cascade: bool) -> float:
+            dep = deployment_with(
+                MaintenancePolicy.INCREMENTAL,
+                cascade_materialization=cascade,
+            )
+            workload = paper_sales_workload(sales_dataset_10gb.schema, 10)
+            lattice = CuboidLattice(sales_dataset_10gb.schema)
+            candidates = candidates_from_workload(lattice, workload)
+            inputs = PlanningEstimator(sales_dataset_10gb, dep).build(
+                workload, candidates
+            )
+            plan = inputs.plan_for(frozenset(c.name for c in candidates))
+            return sum(plan.materialization_hours)
+
+        assert total_materialization(True) < total_materialization(False)

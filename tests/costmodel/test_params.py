@@ -1,0 +1,130 @@
+"""DeploymentSpec validation and StorageTimeline interval mechanics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.costmodel import DeploymentSpec, StorageTimeline
+from repro.costmodel.params import StorageInterval
+from repro.errors import CostModelError
+from repro.pricing import aws_2012
+
+
+class TestDeploymentSpec:
+    def test_paper_deployment(self):
+        spec = DeploymentSpec.paper_deployment()
+        assert spec.instance_type == "small"
+        assert spec.n_instances == 2
+        assert spec.compute_units == 1.0
+
+    def test_unknown_instance_fails_fast(self):
+        # The failing lookup is a pricing error, surfaced at spec
+        # construction rather than first use.
+        from repro.errors import PricingError
+
+        with pytest.raises(PricingError):
+            DeploymentSpec(provider=aws_2012(), instance_type="mega")
+
+    def test_invalid_fields(self):
+        provider = aws_2012()
+        with pytest.raises(CostModelError):
+            DeploymentSpec(provider=provider, n_instances=0)
+        with pytest.raises(CostModelError):
+            DeploymentSpec(provider=provider, storage_months=-1)
+        with pytest.raises(CostModelError):
+            DeploymentSpec(provider=provider, maintenance_cycles=-1)
+        with pytest.raises(CostModelError):
+            DeploymentSpec(provider=provider, update_fraction_per_cycle=1.0)
+        with pytest.raises(CostModelError):
+            DeploymentSpec(provider=provider, runs_per_period=0)
+        with pytest.raises(CostModelError):
+            DeploymentSpec(provider=provider, materialization_write_factor=0.5)
+        with pytest.raises(CostModelError):
+            DeploymentSpec(provider=provider, view_speedup_cap=0.5)
+
+    def test_job_hours_uses_fleet(self):
+        spec = DeploymentSpec.paper_deployment(n_instances=5)
+        solo = DeploymentSpec.paper_deployment(n_instances=1)
+        assert spec.job_hours(10.0, 100) < solo.job_hours(10.0, 100)
+
+
+class TestStorageInterval:
+    def test_duration(self):
+        assert StorageInterval(2, 5, 100).months == 3
+
+    def test_validation(self):
+        with pytest.raises(CostModelError):
+            StorageInterval(5, 2, 100)
+        with pytest.raises(CostModelError):
+            StorageInterval(0, 1, -5)
+
+
+class TestStorageTimeline:
+    def test_paper_example_3_intervals(self):
+        timeline = StorageTimeline(512, 12, [(7, 2048)])
+        intervals = timeline.intervals()
+        assert [(i.start_month, i.end_month, i.volume_gb) for i in intervals] == [
+            (0, 7, 512.0),
+            (7, 12, 2560.0),
+        ]
+
+    def test_no_inserts_single_interval(self):
+        intervals = StorageTimeline(100, 6).intervals()
+        assert len(intervals) == 1
+        assert intervals[0].volume_gb == 100
+
+    def test_insert_at_time_zero_merges(self):
+        intervals = StorageTimeline(100, 6, [(0, 50)]).intervals()
+        assert len(intervals) == 1
+        assert intervals[0].volume_gb == 150
+
+    def test_multiple_inserts_sorted(self):
+        timeline = StorageTimeline(10, 12, [(9, 1), (3, 2)])
+        volumes = [i.volume_gb for i in timeline.intervals()]
+        assert volumes == [10, 12, 13]
+
+    def test_final_volume(self):
+        assert StorageTimeline(10, 12, [(3, 2), (9, 1)]).final_volume_gb == 13
+
+    def test_with_extra_volume_lifts_every_interval(self):
+        timeline = StorageTimeline(10, 12, [(6, 5)])
+        lifted = timeline.with_extra_volume(3)
+        assert [i.volume_gb for i in lifted.intervals()] == [13, 18]
+
+    def test_validation(self):
+        with pytest.raises(CostModelError):
+            StorageTimeline(-1, 12)
+        with pytest.raises(CostModelError):
+            StorageTimeline(1, -1)
+        with pytest.raises(CostModelError):
+            StorageTimeline(1, 12, [(13, 5)])
+        with pytest.raises(CostModelError):
+            StorageTimeline(1, 12, [(3, -5)])
+        with pytest.raises(CostModelError):
+            StorageTimeline(1, 12).with_extra_volume(-1)
+
+    @given(
+        initial=st.floats(min_value=0, max_value=1000, allow_nan=False),
+        horizon=st.floats(min_value=0.1, max_value=120, allow_nan=False),
+        inserts=st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=0.99, allow_nan=False),
+                st.floats(min_value=0, max_value=100, allow_nan=False),
+            ),
+            max_size=5,
+        ),
+    )
+    def test_intervals_partition_the_horizon(self, initial, horizon, inserts):
+        scaled = [(m * horizon, gb) for m, gb in inserts]
+        timeline = StorageTimeline(initial, horizon, scaled)
+        intervals = timeline.intervals()
+        # Contiguous cover of [0, horizon].
+        assert intervals[0].start_month == 0
+        assert intervals[-1].end_month == horizon
+        for prev, cur in zip(intervals, intervals[1:]):
+            assert prev.end_month == cur.start_month
+        # Volume never decreases (no deletions modelled).
+        volumes = [i.volume_gb for i in intervals]
+        assert volumes == sorted(volumes)

@@ -1,0 +1,86 @@
+"""Candidate view generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cube import (
+    CuboidLattice,
+    candidates_from_grains,
+    candidates_from_workload,
+    enumerate_candidates,
+)
+from repro.schema import ALL, sales_schema
+from repro.workload import paper_sales_workload
+
+
+@pytest.fixture(scope="module")
+def lattice():
+    return CuboidLattice(sales_schema())
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return paper_sales_workload(sales_schema(), 10)
+
+
+class TestEnumerate:
+    def test_excludes_base_grain(self, lattice, workload):
+        grains = {c.grain for c in enumerate_candidates(lattice, workload)}
+        assert lattice.base not in grains
+
+    def test_useful_only_excludes_nonanswering_grains(self, lattice):
+        small = paper_sales_workload(sales_schema(), 3)
+        useful = enumerate_candidates(lattice, small, useful_only=True)
+        every = enumerate_candidates(lattice, small, useful_only=False)
+        assert len(useful) < len(every)
+        for candidate in useful:
+            assert any(
+                lattice.answers(candidate.grain, q.grain) for q in small
+            )
+
+    def test_names_are_stable(self, lattice, workload):
+        a = enumerate_candidates(lattice, workload)
+        b = enumerate_candidates(lattice, workload)
+        assert [(c.name, c.grain) for c in a] == [(c.name, c.grain) for c in b]
+
+    def test_max_candidates_truncates(self, lattice, workload):
+        assert len(enumerate_candidates(lattice, workload, max_candidates=3)) == 3
+
+
+class TestFromWorkload:
+    def test_one_candidate_per_distinct_query_grain(self, lattice, workload):
+        candidates = candidates_from_workload(lattice, workload)
+        grains = [c.grain for c in candidates]
+        assert len(grains) == len(set(grains))
+        # 10 queries, base grain (day, department) excluded -> 9.
+        assert len(candidates) == 9
+
+    def test_base_grain_query_yields_no_candidate(self, lattice):
+        workload = paper_sales_workload(sales_schema(), 10)
+        candidates = candidates_from_workload(lattice, workload)
+        assert lattice.base not in {c.grain for c in candidates}
+
+    def test_no_dominating_view_in_workload_candidates(self, lattice):
+        # The defining property of this generator for m=3: no candidate
+        # answers all three queries.
+        small = paper_sales_workload(sales_schema(), 3)
+        candidates = candidates_from_workload(lattice, small)
+        for candidate in candidates:
+            answered = sum(
+                lattice.answers(candidate.grain, q.grain) for q in small
+            )
+            assert answered < 3
+
+
+class TestFromGrains:
+    def test_wraps_and_validates(self, lattice):
+        candidates = candidates_from_grains(lattice, [("month", ALL)])
+        assert candidates[0].name == "V1"
+        assert candidates[0].grain == ("month", ALL)
+
+    def test_invalid_grain_rejected(self, lattice):
+        from repro.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            candidates_from_grains(lattice, [("week", ALL)])

@@ -1,0 +1,110 @@
+"""The HRU greedy baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cube import CuboidLattice, candidates_from_grains, hru_select
+from repro.errors import OptimizationError
+from repro.schema import ALL, sales_schema
+from repro.workload import paper_sales_workload
+
+
+@pytest.fixture(scope="module")
+def lattice():
+    return CuboidLattice(sales_schema())
+
+
+@pytest.fixture(scope="module")
+def setup(lattice):
+    workload = paper_sales_workload(sales_schema(), 5)
+    candidates = candidates_from_grains(
+        lattice,
+        [
+            ("month", "region"),
+            ("month", "country"),
+            ("year", "region"),
+            ("year", "department"),
+        ],
+    )
+    view_rows = {"V1": 9_000.0, "V2": 1_800.0, "V3": 750.0, "V4": 6_000.0}
+    return workload, candidates, view_rows
+
+
+BASE_ROWS = 1_000_000.0
+
+
+class TestSelection:
+    def test_first_pick_maximizes_benefit(self, lattice, setup):
+        workload, candidates, view_rows = setup
+        result = hru_select(
+            lattice, workload, candidates, view_rows, BASE_ROWS, k=1
+        )
+        # V1 (month, region) answers 4 of 5 queries at 9k rows each:
+        # benefit 4 x (1M - 9k), the largest available.
+        assert [v.name for v in result.selected] == ["V1"]
+        assert result.pick_benefits[0] == pytest.approx(4 * (BASE_ROWS - 9_000))
+
+    def test_k_bounds_the_selection(self, lattice, setup):
+        workload, candidates, view_rows = setup
+        result = hru_select(
+            lattice, workload, candidates, view_rows, BASE_ROWS, k=2
+        )
+        assert len(result.selected) <= 2
+
+    def test_space_budget_respected(self, lattice, setup):
+        workload, candidates, view_rows = setup
+        result = hru_select(
+            lattice,
+            workload,
+            candidates,
+            view_rows,
+            BASE_ROWS,
+            space_budget_rows=2_000.0,
+        )
+        assert sum(view_rows[v.name] for v in result.selected) <= 2_000.0
+
+    def test_stops_when_no_benefit_remains(self, lattice, setup):
+        workload, candidates, view_rows = setup
+        result = hru_select(
+            lattice, workload, candidates, view_rows, BASE_ROWS, k=10
+        )
+        # Every pick must have had strictly positive benefit.
+        assert all(benefit > 0 for benefit in result.pick_benefits)
+
+    def test_final_cost_improves_monotonically_with_k(self, lattice, setup):
+        workload, candidates, view_rows = setup
+        costs = [
+            hru_select(
+                lattice, workload, candidates, view_rows, BASE_ROWS, k=k
+            ).final_query_cost
+            for k in (0, 1, 2, 3)
+        ]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_greedy_benefits_never_increase(self, lattice, setup):
+        # Submodularity of the benefit function: each pick is worth at
+        # most as much as the previous one.
+        workload, candidates, view_rows = setup
+        result = hru_select(
+            lattice, workload, candidates, view_rows, BASE_ROWS, k=4
+        )
+        benefits = list(result.pick_benefits)
+        assert benefits == sorted(benefits, reverse=True)
+
+
+class TestValidation:
+    def test_needs_some_budget(self, lattice, setup):
+        workload, candidates, view_rows = setup
+        with pytest.raises(OptimizationError):
+            hru_select(lattice, workload, candidates, view_rows, BASE_ROWS)
+
+    def test_negative_k_rejected(self, lattice, setup):
+        workload, candidates, view_rows = setup
+        with pytest.raises(OptimizationError):
+            hru_select(lattice, workload, candidates, view_rows, BASE_ROWS, k=-1)
+
+    def test_missing_row_estimates_rejected(self, lattice, setup):
+        workload, candidates, _ = setup
+        with pytest.raises(OptimizationError, match="V1"):
+            hru_select(lattice, workload, candidates, {}, BASE_ROWS, k=1)

@@ -1,0 +1,159 @@
+"""Dataset generators: determinism, calendars, size models, skew."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    LogicalSizeModel,
+    generate_sales,
+    generate_ssb,
+    seasonal_day_codes,
+    skewed_codes,
+)
+from repro.data.sales_generator import calendar_time_index
+from repro.errors import DataGenerationError
+from repro.schema import sales_schema
+
+
+class TestDeterminism:
+    def test_same_seed_same_bytes(self):
+        a = generate_sales(n_rows=1000, seed=5)
+        b = generate_sales(n_rows=1000, seed=5)
+        assert np.array_equal(a.fact.codes("time"), b.fact.codes("time"))
+        assert np.array_equal(a.fact.measure("profit"), b.fact.measure("profit"))
+
+    def test_different_seed_differs(self):
+        a = generate_sales(n_rows=1000, seed=5)
+        b = generate_sales(n_rows=1000, seed=6)
+        assert not np.array_equal(a.fact.codes("time"), b.fact.codes("time"))
+
+    def test_ssb_deterministic(self):
+        a = generate_ssb(n_rows=500, seed=3)
+        b = generate_ssb(n_rows=500, seed=3)
+        assert np.array_equal(a.fact.codes("part"), b.fact.codes("part"))
+
+
+class TestCalendar:
+    def test_day_to_month_boundaries(self):
+        index = calendar_time_index(sales_schema().dimension("time"))
+        days = np.array([0, 30, 31, 58, 59, 364, 365])
+        months = index.map_codes(days, "day", "month")
+        # Jan has 31 days; Feb 28; year 2 starts at day 365.
+        assert list(months) == [0, 0, 1, 1, 2, 11, 12]
+
+    def test_day_to_year(self):
+        index = calendar_time_index(sales_schema().dimension("time"))
+        days = np.array([0, 364, 365, 3649])
+        years = index.map_codes(days, "day", "year")
+        assert list(years) == [0, 0, 1, 9]
+
+    def test_calendar_needs_matching_cardinalities(self):
+        from repro.schema.hierarchy import Dimension, Hierarchy
+
+        bad = Dimension(
+            "time",
+            Hierarchy("time", ["day", "month", "year"]),
+            {"day": 100, "month": 10, "year": 1},
+        )
+        with pytest.raises(DataGenerationError):
+            calendar_time_index(bad)
+
+
+class TestSizeModel:
+    def test_target_gb_is_hit_exactly(self):
+        dataset = generate_sales(n_rows=10_000, target_gb=10.0)
+        assert dataset.logical_size_gb == pytest.approx(10.0)
+
+    def test_unscaled_dataset_bills_physical_size(self):
+        dataset = generate_sales(n_rows=10_000)
+        expected = 10_000 * dataset.schema.fact_row_bytes / 1024**3
+        assert dataset.logical_size_gb == pytest.approx(expected)
+
+    def test_coarser_grain_rows_are_narrower(self):
+        dataset = generate_sales(n_rows=1000, target_gb=1.0)
+        model = dataset.size_model
+        fine = model.rows_to_gb(("day", "department"), 100)
+        coarse = model.rows_to_gb(("year", "country"), 100)
+        assert coarse < fine
+
+    def test_invalid_parameters_rejected(self):
+        schema = sales_schema()
+        with pytest.raises(DataGenerationError):
+            LogicalSizeModel(schema, row_scale=0)
+        with pytest.raises(DataGenerationError):
+            LogicalSizeModel.for_target_size(schema, 0, 10)
+        with pytest.raises(DataGenerationError):
+            LogicalSizeModel.for_target_size(schema, 100, -1)
+        with pytest.raises(DataGenerationError):
+            LogicalSizeModel(schema).rows_to_gb(("day", "department"), -1)
+
+    @given(
+        rows=st.integers(min_value=1, max_value=10**7),
+        target=st.floats(min_value=0.01, max_value=1000, allow_nan=False),
+    )
+    @settings(max_examples=30)
+    def test_for_target_size_roundtrips(self, rows, target):
+        schema = sales_schema()
+        model = LogicalSizeModel.for_target_size(schema, rows, target)
+        assert model.rows_to_gb(schema.base_grain, rows) == pytest.approx(target)
+
+
+class TestDistributions:
+    def test_skewed_codes_in_range(self):
+        rng = np.random.default_rng(0)
+        codes = skewed_codes(rng, 10_000, 50, skew=1.2)
+        assert codes.min() >= 0
+        assert codes.max() < 50
+
+    def test_skew_concentrates_mass_on_low_codes(self):
+        rng = np.random.default_rng(0)
+        skewed = skewed_codes(rng, 50_000, 100, skew=1.5)
+        uniform = skewed_codes(np.random.default_rng(0), 50_000, 100, skew=0.0)
+        assert (skewed < 10).mean() > (uniform < 10).mean() * 2
+
+    def test_zero_skew_is_roughly_uniform(self):
+        rng = np.random.default_rng(0)
+        codes = skewed_codes(rng, 100_000, 10, skew=0.0)
+        counts = np.bincount(codes, minlength=10)
+        assert counts.min() > 0.8 * counts.mean()
+
+    def test_seasonal_day_codes_in_range(self):
+        rng = np.random.default_rng(0)
+        codes = seasonal_day_codes(rng, 10_000, 3650, amplitude=0.5)
+        assert codes.min() >= 0
+        assert codes.max() < 3650
+
+    def test_invalid_parameters(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(DataGenerationError):
+            skewed_codes(rng, -1, 10)
+        with pytest.raises(DataGenerationError):
+            skewed_codes(rng, 10, 0)
+        with pytest.raises(DataGenerationError):
+            skewed_codes(rng, 10, 10, skew=-1)
+        with pytest.raises(DataGenerationError):
+            seasonal_day_codes(rng, 10, 100, amplitude=1.5)
+
+
+class TestDatasetBundle:
+    def test_fact_lives_at_base_grain(self, sales_dataset_unscaled):
+        dataset = sales_dataset_unscaled
+        assert dataset.fact.grain == dataset.schema.base_grain
+
+    def test_hierarchy_indexes_cover_all_dimensions(self, sales_dataset_unscaled):
+        dataset = sales_dataset_unscaled
+        for name in dataset.schema.dimension_names:
+            assert dataset.hierarchy_index(name) is not None
+
+    def test_profit_is_positive(self, sales_dataset_unscaled):
+        assert sales_dataset_unscaled.fact.measure("profit").min() > 0
+
+    def test_nonpositive_rows_rejected(self):
+        with pytest.raises(DataGenerationError):
+            generate_sales(n_rows=0)
+        with pytest.raises(DataGenerationError):
+            generate_ssb(n_rows=-5)

@@ -1,0 +1,169 @@
+"""GrainTable invariants and hierarchy code maps."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.data.table import GrainTable, HierarchyIndex
+from repro.errors import EngineError, SchemaError
+from repro.schema import ALL, sales_schema
+from repro.schema.hierarchy import Dimension, Hierarchy
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return sales_schema(n_years=2, n_countries=3, regions_per_country=2,
+                        departments_per_region=2)
+
+
+def small_table(schema, n=10):
+    rng = np.random.default_rng(0)
+    return GrainTable(
+        schema,
+        schema.base_grain,
+        dim_codes={
+            "time": rng.integers(0, 730, n),
+            "geography": rng.integers(0, 12, n),
+        },
+        measures={"profit": rng.random(n)},
+    )
+
+
+class TestGrainTableValidation:
+    def test_happy_path(self, schema):
+        table = small_table(schema)
+        assert table.n_rows == 10
+        assert table.grain == ("day", "department")
+
+    def test_missing_code_column_rejected(self, schema):
+        with pytest.raises(EngineError, match="geography"):
+            GrainTable(
+                schema,
+                schema.base_grain,
+                dim_codes={"time": np.zeros(3, dtype=np.int64)},
+                measures={"profit": np.zeros(3)},
+            )
+
+    def test_extra_code_column_rejected(self, schema):
+        with pytest.raises(EngineError):
+            GrainTable(
+                schema,
+                ("year", ALL),
+                dim_codes={
+                    "time": np.zeros(3, dtype=np.int64),
+                    "geography": np.zeros(3, dtype=np.int64),
+                },
+                measures={"profit": np.zeros(3)},
+            )
+
+    def test_missing_measure_rejected(self, schema):
+        with pytest.raises(EngineError, match="profit"):
+            GrainTable(
+                schema,
+                ("year", ALL),
+                dim_codes={"time": np.zeros(3, dtype=np.int64)},
+                measures={},
+            )
+
+    def test_ragged_columns_rejected(self, schema):
+        with pytest.raises(EngineError, match="ragged"):
+            GrainTable(
+                schema,
+                ("year", ALL),
+                dim_codes={"time": np.zeros(3, dtype=np.int64)},
+                measures={"profit": np.zeros(4)},
+            )
+
+    def test_out_of_range_codes_rejected(self, schema):
+        with pytest.raises(EngineError, match="outside"):
+            GrainTable(
+                schema,
+                ("year", ALL),
+                dim_codes={"time": np.array([99], dtype=np.int64)},
+                measures={"profit": np.array([1.0])},
+            )
+
+    def test_codes_for_aggregated_dimension_raise(self, schema):
+        table = GrainTable(
+            schema,
+            ("year", ALL),
+            dim_codes={"time": np.array([0], dtype=np.int64)},
+            measures={"profit": np.array([1.0])},
+        )
+        with pytest.raises(EngineError, match="aggregated away"):
+            table.codes("geography")
+
+    def test_unknown_measure_raises(self, schema):
+        table = small_table(schema)
+        with pytest.raises(EngineError):
+            table.measure("revenue")
+
+    def test_row_logical_bytes_matches_schema(self, schema):
+        table = small_table(schema)
+        assert table.row_logical_bytes == schema.fact_row_bytes
+
+
+class TestHierarchyIndex:
+    def test_evenly_nested_is_consistent(self, schema):
+        geo = schema.dimension("geography")
+        index = HierarchyIndex.evenly_nested(geo)
+        departments = np.arange(geo.cardinality("department"))
+        regions = index.map_codes(departments, "department", "region")
+        countries = index.map_codes(departments, "department", "country")
+        # Composing department->region->country equals department->country.
+        via_region = index.map_codes(regions, "region", "country")
+        assert np.array_equal(countries, via_region)
+
+    def test_evenly_nested_covers_every_parent(self, schema):
+        geo = schema.dimension("geography")
+        index = HierarchyIndex.evenly_nested(geo)
+        departments = np.arange(geo.cardinality("department"))
+        regions = index.map_codes(departments, "department", "region")
+        assert set(regions) == set(range(geo.cardinality("region")))
+
+    def test_map_to_all_is_zero(self, schema):
+        geo = schema.dimension("geography")
+        index = HierarchyIndex.evenly_nested(geo)
+        out = index.map_codes(np.array([0, 5, 11]), "department", ALL)
+        assert np.array_equal(out, np.zeros(3))
+
+    def test_downward_mapping_rejected(self, schema):
+        geo = schema.dimension("geography")
+        index = HierarchyIndex.evenly_nested(geo)
+        with pytest.raises(EngineError, match="downward"):
+            index.map_codes(np.array([0]), "country", "department")
+
+    def test_wrong_map_count_rejected(self, schema):
+        geo = schema.dimension("geography")
+        with pytest.raises(SchemaError, match="needs 2 parent maps"):
+            HierarchyIndex(geo, [np.zeros(12, dtype=np.int64)])
+
+    def test_wrong_map_length_rejected(self, schema):
+        geo = schema.dimension("geography")
+        with pytest.raises(SchemaError, match="entries"):
+            HierarchyIndex(
+                geo,
+                [
+                    np.zeros(5, dtype=np.int64),
+                    np.zeros(6, dtype=np.int64),
+                ],
+            )
+
+    def test_out_of_range_parents_rejected(self, schema):
+        geo = schema.dimension("geography")
+        bad_map = np.full(12, 99, dtype=np.int64)
+        with pytest.raises(SchemaError, match="outside"):
+            HierarchyIndex(geo, [bad_map, np.zeros(6, dtype=np.int64)])
+
+    @given(codes=st.lists(st.integers(min_value=0, max_value=11), max_size=50))
+    def test_mapping_preserves_length_and_range(self, schema, codes):
+        geo = schema.dimension("geography")
+        index = HierarchyIndex.evenly_nested(geo)
+        out = index.map_codes(np.array(codes, dtype=np.int64), "department", "region")
+        assert len(out) == len(codes)
+        if codes:
+            assert out.min() >= 0
+            assert out.max() < geo.cardinality("region")

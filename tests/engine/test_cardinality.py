@@ -1,0 +1,94 @@
+"""Cardinality estimation: Cardenas bounds and empirical comparison."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import generate_sales
+from repro.engine import Executor, estimate_group_count, expected_distinct, grain_space
+from repro.errors import EngineError
+from repro.schema import ALL, sales_schema
+
+
+class TestExpectedDistinct:
+    def test_zero_draws(self):
+        assert expected_distinct(0, 100) == 0.0
+
+    def test_single_key_space(self):
+        assert expected_distinct(50, 1) == 1.0
+
+    def test_saturation(self):
+        assert expected_distinct(1e9, 150) == pytest.approx(150.0)
+
+    def test_huge_key_space_equals_draws(self):
+        # With k >> n almost every draw is distinct.
+        assert expected_distinct(1000, 1e15) == pytest.approx(1000.0, rel=1e-3)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(EngineError):
+            expected_distinct(-1, 10)
+        with pytest.raises(EngineError):
+            expected_distinct(10, 0)
+
+    # Draw counts are row counts: zero or at least one.  Fractional
+    # counts below 1 make the "distinct <= draws" bound meaningless
+    # (D(2, 0.5) = 0.59 > 0.5 under the continuous formula).
+    draws = st.one_of(
+        st.just(0.0),
+        st.floats(min_value=1, max_value=1e12, allow_nan=False),
+    )
+    spaces = st.floats(min_value=1, max_value=1e15, allow_nan=False)
+
+    @given(n=draws, k=spaces)
+    def test_bounded_by_draws_and_space(self, n, k):
+        d = expected_distinct(n, k)
+        assert 0.0 <= d <= min(n, k) + 1e-6 or d == pytest.approx(min(n, k))
+
+    @given(n1=draws, n2=draws, k=spaces)
+    def test_monotone_in_draws(self, n1, n2, k):
+        lo, hi = sorted([n1, n2])
+        assert expected_distinct(lo, k) <= expected_distinct(hi, k) + 1e-9
+
+    @given(n=draws, k1=spaces, k2=spaces)
+    def test_monotone_in_space(self, n, k1, k2):
+        lo, hi = sorted([k1, k2])
+        assert expected_distinct(n, lo) <= expected_distinct(n, hi) + 1e-6
+
+
+class TestGrainSpace:
+    def test_apex_space_is_one(self):
+        assert grain_space(sales_schema(), (ALL, ALL)) == 1.0
+
+    def test_product_of_cardinalities(self):
+        schema = sales_schema()
+        assert grain_space(schema, ("year", "country")) == 10 * 15
+
+    def test_partial_all(self):
+        schema = sales_schema()
+        assert grain_space(schema, ("month", ALL)) == 120
+
+
+class TestAgainstEmpirical:
+    """Cardenas assumes uniformity; skewed data has fewer groups."""
+
+    @pytest.mark.parametrize(
+        "grain",
+        [("year", "country"), ("month", "region"), ("month", "department")],
+    )
+    def test_estimate_upper_bounds_skewed_reality(self, grain):
+        dataset = generate_sales(n_rows=30_000, seed=9)
+        executor = Executor(dataset)
+        actual = executor.materialize(grain).stats.groups_out
+        estimate = estimate_group_count(dataset.schema, grain, 30_000)
+        assert actual <= estimate * 1.02  # tiny float tolerance
+
+    def test_estimate_is_tight_for_coarse_grains(self):
+        # Coarse grains saturate: estimate and reality both hit the
+        # full cross product.
+        dataset = generate_sales(n_rows=50_000, seed=9)
+        executor = Executor(dataset)
+        actual = executor.materialize(("year", "country")).stats.groups_out
+        estimate = estimate_group_count(dataset.schema, ("year", "country"), 50_000)
+        assert actual == pytest.approx(estimate, rel=0.05)

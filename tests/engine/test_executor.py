@@ -1,0 +1,181 @@
+"""Executor correctness: exact roll-ups, view equivalence, errors."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import GrainTable, generate_sales
+from repro.data.table import HierarchyIndex
+from repro.engine import Executor
+from repro.errors import EngineError
+from repro.schema import ALL, sales_schema
+from repro.workload import AggregateQuery, paper_sales_workload
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_sales(n_rows=5_000, seed=3)
+
+
+@pytest.fixture(scope="module")
+def executor(dataset):
+    return Executor(dataset)
+
+
+def brute_force_rollup(dataset, grain):
+    """Reference implementation: dict-of-sums over mapped codes."""
+    fact = dataset.fact
+    n = fact.n_rows
+    keys = defaultdict(float)
+    time_idx = dataset.hierarchy_index("time")
+    geo_idx = dataset.hierarchy_index("geography")
+    t_level, g_level = grain
+    t_codes = (
+        time_idx.map_codes(fact.codes("time"), "day", t_level)
+        if t_level != ALL
+        else np.zeros(n, dtype=np.int64)
+    )
+    g_codes = (
+        geo_idx.map_codes(fact.codes("geography"), "department", g_level)
+        if g_level != ALL
+        else np.zeros(n, dtype=np.int64)
+    )
+    profit = fact.measure("profit")
+    for i in range(n):
+        keys[(t_codes[i], g_codes[i])] += profit[i]
+    return keys
+
+
+def result_as_dict(result, grain):
+    table = result.table
+    n = table.n_rows
+    t_level, g_level = grain
+    t = table.codes("time") if t_level != ALL else np.zeros(n, dtype=np.int64)
+    g = (
+        table.codes("geography")
+        if g_level != ALL
+        else np.zeros(n, dtype=np.int64)
+    )
+    profit = table.measure("profit")
+    return {(t[i], g[i]): profit[i] for i in range(n)}
+
+
+ALL_GRAINS = [
+    (t, g)
+    for t in ("day", "month", "year", ALL)
+    for g in ("department", "region", "country", ALL)
+]
+
+
+class TestRollupCorrectness:
+    @pytest.mark.parametrize("grain", ALL_GRAINS)
+    def test_matches_brute_force(self, dataset, executor, grain):
+        result = executor.materialize(grain)
+        expected = brute_force_rollup(dataset, grain)
+        actual = result_as_dict(result, grain)
+        assert set(actual) == set(expected)
+        for key, value in expected.items():
+            assert actual[key] == pytest.approx(value)
+
+    def test_total_profit_is_preserved(self, dataset, executor):
+        total = dataset.fact.measure("profit").sum()
+        for grain in [("year", "country"), ("month", ALL), (ALL, ALL)]:
+            result = executor.materialize(grain)
+            assert result.table.measure("profit").sum() == pytest.approx(total)
+
+    def test_apex_is_one_row(self, executor):
+        result = executor.materialize((ALL, ALL))
+        assert result.table.n_rows == 1
+        assert result.stats.groups_out == 1
+
+
+class TestViewEquivalence:
+    """Answering from a view must equal answering from the base."""
+
+    @pytest.mark.parametrize(
+        "view_grain,query_grain",
+        [
+            (("month", "country"), ("year", "country")),   # paper's V1/Q1
+            (("month", "region"), ("year", "country")),
+            (("day", "region"), ("month", ALL)),
+            (("year", "department"), ("year", "country")),
+        ],
+    )
+    def test_view_answers_match_base(self, dataset, executor, view_grain, query_grain):
+        view = executor.materialize(view_grain).table
+        query = AggregateQuery("q", dataset.schema.validate_grain(query_grain))
+        from_base = result_as_dict(executor.answer(query), query_grain)
+        from_view = result_as_dict(
+            executor.answer(query, source=view), query_grain
+        )
+        assert set(from_base) == set(from_view)
+        for key, value in from_base.items():
+            assert from_view[key] == pytest.approx(value)
+
+    def test_unanswerable_source_rejected(self, dataset, executor):
+        view = executor.materialize(("year", "country")).table
+        query = AggregateQuery("q", ("month", "country"))
+        with pytest.raises(EngineError, match="cannot answer"):
+            executor.answer(query, source=view)
+
+    def test_view_scan_is_cheaper(self, executor):
+        view = executor.materialize(("month", "region")).table
+        query = AggregateQuery("q", ("year", "country"))
+        from_base = executor.answer(query)
+        from_view = executor.answer(query, source=view)
+        assert from_view.stats.rows_scanned < from_base.stats.rows_scanned
+        assert from_view.stats.groups_out == from_base.stats.groups_out
+
+
+class TestWorkStats:
+    def test_rows_scanned_is_source_size(self, dataset, executor):
+        result = executor.materialize(("year", ALL))
+        assert result.stats.rows_scanned == dataset.fact.n_rows
+
+    def test_groups_out_is_result_size(self, executor):
+        result = executor.materialize(("year", "country"))
+        assert result.stats.groups_out == result.table.n_rows
+
+    def test_empty_source(self, dataset):
+        schema = dataset.schema
+        empty = GrainTable(
+            schema,
+            schema.base_grain,
+            dim_codes={
+                "time": np.array([], dtype=np.int64),
+                "geography": np.array([], dtype=np.int64),
+            },
+            measures={"profit": np.array([])},
+        )
+        result = Executor(dataset).aggregate(empty, ("year", ALL))
+        assert result.table.n_rows == 0
+        assert result.stats.groups_out == 0
+
+
+class TestAgainstWorkload:
+    def test_all_paper_queries_execute(self, dataset, executor):
+        for query in paper_sales_workload(dataset.schema, 10):
+            result = executor.answer(query)
+            assert result.table.n_rows > 0
+
+
+class TestPropertyRandomTables:
+    @given(
+        n=st.integers(min_value=1, max_value=200),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_group_count_bounded(self, n, seed):
+        schema = sales_schema(
+            n_years=1, n_countries=2, regions_per_country=2,
+            departments_per_region=2,
+        )
+        dataset = generate_sales(n_rows=n, seed=seed, schema=schema)
+        executor = Executor(dataset)
+        result = executor.materialize(("month", "region"))
+        assert 1 <= result.table.n_rows <= min(n, 12 * 4)

@@ -1,0 +1,72 @@
+"""Report rendering and CSV emission."""
+
+from __future__ import annotations
+
+import csv
+
+import pytest
+
+from repro.experiments.reporting import (
+    ReportTable,
+    format_rate,
+    render_table,
+    write_csv,
+)
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["name", "x"], [["a", 1], ["longer", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert all(len(line) <= len(max(lines, key=len)) for line in lines)
+
+    def test_title(self):
+        text = render_table(["a"], [[1]], title="T")
+        assert text.splitlines()[0] == "T"
+        assert text.splitlines()[1] == "="
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_float_formatting(self):
+        text = render_table(["x"], [[0.123456]])
+        assert "0.1235" in text
+
+
+class TestFormatRate:
+    def test_paper_style(self):
+        assert format_rate(0.6) == "60%"
+        assert format_rate(0.255) == "26%"
+        assert format_rate(0.0) == "0%"
+
+
+class TestReportTable:
+    def test_add_row_and_column(self):
+        table = ReportTable("t", ["a", "b"])
+        table.add_row(1, 2)
+        table.add_row(3, 4)
+        assert table.column("b") == [2, 4]
+
+    def test_unknown_column(self):
+        table = ReportTable("t", ["a"])
+        with pytest.raises(ValueError):
+            table.column("zzz")
+
+    def test_csv_roundtrip(self, tmp_path):
+        table = ReportTable("t", ["a", "b"])
+        table.add_row("x", 1)
+        path = table.to_csv(tmp_path / "sub" / "t.csv")
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows == [["a", "b"], ["x", "1"]]
+
+    def test_csv_text(self):
+        table = ReportTable("t", ["a"])
+        table.add_row(5)
+        assert table.to_csv_text().splitlines() == ["a", "5"]
+
+    def test_write_csv_creates_directories(self, tmp_path):
+        path = write_csv(tmp_path / "x" / "y.csv", ["h"], [[1]])
+        assert path.exists()

@@ -1,0 +1,44 @@
+"""Workload-drift robustness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ablation_workload_drift
+
+
+@pytest.fixture(scope="module")
+def table(experiment_context):
+    return ablation_workload_drift(experiment_context)
+
+
+def parse_rate(cell: str) -> float:
+    assert cell.endswith("%")
+    return float(cell[:-1]) / 100.0
+
+
+class TestWorkloadDrift:
+    def test_three_drifts_reported(self, table):
+        assert len(table.rows) == 3
+
+    def test_stale_never_worse_than_no_views(self, table):
+        # Yesterday's views keep helping (or at worst do nothing).
+        assert all(flag == "yes" for flag in table.column("stale still helps"))
+
+    def test_fresh_never_worse_than_stale(self, table):
+        for stale, fresh in zip(
+            table.column("obj. stale"), table.column("obj. fresh")
+        ):
+            assert fresh <= stale + 1e-9
+
+    def test_regret_nonnegative(self, table):
+        for cell in table.column("regret"):
+            assert parse_rate(cell) >= 0
+
+    def test_growth_is_the_costly_drift(self, table):
+        regrets = {
+            row[0]: parse_rate(row[4]) for row in table.rows
+        }
+        grow = next(v for k, v in regrets.items() if k.startswith("grow"))
+        others = [v for k, v in regrets.items() if not k.startswith("grow")]
+        assert grow >= max(others)

@@ -1,0 +1,70 @@
+"""Elastic selection: joint (fleet size, view set) choice."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InfeasibleProblemError, OptimizationError
+from repro.money import Money
+from repro.optimizer import elastic_select, mv1, mv2, mv3, scale_out_only
+
+
+@pytest.fixture(scope="module")
+def problems(experiment_context):
+    return experiment_context.elastic_problems(5, [1, 2, 5, 10])
+
+
+class TestElasticSelect:
+    def test_empty_problems_rejected(self):
+        with pytest.raises(OptimizationError):
+            elastic_select({}, mv3(0.5))
+
+    def test_mv2_prefers_fewer_instances_with_views(self, problems):
+        # With views, the deadline is loose even on a small fleet; the
+        # cheapest feasible fleet wins.
+        limit = problems[5].baseline().processing_hours
+        choice = elastic_select(problems, mv2(limit), "greedy")
+        assert choice.n_instances < 10
+
+    def test_winner_is_best_across_sizes(self, problems):
+        scenario = mv3(0.5)
+        choice = elastic_select(problems, scenario, "greedy")
+        for result in choice.per_size.values():
+            assert scenario.key(choice.result.outcome) <= scenario.key(
+                result.outcome
+            )
+
+    def test_infeasible_everywhere_raises(self, problems):
+        with pytest.raises(InfeasibleProblemError):
+            elastic_select(problems, mv2(1e-9), "greedy")
+
+    def test_invalid_fleet_size_rejected(self, problems):
+        bad = {0: next(iter(problems.values()))}
+        with pytest.raises(OptimizationError):
+            elastic_select(bad, mv3(0.5))
+
+
+class TestScaleOutOnly:
+    def test_tight_deadline_needs_more_instances(self, problems):
+        # Pure scale-out: only the larger fleets meet a limit set just
+        # below the 5-instance baseline.
+        limit = problems[5].baseline().processing_hours * 0.9
+        n, result = scale_out_only(problems, mv2(limit))
+        assert n > 5
+        assert result.outcome.subset == frozenset()
+
+    def test_views_beat_scale_out_on_cost(self, problems):
+        limit = problems[5].baseline().processing_hours * 0.9
+        _n, scale_out = scale_out_only(problems, mv2(limit))
+        elastic = elastic_select(problems, mv2(limit), "greedy")
+        assert elastic.result.outcome.total_cost <= scale_out.outcome.total_cost
+
+    def test_unreachable_deadline_raises(self, problems):
+        with pytest.raises(InfeasibleProblemError):
+            scale_out_only(problems, mv2(1e-9))
+
+    def test_mv1_scale_out_spends_budget_on_speed(self, problems):
+        generous = mv1(Money(1_000))
+        n, _result = scale_out_only(problems, generous)
+        # With no budget pressure, the fastest fleet wins.
+        assert n == max(problems)

@@ -1,0 +1,67 @@
+"""The (time, cost) Pareto frontier."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.optimizer import dominates, frontier_outcomes, iterate_subsets, pareto_frontier
+
+
+@pytest.fixture(scope="module")
+def frontier(paper_problem):
+    return frontier_outcomes(paper_problem)
+
+
+class TestDominates:
+    def test_strictly_better_on_both(self, paper_problem):
+        outcomes = {o.subset: o for o in iterate_subsets(paper_problem)}
+        # Find any dominated pair to make the relation concrete.
+        found = any(
+            dominates(a, b)
+            for a in outcomes.values()
+            for b in outcomes.values()
+            if a is not b
+        )
+        assert found
+
+    def test_nothing_dominates_itself(self, paper_problem):
+        for outcome in iterate_subsets(paper_problem):
+            assert not dominates(outcome, outcome)
+
+
+class TestFrontier:
+    def test_frontier_is_mutually_non_dominated(self, frontier):
+        for a in frontier:
+            for b in frontier:
+                if a is not b:
+                    assert not dominates(a, b)
+
+    def test_frontier_dominates_or_ties_everything(self, paper_problem, frontier):
+        for outcome in iterate_subsets(paper_problem):
+            covered = any(
+                dominates(f, outcome)
+                or (
+                    f.processing_hours <= outcome.processing_hours
+                    and f.total_cost <= outcome.total_cost
+                )
+                for f in frontier
+            )
+            assert covered
+
+    def test_sorted_by_time_with_decreasing_cost(self, frontier):
+        hours = [o.processing_hours for o in frontier]
+        costs = [o.total_cost for o in frontier]
+        assert hours == sorted(hours)
+        assert costs == sorted(costs, reverse=True)
+
+    def test_nonempty(self, frontier):
+        assert frontier
+
+
+class TestPureFunction:
+    def test_pareto_frontier_of_empty_is_empty(self):
+        assert pareto_frontier([]) == []
+
+    def test_single_outcome_is_its_own_frontier(self, paper_problem):
+        baseline = paper_problem.baseline()
+        assert pareto_frontier([baseline]) == [baseline]

@@ -1,0 +1,180 @@
+"""Randomized selection problems: algorithm relations under hypothesis.
+
+These tests build small synthetic :class:`PlanningInputs` directly
+(random times, sizes, and query-view coverage) and assert the
+relations that must hold on *every* instance:
+
+* every algorithm's answer is feasible,
+* the exhaustive optimum is never beaten,
+* the greedy and knapsack answers never lose to the no-views baseline.
+
+This is the adversarial counterpart of the dataset-driven tests: here
+the coverage structure is arbitrary, so view interactions (overlap,
+dominance, useless candidates) are exercised far beyond what the sales
+lattice produces.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.costmodel import DeploymentSpec, PlanningInputs, StorageTimeline
+from repro.cube import CandidateView, ViewStats
+from repro.errors import InfeasibleProblemError
+from repro.money import Money
+from repro.optimizer import SelectionProblem, mv1, mv2, mv3, select_views
+from repro.pricing import BillingGranularity, aws_2012
+from repro.schema import sales_schema
+from repro.workload import AggregateQuery, Workload
+
+SCHEMA = sales_schema()
+DEPLOYMENT = DeploymentSpec(
+    provider=aws_2012(BillingGranularity.PER_SECOND),
+    instance_type="small",
+    n_instances=2,
+    maintenance_cycles=1,
+)
+
+# A pool of distinct grains for queries/views (identity is by name, so
+# grain reuse is fine).
+GRAINS = [
+    ("month", "country"),
+    ("year", "region"),
+    ("month", "region"),
+    ("year", "department"),
+    ("day", "country"),
+    ("year", "country"),
+]
+
+
+@st.composite
+def synthetic_problems(draw):
+    """A random small selection problem."""
+    n_queries = draw(st.integers(min_value=1, max_value=4))
+    n_views = draw(st.integers(min_value=1, max_value=5))
+
+    queries = [
+        AggregateQuery(f"Q{i}", GRAINS[i % len(GRAINS)])
+        for i in range(n_queries)
+    ]
+    workload = Workload(SCHEMA, queries)
+    candidates = tuple(
+        CandidateView(f"V{j}", GRAINS[j % len(GRAINS)]) for j in range(n_views)
+    )
+
+    base_hours = {
+        q.name: draw(
+            st.floats(min_value=0.05, max_value=2.0, allow_nan=False)
+        )
+        for q in queries
+    }
+    view_stats = {}
+    view_hours = {}
+    for view in candidates:
+        view_stats[view.name] = ViewStats(
+            view=view,
+            rows=draw(st.floats(min_value=1, max_value=1e6)),
+            size_gb=draw(st.floats(min_value=0.0, max_value=5.0)),
+            materialization_hours=draw(st.floats(min_value=0.0, max_value=1.0)),
+            maintenance_hours_per_cycle=draw(
+                st.floats(min_value=0.0, max_value=0.2)
+            ),
+        )
+        for q in queries:
+            if draw(st.booleans()):
+                # This view answers q, some amount faster or not at all.
+                factor = draw(st.floats(min_value=0.05, max_value=1.0))
+                view_hours[(q.name, view.name)] = base_hours[q.name] * factor
+
+    return PlanningInputs(
+        workload=workload,
+        candidates=candidates,
+        view_stats=view_stats,
+        base_query_hours=base_hours,
+        view_query_hours=view_hours,
+        result_sizes_gb={q.name: 0.01 for q in queries},
+        dataset_gb=10.0,
+        deployment=DEPLOYMENT,
+        base_timeline=StorageTimeline(10.0, 1.0),
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(inputs=synthetic_problems(), budget_slack=st.floats(0.0, 5.0))
+def test_mv1_relations(inputs, budget_slack):
+    problem = SelectionProblem(inputs)
+    baseline = problem.baseline()
+    scenario = mv1(baseline.total_cost + Money(str(round(budget_slack, 2))))
+
+    exhaustive = select_views(problem, scenario, "exhaustive")
+    for algorithm in ("knapsack", "greedy"):
+        result = select_views(problem, scenario, algorithm)
+        assert scenario.feasible(result.outcome)
+        # Heuristics never beat the exhaustive optimum.
+        assert scenario.key(result.outcome) >= scenario.key(exhaustive.outcome)
+        # And never lose to doing nothing (baseline is feasible here).
+        assert result.outcome.processing_hours <= baseline.processing_hours + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(inputs=synthetic_problems(), tightness=st.floats(0.0, 1.0))
+def test_mv2_relations(inputs, tightness):
+    problem = SelectionProblem(inputs)
+    baseline = problem.baseline()
+    best_hours = problem.evaluate(
+        frozenset(problem.candidate_names)
+    ).processing_hours
+    # A limit between the best achievable and the baseline.
+    limit = best_hours + (baseline.processing_hours - best_hours) * tightness
+    scenario = mv2(limit)
+
+    exhaustive = select_views(problem, scenario, "exhaustive")
+    for algorithm in ("knapsack", "greedy"):
+        result = select_views(problem, scenario, algorithm)
+        assert scenario.feasible(result.outcome)
+        assert result.outcome.total_cost >= exhaustive.outcome.total_cost
+
+
+@settings(max_examples=40, deadline=None)
+@given(inputs=synthetic_problems(), alpha=st.floats(0.0, 1.0))
+def test_mv3_relations(inputs, alpha):
+    problem = SelectionProblem(inputs)
+    baseline = problem.baseline()
+    scenario = mv3(alpha)
+
+    exhaustive = select_views(problem, scenario, "exhaustive")
+    assert scenario.objective(exhaustive.outcome) <= scenario.objective(
+        baseline
+    ) + 1e-9
+    for algorithm in ("knapsack", "greedy"):
+        result = select_views(problem, scenario, algorithm)
+        assert (
+            scenario.objective(result.outcome)
+            >= scenario.objective(exhaustive.outcome) - 1e-9
+        )
+        # Greedy can never end above the baseline (it only accepts
+        # improvements); the knapsack's independence assumption can, so
+        # it is excluded from this bound.
+        if algorithm == "greedy":
+            assert scenario.objective(result.outcome) <= scenario.objective(
+                baseline
+            ) + 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(inputs=synthetic_problems())
+def test_impossible_deadline_always_raises(inputs):
+    problem = SelectionProblem(inputs)
+    best_hours = problem.evaluate(
+        frozenset(problem.candidate_names)
+    ).processing_hours
+    if best_hours <= 0:
+        return
+    scenario = mv2(best_hours * 0.5)
+    if scenario.feasible(problem.evaluate(frozenset(problem.candidate_names))):
+        return  # limit not actually impossible (0.5x still above floor)
+    for algorithm in ("knapsack", "greedy", "exhaustive"):
+        with pytest.raises(InfeasibleProblemError):
+            select_views(problem, scenario, algorithm)

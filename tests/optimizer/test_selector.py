@@ -1,0 +1,168 @@
+"""View selection end to end: all algorithms, all scenarios."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InfeasibleProblemError, OptimizationError
+from repro.money import Money
+from repro.optimizer import (
+    SelectionProblem,
+    Tradeoff,
+    exhaustive_select,
+    greedy_select,
+    mv1,
+    mv2,
+    mv3,
+    select_views,
+)
+
+
+@pytest.fixture(scope="module")
+def baseline(paper_problem):
+    return paper_problem.baseline()
+
+
+class TestProblemBasics:
+    def test_baseline_is_empty_subset(self, paper_problem, baseline):
+        assert baseline.subset == frozenset()
+
+    def test_evaluation_is_memoized(self, paper_problem):
+        a = paper_problem.evaluate(frozenset({"V1"}))
+        b = paper_problem.evaluate(frozenset({"V1"}))
+        assert a is b
+
+    def test_marginal_saving_nonnegative(self, paper_problem):
+        for name in paper_problem.candidate_names:
+            assert paper_problem.marginal_saving_hours(name) >= 0
+
+    def test_views_never_slow_the_workload(self, paper_problem, baseline):
+        for name in paper_problem.candidate_names:
+            outcome = paper_problem.singleton(name)
+            assert outcome.processing_hours <= baseline.processing_hours
+
+
+class TestMv1:
+    def test_budget_respected_by_all_algorithms(self, paper_problem, baseline):
+        budget = baseline.total_cost + Money("5.00")
+        scenario = mv1(budget)
+        for algorithm in ("knapsack", "greedy", "exhaustive"):
+            result = select_views(paper_problem, scenario, algorithm)
+            assert result.outcome.total_cost <= budget
+
+    def test_huge_budget_reaches_best_time(self, paper_problem):
+        scenario = mv1(Money(10_000))
+        exhaustive = select_views(paper_problem, scenario, "exhaustive")
+        knapsack = select_views(paper_problem, scenario, "knapsack")
+        greedy = select_views(paper_problem, scenario, "greedy")
+        best = exhaustive.outcome.processing_hours
+        assert knapsack.outcome.processing_hours == pytest.approx(best, rel=0.05)
+        assert greedy.outcome.processing_hours == pytest.approx(best, rel=0.05)
+
+    def test_more_budget_never_hurts(self, paper_problem, baseline):
+        previous_hours = None
+        for extra in ("0.00", "2.00", "10.00", "100.00"):
+            scenario = mv1(baseline.total_cost + Money(extra))
+            result = select_views(paper_problem, scenario, "exhaustive")
+            if previous_hours is not None:
+                assert result.outcome.processing_hours <= previous_hours + 1e-9
+            previous_hours = result.outcome.processing_hours
+
+    def test_impossible_budget_raises(self, paper_problem):
+        # A one-cent budget is below even the best achievable cost.
+        with pytest.raises(InfeasibleProblemError):
+            select_views(paper_problem, mv1(Money("0.01")), "exhaustive")
+        with pytest.raises(InfeasibleProblemError):
+            select_views(paper_problem, mv1(Money("0.01")), "greedy")
+        with pytest.raises(InfeasibleProblemError):
+            select_views(paper_problem, mv1(Money("0.01")), "knapsack")
+
+
+class TestMv2:
+    def test_time_limit_respected(self, paper_problem, baseline):
+        limit = baseline.processing_hours * 0.5
+        for algorithm in ("knapsack", "greedy", "exhaustive"):
+            result = select_views(paper_problem, mv2(limit), algorithm)
+            assert result.outcome.processing_hours <= limit + 1e-9
+
+    def test_loose_limit_still_cuts_cost_when_views_self_pay(
+        self, paper_problem, baseline
+    ):
+        result = select_views(
+            paper_problem, mv2(baseline.processing_hours), "exhaustive"
+        )
+        assert result.outcome.total_cost <= baseline.total_cost
+
+    def test_unreachable_limit_raises(self, paper_problem):
+        with pytest.raises(InfeasibleProblemError):
+            select_views(paper_problem, mv2(1e-6), "knapsack")
+        with pytest.raises(InfeasibleProblemError):
+            select_views(paper_problem, mv2(1e-6), "exhaustive")
+
+    def test_knapsack_close_to_exhaustive(self, paper_problem, baseline):
+        limit = baseline.processing_hours * 0.6
+        exhaustive = select_views(paper_problem, mv2(limit), "exhaustive")
+        knapsack = select_views(paper_problem, mv2(limit), "knapsack")
+        # The independence assumption may overspend, but not wildly.
+        assert knapsack.outcome.total_cost <= exhaustive.outcome.total_cost * 2
+
+
+class TestMv3:
+    def test_never_worse_than_baseline(self, paper_problem, baseline):
+        for alpha in (0.0, 0.3, 0.7, 1.0):
+            scenario = mv3(alpha)
+            for algorithm in ("knapsack", "greedy", "exhaustive"):
+                result = select_views(paper_problem, scenario, algorithm)
+                assert scenario.objective(result.outcome) <= scenario.objective(
+                    baseline
+                ) + 1e-9
+
+    def test_greedy_matches_exhaustive_here(self, paper_problem):
+        scenario = mv3(0.5)
+        greedy = select_views(paper_problem, scenario, "greedy")
+        exhaustive = select_views(paper_problem, scenario, "exhaustive")
+        assert scenario.objective(greedy.outcome) == pytest.approx(
+            scenario.objective(exhaustive.outcome), rel=0.02
+        )
+
+    def test_objective_improvement_only_for_tradeoff(self, paper_problem):
+        result = select_views(paper_problem, mv1(Money(1000)), "greedy")
+        with pytest.raises(OptimizationError):
+            result.objective_improvement()
+
+
+class TestSelectionResult:
+    def test_improvement_rates(self, paper_problem, baseline):
+        result = select_views(paper_problem, mv3(0.5), "exhaustive")
+        expected_time = (
+            baseline.processing_hours - result.outcome.processing_hours
+        ) / baseline.processing_hours
+        assert result.time_improvement == pytest.approx(expected_time)
+
+    def test_describe_mentions_scenario_and_views(self, paper_problem):
+        result = select_views(paper_problem, mv3(0.5), "greedy")
+        text = result.describe()
+        assert "MV3" in text
+        assert "baseline" in text
+
+    def test_unknown_algorithm_rejected(self, paper_problem):
+        with pytest.raises(OptimizationError):
+            select_views(paper_problem, mv3(0.5), "quantum")
+
+
+class TestExhaustiveGuard:
+    def test_too_many_candidates_rejected(self, sales_dataset_10gb):
+        from repro.costmodel import DeploymentSpec, PlanningEstimator
+        from repro.cube import CuboidLattice, candidates_from_grains
+        from repro.workload import paper_sales_workload
+
+        lattice = CuboidLattice(sales_dataset_10gb.schema)
+        # 21 artificial candidates exceed the 2^20 enumeration guard.
+        grains = [("month", "country")] * 21
+        candidates = candidates_from_grains(lattice, grains)
+        inputs = PlanningEstimator(
+            sales_dataset_10gb, DeploymentSpec.paper_deployment()
+        ).build(paper_sales_workload(sales_dataset_10gb.schema, 3), candidates)
+        problem = SelectionProblem(inputs)
+        with pytest.raises(OptimizationError, match="exhaustive"):
+            exhaustive_select(problem, mv3(0.5))

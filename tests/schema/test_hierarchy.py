@@ -1,0 +1,129 @@
+"""Hierarchies and dimensions: ordering, ALL, validation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SchemaError
+from repro.schema.hierarchy import ALL, Dimension, Hierarchy
+
+
+@pytest.fixture
+def time_hierarchy():
+    return Hierarchy("time", ["day", "month", "year"])
+
+
+class TestHierarchy:
+    def test_levels_finest_first(self, time_hierarchy):
+        assert time_hierarchy.finest == "day"
+        assert list(time_hierarchy.levels) == ["day", "month", "year"]
+
+    def test_all_is_coarsest(self, time_hierarchy):
+        assert time_hierarchy.index_of(ALL) == 3
+        assert time_hierarchy.is_finer_or_equal("year", ALL)
+        assert not time_hierarchy.is_finer_or_equal(ALL, "year")
+
+    def test_finer_or_equal_is_reflexive(self, time_hierarchy):
+        for level in list(time_hierarchy.levels) + [ALL]:
+            assert time_hierarchy.is_finer_or_equal(level, level)
+
+    def test_day_rolls_up_to_year_not_vice_versa(self, time_hierarchy):
+        assert time_hierarchy.is_finer_or_equal("day", "year")
+        assert not time_hierarchy.is_finer_or_equal("year", "day")
+
+    def test_coarser_levels(self, time_hierarchy):
+        assert list(time_hierarchy.coarser_levels("month")) == ["year", ALL]
+        assert list(time_hierarchy.coarser_levels("year")) == [ALL]
+
+    def test_contains(self, time_hierarchy):
+        assert "month" in time_hierarchy
+        assert ALL in time_hierarchy
+        assert "week" not in time_hierarchy
+
+    def test_unknown_level_raises_with_known_levels(self, time_hierarchy):
+        with pytest.raises(SchemaError, match="day"):
+            time_hierarchy.index_of("week")
+
+    def test_empty_hierarchy_rejected(self):
+        with pytest.raises(SchemaError):
+            Hierarchy("empty", [])
+
+    def test_duplicate_levels_rejected(self):
+        with pytest.raises(SchemaError):
+            Hierarchy("time", ["day", "day"])
+
+    def test_naming_virtual_all_rejected(self):
+        with pytest.raises(SchemaError):
+            Hierarchy("time", ["day", ALL])
+
+
+class TestDimension:
+    def test_cardinalities(self, time_hierarchy):
+        dim = Dimension(
+            "time", time_hierarchy, {"day": 3650, "month": 120, "year": 10}
+        )
+        assert dim.cardinality("day") == 3650
+        assert dim.cardinality(ALL) == 1
+
+    def test_missing_cardinality_rejected(self, time_hierarchy):
+        with pytest.raises(SchemaError, match="month"):
+            Dimension("time", time_hierarchy, {"day": 10, "year": 1})
+
+    def test_extra_cardinality_rejected(self, time_hierarchy):
+        with pytest.raises(SchemaError, match="week"):
+            Dimension(
+                "time",
+                time_hierarchy,
+                {"day": 10, "month": 5, "year": 1, "week": 2},
+            )
+
+    def test_coarser_level_cannot_outnumber_finer(self, time_hierarchy):
+        with pytest.raises(SchemaError, match="cannot be larger"):
+            Dimension(
+                "time", time_hierarchy, {"day": 10, "month": 20, "year": 1}
+            )
+
+    def test_nonpositive_cardinality_rejected(self, time_hierarchy):
+        with pytest.raises(SchemaError):
+            Dimension("time", time_hierarchy, {"day": 0, "month": 0, "year": 0})
+
+    def test_unknown_level_lookup_raises(self, time_hierarchy):
+        dim = Dimension(
+            "time", time_hierarchy, {"day": 10, "month": 5, "year": 1}
+        )
+        with pytest.raises(SchemaError):
+            dim.cardinality("week")
+
+
+class TestOrderProperties:
+    """is_finer_or_equal must be a total order per hierarchy."""
+
+    levels = ["day", "month", "year", ALL]
+
+    @given(
+        a=st.sampled_from(levels),
+        b=st.sampled_from(levels),
+        c=st.sampled_from(levels),
+    )
+    def test_transitivity(self, time_hierarchy_factory, a, b, c):
+        h = time_hierarchy_factory
+        if h.is_finer_or_equal(a, b) and h.is_finer_or_equal(b, c):
+            assert h.is_finer_or_equal(a, c)
+
+    @given(a=st.sampled_from(levels), b=st.sampled_from(levels))
+    def test_antisymmetry(self, time_hierarchy_factory, a, b):
+        h = time_hierarchy_factory
+        if h.is_finer_or_equal(a, b) and h.is_finer_or_equal(b, a):
+            assert a == b
+
+    @given(a=st.sampled_from(levels), b=st.sampled_from(levels))
+    def test_totality(self, time_hierarchy_factory, a, b):
+        h = time_hierarchy_factory
+        assert h.is_finer_or_equal(a, b) or h.is_finer_or_equal(b, a)
+
+
+@pytest.fixture(scope="module")
+def time_hierarchy_factory():
+    return Hierarchy("time", ["day", "month", "year"])

@@ -1,0 +1,149 @@
+"""Star schemas: grains, answerability, logical widths."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SchemaError
+from repro.schema import ALL, sales_schema, ssb_schema
+from repro.schema.hierarchy import Dimension, Hierarchy
+from repro.schema.star import Measure, StarSchema
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return sales_schema()
+
+
+def sales_grains():
+    """All 16 grains of the sales schema, as a hypothesis strategy."""
+    time_levels = ["day", "month", "year", ALL]
+    geo_levels = ["department", "region", "country", ALL]
+    return st.tuples(st.sampled_from(time_levels), st.sampled_from(geo_levels))
+
+
+class TestStructure:
+    def test_dimension_order_is_canonical(self, schema):
+        assert schema.dimension_names == ("time", "geography")
+
+    def test_base_and_apex(self, schema):
+        assert schema.base_grain == ("day", "department")
+        assert schema.apex_grain == (ALL, ALL)
+
+    def test_dimension_lookup(self, schema):
+        assert schema.dimension("time").name == "time"
+        with pytest.raises(SchemaError, match="geography"):
+            schema.dimension("product")
+
+    def test_needs_dimension_and_measure(self):
+        time = Dimension(
+            "t", Hierarchy("t", ["d"]), {"d": 10}
+        )
+        with pytest.raises(SchemaError):
+            StarSchema("x", [], [Measure("m")])
+        with pytest.raises(SchemaError):
+            StarSchema("x", [time], [])
+
+    def test_duplicate_names_rejected(self):
+        time = Dimension("t", Hierarchy("t", ["d"]), {"d": 10})
+        with pytest.raises(SchemaError):
+            StarSchema("x", [time, time], [Measure("m")])
+        with pytest.raises(SchemaError):
+            StarSchema("x", [time], [Measure("m"), Measure("m")])
+
+
+class TestGrains:
+    def test_validate_grain_length(self, schema):
+        with pytest.raises(SchemaError):
+            schema.validate_grain(("day",))
+
+    def test_validate_grain_levels(self, schema):
+        with pytest.raises(SchemaError):
+            schema.validate_grain(("week", "country"))
+
+    def test_grain_from_mapping_defaults_to_all(self, schema):
+        grain = schema.grain_from_mapping({"time": "year"})
+        assert grain == ("year", ALL)
+
+    def test_grain_from_mapping_unknown_dimension(self, schema):
+        with pytest.raises(SchemaError, match="product"):
+            schema.grain_from_mapping({"product": "sku"})
+
+
+class TestAnswerability:
+    def test_base_answers_everything(self, schema):
+        assert schema.grain_answers(("day", "department"), ("year", ALL))
+
+    def test_apex_answers_only_itself(self, schema):
+        assert schema.grain_answers((ALL, ALL), (ALL, ALL))
+        assert not schema.grain_answers((ALL, ALL), ("year", ALL))
+
+    def test_incomparable_grains(self, schema):
+        # (month, ALL) and (ALL, country) answer neither each other.
+        assert not schema.grain_answers(("month", ALL), (ALL, "country"))
+        assert not schema.grain_answers((ALL, "country"), ("month", ALL))
+
+    def test_paper_example_view_answers_query(self, schema):
+        # V1 = "sales per month and country" answers Q1 = "per year and
+        # country" (Section 2.1).
+        assert schema.grain_answers(("month", "country"), ("year", "country"))
+
+    @given(a=sales_grains(), b=sales_grains(), c=sales_grains())
+    def test_partial_order_transitive(self, schema, a, b, c):
+        if schema.grain_answers(a, b) and schema.grain_answers(b, c):
+            assert schema.grain_answers(a, c)
+
+    @given(a=sales_grains(), b=sales_grains())
+    def test_partial_order_antisymmetric(self, schema, a, b):
+        if schema.grain_answers(a, b) and schema.grain_answers(b, a):
+            assert a == b
+
+    @given(a=sales_grains())
+    def test_partial_order_reflexive(self, schema, a):
+        assert schema.grain_answers(a, a)
+
+
+class TestSizeModel:
+    def test_fact_row_bytes_counts_finest_levels_and_measures(self, schema):
+        # day (10) + department (16) + profit (8).
+        assert schema.fact_row_bytes == 34
+
+    def test_all_levels_store_nothing(self, schema):
+        assert schema.row_logical_bytes((ALL, ALL)) == 8  # measures only
+
+    def test_coarser_grains_are_narrower(self, schema):
+        fine = schema.row_logical_bytes(("day", "department"))
+        coarse = schema.row_logical_bytes(("year", "country"))
+        assert coarse < fine
+
+    def test_default_level_width(self):
+        time = Dimension("t", Hierarchy("t", ["d"]), {"d": 10})
+        bare = StarSchema("x", [time], [Measure("m", 8)])
+        assert bare.level_logical_bytes("t", "d") == 8
+
+    def test_level_bytes_validation(self):
+        time = Dimension("t", Hierarchy("t", ["d"]), {"d": 10})
+        with pytest.raises(SchemaError):
+            StarSchema("x", [time], [Measure("m")], {"nope.d": 4})
+        with pytest.raises(SchemaError):
+            StarSchema("x", [time], [Measure("m")], {"t.nope": 4})
+
+
+class TestSsbSchema:
+    def test_four_dimensions(self):
+        schema = ssb_schema()
+        assert len(schema.dimensions) == 4
+        assert schema.dimension_names == ("date", "customer", "supplier", "part")
+
+    def test_scale_factor_scales_customers(self):
+        small = ssb_schema(0.1).dimension("customer")
+        large = ssb_schema(2.0).dimension("customer")
+        assert large.cardinality("city") >= small.cardinality("city")
+
+    def test_two_measures(self):
+        assert [m.name for m in ssb_schema().measures] == [
+            "revenue",
+            "supplycost",
+        ]

@@ -1,0 +1,46 @@
+"""The command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments.runner import EXPERIMENTS
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_requires_known_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "nonsense"])
+
+
+class TestList:
+    def test_lists_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out.splitlines()
+        assert sorted(out) == sorted(EXPERIMENTS)
+
+
+class TestRun:
+    def test_running_example_prints_tables(self, capsys):
+        assert main(["run", "running-example"]) == 0
+        out = capsys.readouterr().out
+        assert "Running example" in out
+        assert "$12.00" in out
+
+    def test_csv_dir_writes_files(self, tmp_path, capsys):
+        code = main(
+            ["run", "ablation-tiers", "--csv-dir", str(tmp_path)]
+        )
+        assert code == 0
+        assert (tmp_path / "ablation-tiers.csv").exists()
+
+    def test_small_rows_run_fast(self, capsys):
+        # A tiny dataset still regenerates table6 end to end.
+        assert main(["run", "table6", "--rows", "5000"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 6" in out

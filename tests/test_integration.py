@@ -1,0 +1,147 @@
+"""End-to-end integration: the full pipeline in both estimator modes.
+
+These tests walk the complete chain the way a user would — generate
+data, build the lattice, estimate, optimize, price — and cross-check
+the layers against each other (engine vs. estimator, optimizer vs.
+cost model identities).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    CloudCostModel,
+    CuboidLattice,
+    DeploymentSpec,
+    Executor,
+    Money,
+    PlanningEstimator,
+    SelectionProblem,
+    candidates_from_workload,
+    generate_sales,
+    mv1,
+    mv2,
+    mv3,
+    paper_sales_workload,
+    select_views,
+)
+from repro.pricing import BillingGranularity, aws_2012
+
+
+@pytest.fixture(scope="module")
+def world():
+    """A fully-empirical small world (row_scale == 1)."""
+    dataset = generate_sales(n_rows=15_000, seed=21)
+    deployment = DeploymentSpec(
+        provider=aws_2012(BillingGranularity.PER_SECOND),
+        instance_type="small",
+        n_instances=4,
+        runs_per_period=10.0,
+    )
+    workload = paper_sales_workload(dataset.schema, 5)
+    lattice = CuboidLattice(dataset.schema)
+    candidates = candidates_from_workload(lattice, workload)
+    estimator = PlanningEstimator(dataset, deployment, mode="empirical")
+    inputs = estimator.build(workload, candidates)
+    return dataset, inputs, SelectionProblem(inputs)
+
+
+class TestEmpiricalPipeline:
+    def test_view_sizes_match_executed_views(self, world):
+        dataset, inputs, _problem = world
+        executor = Executor(dataset)
+        for candidate in inputs.candidates:
+            physical = executor.materialize(candidate.grain).table.n_rows
+            assert inputs.view_stats[candidate.name].rows == physical
+
+    def test_selected_views_actually_answer_their_queries(self, world):
+        dataset, inputs, problem = world
+        result = select_views(problem, mv3(0.5), "greedy")
+        executor = Executor(dataset)
+        for query in inputs.workload:
+            source = inputs.best_source(query.name, result.selected_views)
+            if source is None:
+                continue
+            view_grain = inputs.view(source).grain
+            view = executor.materialize(view_grain).table
+            via_view = executor.answer(query, source=view)
+            direct = executor.answer(query)
+            assert via_view.table.n_rows == direct.table.n_rows
+            assert via_view.table.measure("profit").sum() == pytest.approx(
+                direct.table.measure("profit").sum()
+            )
+
+    def test_cost_identity_formula_1(self, world):
+        _dataset, inputs, problem = world
+        outcome = problem.evaluate(frozenset({"V1", "V2"}))
+        breakdown = outcome.breakdown
+        assert breakdown.total == (
+            breakdown.computing.total + breakdown.storage + breakdown.transfer
+        )
+
+    def test_scenarios_agree_on_direction(self, world):
+        # The empirical world is overhead-dominated (tiny physical
+        # data), so views barely move response time; the scenarios must
+        # still never make anything worse.
+        _dataset, _inputs, problem = world
+        baseline = problem.baseline()
+        generous_budget = select_views(
+            problem, mv1(baseline.total_cost + Money(50)), "greedy"
+        )
+        deadline_at_base = select_views(
+            problem, mv2(baseline.processing_hours), "greedy"
+        )
+        tradeoff = select_views(problem, mv3(0.5), "greedy")
+        for result in (generous_budget, deadline_at_base, tradeoff):
+            assert result.outcome.processing_hours <= baseline.processing_hours
+            assert (
+                result.scenario.key(result.outcome)
+                <= result.scenario.key(baseline)
+            )
+
+    def test_unreachable_deadline_is_reported_infeasible(self, world):
+        # With job overhead dominating, half the baseline response time
+        # is physically unreachable — the optimizer must say so rather
+        # than return a silently infeasible plan.
+        from repro import InfeasibleProblemError
+
+        _dataset, _inputs, problem = world
+        baseline = problem.baseline()
+        with pytest.raises(InfeasibleProblemError):
+            select_views(problem, mv2(baseline.processing_hours / 2), "greedy")
+
+    def test_plan_reprices_identically_through_model(self, world):
+        _dataset, inputs, problem = world
+        subset = frozenset({"V1"})
+        direct = CloudCostModel(inputs.deployment).evaluate(
+            inputs.plan_for(subset)
+        )
+        via_problem = problem.evaluate(subset).breakdown
+        assert direct.total == via_problem.total
+        assert direct.processing_hours == via_problem.processing_hours
+
+
+class TestCrossProviderPipeline:
+    def test_other_providers_run_the_same_problem(self):
+        from repro.pricing import archive_cloud, flat_cloud
+
+        dataset = generate_sales(n_rows=8_000, seed=2, target_gb=5.0)
+        workload = paper_sales_workload(dataset.schema, 3)
+        lattice = CuboidLattice(dataset.schema)
+        candidates = candidates_from_workload(lattice, workload)
+        totals = {}
+        for provider in (aws_2012(), flat_cloud(), archive_cloud()):
+            deployment = DeploymentSpec(
+                provider=provider,
+                instance_type="small",
+                n_instances=4,
+            )
+            inputs = PlanningEstimator(dataset, deployment).build(
+                workload, candidates
+            )
+            problem = SelectionProblem(inputs)
+            result = select_views(problem, mv3(0.5), "greedy")
+            totals[provider.name] = result.outcome.total_cost
+        # Different price books must give different bills.
+        assert len(set(totals.values())) > 1

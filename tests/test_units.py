@@ -1,0 +1,51 @@
+"""Unit conversions and the round-up-hours billing rule."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import units
+
+
+class TestConversions:
+    def test_paper_uses_binary_terabytes(self):
+        # Example 3 converts 0.5 TB to 512 GB.
+        assert units.tb_to_gb(0.5) == 512.0
+
+    def test_tb_gb_roundtrip(self):
+        assert units.gb_to_tb(units.tb_to_gb(3.25)) == pytest.approx(3.25)
+
+    def test_bytes_gb_roundtrip(self):
+        assert units.bytes_to_gb(units.gb_to_bytes(1.5)) == pytest.approx(1.5)
+
+    def test_seconds_hours_roundtrip(self):
+        assert units.hours_to_seconds(units.seconds_to_hours(7200)) == 7200
+
+    def test_hours_per_month_is_thirty_days(self):
+        assert units.HOURS_PER_MONTH == 720.0
+
+
+class TestRoundUpHours:
+    def test_exact_hours_are_not_rounded(self):
+        # Example 2: RoundUp(50) == 50.
+        assert units.round_up_hours(50.0) == 50
+
+    def test_every_started_hour_is_charged(self):
+        assert units.round_up_hours(50.01) == 51
+
+    def test_zero(self):
+        assert units.round_up_hours(0.0) == 0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            units.round_up_hours(-1.0)
+
+    @given(st.floats(min_value=0, max_value=1e6, allow_nan=False))
+    def test_roundup_bounds(self, hours):
+        rounded = units.round_up_hours(hours)
+        assert rounded >= hours
+        # At most one whole extra hour is charged (exactly one in the
+        # limit of an infinitesimal job, which bills a full hour).
+        assert rounded - hours <= 1.0

@@ -1,0 +1,98 @@
+"""Queries and workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.schema import ALL, sales_schema
+from repro.workload import AggregateQuery, Workload, cross_workload, paper_sales_workload
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return sales_schema()
+
+
+class TestAggregateQuery:
+    def test_per_constructor(self, schema):
+        q = AggregateQuery.per(
+            schema, "Q1", {"time": "year", "geography": "country"}
+        )
+        assert q.grain == ("year", "country")
+
+    def test_per_defaults_to_all(self, schema):
+        q = AggregateQuery.per(schema, "Q", {"time": "month"})
+        assert q.grain == ("month", ALL)
+
+    def test_describe(self, schema):
+        q = AggregateQuery.per(
+            schema, "Q1", {"time": "year", "geography": "country"}
+        )
+        assert q.describe(schema) == "profit per year, country"
+        apex = AggregateQuery("T", (ALL, ALL))
+        assert apex.describe(schema) == "total profit"
+
+    def test_validation(self, schema):
+        with pytest.raises(SchemaError):
+            AggregateQuery("", ("year", ALL))
+        with pytest.raises(SchemaError):
+            AggregateQuery("Q", ("year", ALL), frequency=0)
+
+
+class TestWorkload:
+    def test_needs_queries(self, schema):
+        with pytest.raises(SchemaError):
+            Workload(schema, [])
+
+    def test_duplicate_names_rejected(self, schema):
+        q = AggregateQuery("Q1", ("year", ALL))
+        with pytest.raises(SchemaError):
+            Workload(schema, [q, q])
+
+    def test_prefix(self, schema):
+        workload = paper_sales_workload(schema, 10)
+        assert len(workload.prefix(3)) == 3
+        assert list(workload.prefix(3))[0].name == "Q1"
+        with pytest.raises(SchemaError):
+            workload.prefix(0)
+        with pytest.raises(SchemaError):
+            workload.prefix(11)
+
+
+class TestPaperWorkload:
+    def test_q1_is_the_quoted_query(self, schema):
+        # Section 2.1: Q1 = "sales per year and country".
+        workload = paper_sales_workload(schema, 10)
+        assert workload.queries[0].grain == ("year", "country")
+
+    def test_sizes_are_prefixes(self, schema):
+        ten = paper_sales_workload(schema, 10)
+        three = paper_sales_workload(schema, 3)
+        assert tuple(q.name for q in three) == tuple(
+            q.name for q in ten.queries[:3]
+        )
+
+    def test_ten_distinct_grains(self, schema):
+        workload = paper_sales_workload(schema, 10)
+        grains = [q.grain for q in workload]
+        assert len(set(grains)) == 10
+
+    def test_covers_all_nine_level_combinations(self, schema):
+        # "per day, month, year and per country, department, region".
+        workload = paper_sales_workload(schema, 10)
+        crossed = {
+            q.grain
+            for q in workload
+            if ALL not in q.grain
+        }
+        assert len(crossed) == 9
+
+
+class TestCrossWorkload:
+    def test_excludes_apex(self, schema):
+        workload = cross_workload(schema)
+        assert (ALL, ALL) not in {q.grain for q in workload}
+
+    def test_size_is_lattice_minus_apex(self, schema):
+        assert len(cross_workload(schema)) == 16 - 1
