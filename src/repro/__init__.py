@@ -28,6 +28,8 @@ Package map:
 * :mod:`repro.costmodel` — Formulas 1-12
 * :mod:`repro.optimizer` — MV1/MV2/MV3, knapsack/greedy/exhaustive
 * :mod:`repro.experiments` — Figure 5, Tables 6-8, ablations, SSB
+* :mod:`repro.simulate` — warehouse lifecycle simulation: epochs,
+  drift events, incremental re-selection policies, cost ledgers
 """
 
 from .costmodel import (
@@ -65,8 +67,10 @@ from .money import Money, dollars
 from .optimizer import (
     BudgetLimit,
     ElasticChoice,
+    EvaluationStats,
     SelectionProblem,
     SelectionResult,
+    SubsetEvaluationCache,
     TimeLimit,
     Tradeoff,
     elastic_select,
@@ -87,6 +91,15 @@ from .pricing import (
     flat_cloud,
 )
 from .schema import ALL, StarSchema, sales_schema, ssb_schema
+from .simulate import (
+    EventTimeline,
+    LifecycleSimulator,
+    SimulationClock,
+    SimulationLedger,
+    WarehouseState,
+    drifting_sales_simulator,
+    make_policy,
+)
 from .workload import AggregateQuery, DimensionFilter, Workload, paper_sales_workload
 
 __version__ = "1.0.0"
@@ -111,11 +124,14 @@ __all__ = [
     "Dataset",
     "DeploymentSpec",
     "DimensionFilter",
+    "EvaluationStats",
+    "EventTimeline",
     "ExperimentConfig",
     "ExperimentContext",
     "Executor",
     "GrainTable",
     "InfeasibleProblemError",
+    "LifecycleSimulator",
     "Money",
     "OptimizationError",
     "PlanningEstimator",
@@ -126,25 +142,31 @@ __all__ = [
     "SchemaError",
     "SelectionProblem",
     "SelectionResult",
+    "SimulationClock",
+    "SimulationLedger",
     "StarSchema",
     "StorageTimeline",
+    "SubsetEvaluationCache",
     "TierMode",
     "TierSchedule",
     "TimeLimit",
     "Tradeoff",
     "ViewStats",
+    "WarehouseState",
     "Workload",
     "WorkloadPlan",
     "aws_2012",
     "aws_2012_marginal",
     "candidates_from_workload",
     "dollars",
+    "drifting_sales_simulator",
     "enumerate_candidates",
     "flat_cloud",
     "frontier_outcomes",
     "generate_sales",
     "generate_ssb",
     "hru_select",
+    "make_policy",
     "mv1",
     "mv2",
     "mv3",

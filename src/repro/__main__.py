@@ -1,0 +1,14 @@
+"""``python -m repro`` — the command-line entry point.
+
+Delegates to :func:`repro.cli.main`, so ``python -m repro simulate``
+and the installed ``repro-experiments`` script behave identically.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,8 +5,13 @@ Usage::
     repro-experiments list
     repro-experiments run figure5a [--csv-dir out/]
     repro-experiments all [--csv-dir out/]
+    repro-experiments simulate --epochs 24 --policy all
 
-(or ``python -m repro.cli ...``).
+(or ``python -m repro ...`` / ``python -m repro.cli ...``).
+
+``simulate`` steps the drifting-warehouse lifecycle scenario
+(:func:`repro.simulate.drifting_sales_simulator`) under one or all
+re-selection policies and prints each policy's cost ledger.
 """
 
 from __future__ import annotations
@@ -18,6 +23,8 @@ from typing import List, Optional
 from .errors import ReproError
 from .experiments.context import ExperimentConfig, ExperimentContext
 from .experiments.runner import EXPERIMENTS, run_all, run_experiment
+from .simulate.policy import POLICY_NAMES, make_policy
+from .simulate.presets import DRIFT_MIN_EPOCHS, drifting_sales_simulator
 
 __all__ = ["main", "build_parser"]
 
@@ -41,6 +48,66 @@ def build_parser() -> argparse.ArgumentParser:
 
     everything = sub.add_parser("all", help="run every experiment")
     _add_common(everything)
+
+    simulate = sub.add_parser(
+        "simulate",
+        help="run the drifting-warehouse lifecycle simulation",
+        description=(
+            "Step the Section 6 warehouse through a drifting lifecycle "
+            "(queries arriving/leaving, data growth, a provider price "
+            "change, a node loss) and compare re-selection policies."
+        ),
+    )
+    simulate.add_argument(
+        "--epochs",
+        type=int,
+        default=24,
+        help=(
+            "billing periods to simulate; the drifting scenario needs "
+            f">= {DRIFT_MIN_EPOCHS} (default %(default)s)"
+        ),
+    )
+    simulate.add_argument(
+        "--policy",
+        choices=(*POLICY_NAMES, "all"),
+        default="all",
+        help="re-selection policy to run (default %(default)s)",
+    )
+    simulate.add_argument(
+        "--period",
+        type=int,
+        default=4,
+        help="epochs between periodic re-selections (default %(default)s)",
+    )
+    simulate.add_argument(
+        "--threshold",
+        type=float,
+        default=0.05,
+        help="relative regret that triggers re-selection (default %(default)s)",
+    )
+    simulate.add_argument(
+        "--algorithm",
+        choices=("knapsack", "greedy", "exhaustive"),
+        default="greedy",
+        help="selection algorithm used by every policy (default %(default)s)",
+    )
+    simulate.add_argument(
+        "--rows",
+        type=int,
+        default=60_000,
+        help="physical fact rows to generate (default %(default)s)",
+    )
+    simulate.add_argument(
+        "--seed",
+        type=int,
+        default=42,
+        help="dataset RNG seed (default %(default)s)",
+    )
+    simulate.add_argument(
+        "--quiet",
+        action="store_true",
+        help="print only the per-policy summary lines",
+    )
 
     return parser
 
@@ -69,10 +136,43 @@ def _context(args: argparse.Namespace) -> ExperimentContext:
     )
 
 
+def _run_simulate(args: argparse.Namespace) -> int:
+    simulator = drifting_sales_simulator(
+        n_epochs=args.epochs, n_rows=args.rows, seed=args.seed
+    )
+    names = POLICY_NAMES if args.policy == "all" else (args.policy,)
+    policies = [
+        make_policy(
+            name,
+            algorithm=args.algorithm,
+            period=args.period,
+            threshold=args.threshold,
+        )
+        for name in names
+    ]
+    ledgers = simulator.compare(policies)
+    for ledger in ledgers.values():
+        if args.quiet:
+            print(ledger.summary())
+        else:
+            print(ledger.render())
+            print()
+    stats = simulator.builder.evaluation_stats()
+    print(
+        f"subset evaluations: {stats.calls} requested, "
+        f"{stats.priced} priced, {stats.hits} served from cache; "
+        f"{simulator.builder.queries_priced} queries priced across "
+        f"{simulator.builder.problems_cached} epoch problems"
+    )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     try:
+        if args.command == "simulate":
+            return _run_simulate(args)
         if args.command == "list":
             for experiment_id in sorted(EXPERIMENTS):
                 print(experiment_id)

@@ -10,7 +10,7 @@ Formula map:
 """
 
 from .computing import ComputingBreakdown, computing_cost, view_computing_cost
-from .estimator import PlanningEstimator, PlanningInputs
+from .estimator import PlanningEstimator, PlanningInputs, QueryPricing
 from .maintenance import MaintenancePolicy, maintenance_hours_per_cycle
 from .params import DeploymentSpec, StorageInterval, StorageTimeline
 from .storage import storage_cost, storage_cost_with_views
@@ -26,6 +26,7 @@ __all__ = [
     "maintenance_hours_per_cycle",
     "PlanningEstimator",
     "PlanningInputs",
+    "QueryPricing",
     "StorageInterval",
     "StorageTimeline",
     "WorkloadPlan",

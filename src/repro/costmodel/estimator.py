@@ -21,6 +21,14 @@ deployment, in one of two modes:
 every optimizer: which view answers each query best, total processing
 time for a subset, and the :class:`~repro.costmodel.total.WorkloadPlan`
 a subset induces.
+
+The estimator's two pricing primitives are public so incremental
+callers (the lifecycle simulator's epoch builder) can reuse priced
+pieces instead of rebuilding whole worlds: :meth:`~PlanningEstimator.
+view_statistics` prices a candidate catalogue once per (dataset,
+deployment), and :meth:`~PlanningEstimator.price_query` prices one
+query against those statistics.  :meth:`~PlanningEstimator.build` is
+the batch composition of the two.
 """
 
 from __future__ import annotations
@@ -40,7 +48,22 @@ from .maintenance import maintenance_hours_per_cycle
 from .params import DeploymentSpec, StorageTimeline
 from .total import WorkloadPlan
 
-__all__ = ["PlanningInputs", "PlanningEstimator"]
+__all__ = ["PlanningInputs", "PlanningEstimator", "QueryPricing"]
+
+
+@dataclass(frozen=True)
+class QueryPricing:
+    """One query's priced summary: base time, result size, view times.
+
+    ``view_hours`` maps each candidate view name that can answer the
+    query to its ``t_iV``.  Frequency-independent: frequencies are
+    applied when a :class:`~repro.costmodel.total.WorkloadPlan` is
+    built, so one pricing serves a query at any weight.
+    """
+
+    base_hours: float
+    result_gb: float
+    view_hours: Mapping[str, float]
 
 
 @dataclass(frozen=True)
@@ -152,6 +175,26 @@ class PlanningInputs:
         """Section 3's no-views plan."""
         return self.plan_for(frozenset())
 
+    def fingerprint(self) -> Tuple:
+        """A hashable identity of this numeric world.
+
+        Two inputs with equal fingerprints price every subset
+        identically, so their :class:`SelectionOutcome`\\ s can be shared
+        through a cross-problem cache (see
+        :class:`repro.optimizer.SubsetEvaluationCache`).
+        """
+        return (
+            self.workload.fingerprint(),
+            self.candidates,
+            tuple(sorted(self.view_stats.items())),
+            tuple(sorted(self.base_query_hours.items())),
+            tuple(sorted(self.view_query_hours.items())),
+            tuple(sorted(self.result_sizes_gb.items())),
+            self.dataset_gb,
+            self.deployment.fingerprint(),
+            self.base_timeline.fingerprint(),
+        )
+
 
 class PlanningEstimator:
     """Builds :class:`PlanningInputs` from a dataset and deployment."""
@@ -218,20 +261,21 @@ class PlanningEstimator:
         space = max(1.0, grain_space(schema, query.grain) * selectivity)
         return expected_distinct(logical_rows * selectivity, space)
 
-    # -- the build ------------------------------------------------------
+    # -- pricing primitives --------------------------------------------
 
-    def build(
-        self,
-        workload: Workload,
-        candidates: Sequence[CandidateView],
-    ) -> PlanningInputs:
-        """Compute the optimizer inputs for a workload and candidate set."""
+    def view_statistics(
+        self, candidates: Sequence[CandidateView]
+    ) -> Dict[str, ViewStats]:
+        """Per-view planning statistics for a candidate catalogue.
+
+        Materialization scans the dataset and writes the view out (the
+        write amplification factor); maintenance is one incremental job
+        per cycle over the delta.  Depends only on (dataset,
+        deployment), so incremental callers compute it once and reuse
+        it across workloads.
+        """
         dep = self._deployment
         dataset_gb = self._dataset.logical_size_gb
-
-        # Per-view statistics.  Materialization scans the dataset and
-        # writes the view out (the write amplification factor);
-        # maintenance is one incremental job per cycle over the delta.
         view_stats: Dict[str, ViewStats] = {}
         for view in candidates:
             rows = self._group_count(view.grain)
@@ -254,28 +298,63 @@ class PlanningEstimator:
                 materialization_hours=materialization,
                 maintenance_hours_per_cycle=maintenance,
             )
+        return view_stats
 
-        # Per-query times and result sizes.
+    def price_query(
+        self, query, view_stats: Mapping[str, ViewStats]
+    ) -> QueryPricing:
+        """Price one query: base time, result size, per-view times.
+
+        ``view_stats`` is the catalogue to price against (from
+        :meth:`view_statistics`).  Independent of the query's
+        frequency, so a re-weighted query needs no re-pricing.
+        """
+        dep = self._deployment
+        dataset_gb = self._dataset.logical_size_gb
+        schema = self._dataset.schema
+        groups = self._query_group_count(query)
+        base_hours = dep.job_hours(dataset_gb, groups)
+        view_hours: Dict[str, float] = {}
+        for stats in view_stats.values():
+            if not query.answerable_from(schema, stats.view.grain):
+                continue
+            hours = dep.job_hours(stats.size_gb, groups)
+            if dep.view_speedup_cap is not None:
+                hours = max(hours, base_hours / dep.view_speedup_cap)
+            view_hours[stats.view.name] = hours
+        return QueryPricing(
+            base_hours=base_hours,
+            result_gb=self._grain_gb(query.grain, groups),
+            view_hours=view_hours,
+        )
+
+    # -- the build ------------------------------------------------------
+
+    def assemble(
+        self,
+        workload: Workload,
+        candidates: Sequence[CandidateView],
+        view_stats: Mapping[str, ViewStats],
+        pricing_for,
+    ) -> PlanningInputs:
+        """Assemble :class:`PlanningInputs` from per-query pricings.
+
+        ``pricing_for(query) -> QueryPricing`` supplies each query's
+        numbers — :meth:`price_query` for the batch path, a memoized
+        wrapper for incremental callers.  Keeping the assembly in one
+        place guarantees both paths construct the identical world.
+        """
+        dep = self._deployment
+        dataset_gb = self._dataset.logical_size_gb
         base_hours: Dict[str, float] = {}
         result_sizes: Dict[str, float] = {}
         view_hours: Dict[Tuple[str, str], float] = {}
-        schema = self._dataset.schema
         for query in workload:
-            groups = self._query_group_count(query)
-            base_hours[query.name] = dep.job_hours(dataset_gb, groups)
-            result_sizes[query.name] = self._grain_gb(query.grain, groups)
-            for view in candidates:
-                if not query.answerable_from(schema, view.grain):
-                    continue
-                stats = view_stats[view.name]
-                hours = dep.job_hours(stats.size_gb, groups)
-                if dep.view_speedup_cap is not None:
-                    hours = max(
-                        hours, base_hours[query.name] / dep.view_speedup_cap
-                    )
-                view_hours[(query.name, view.name)] = hours
-
-        timeline = StorageTimeline(dataset_gb, dep.storage_months)
+            pricing = pricing_for(query)
+            base_hours[query.name] = pricing.base_hours
+            result_sizes[query.name] = pricing.result_gb
+            for view_name, hours in pricing.view_hours.items():
+                view_hours[(query.name, view_name)] = hours
         return PlanningInputs(
             workload=workload,
             candidates=tuple(candidates),
@@ -285,5 +364,19 @@ class PlanningEstimator:
             result_sizes_gb=result_sizes,
             dataset_gb=dataset_gb,
             deployment=dep,
-            base_timeline=timeline,
+            base_timeline=StorageTimeline(dataset_gb, dep.storage_months),
+        )
+
+    def build(
+        self,
+        workload: Workload,
+        candidates: Sequence[CandidateView],
+    ) -> PlanningInputs:
+        """Compute the optimizer inputs for a workload and candidate set."""
+        view_stats = self.view_statistics(candidates)
+        return self.assemble(
+            workload,
+            candidates,
+            view_stats,
+            lambda query: self.price_query(query, view_stats),
         )

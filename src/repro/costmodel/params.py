@@ -101,6 +101,29 @@ class DeploymentSpec:
         """ECU of the chosen instance type."""
         return self.provider.compute.instance(self.instance_type).compute_units
 
+    def fingerprint(self) -> Tuple:
+        """A hashable identity for cross-problem caching.
+
+        Two deployments with equal fingerprints price every plan
+        identically.  The provider contributes its full value
+        fingerprint (every rate, tier and billing rule), so same-named
+        price books with different contents never collide.
+        """
+        return (
+            self.provider.fingerprint(),
+            self.instance_type,
+            self.n_instances,
+            self.timing,
+            self.storage_months,
+            self.maintenance_cycles,
+            self.update_fraction_per_cycle,
+            self.runs_per_period,
+            self.materialization_write_factor,
+            self.view_speedup_cap,
+            self.maintenance_policy.value,
+            self.cascade_materialization,
+        )
+
     def job_hours(self, input_gb: float, groups_out: float) -> float:
         """Hours one aggregation job takes on this deployment."""
         return self.timing.job_hours(
@@ -192,6 +215,10 @@ class StorageTimeline:
     def final_volume_gb(self) -> float:
         """Volume stored at the end of the horizon."""
         return self._initial + sum(gb for _, gb in self._inserts)
+
+    def fingerprint(self) -> Tuple:
+        """Hashable identity (initial volume, horizon, insert events)."""
+        return (self._initial, self._horizon, tuple(self._inserts))
 
     def with_extra_volume(self, extra_gb: float) -> "StorageTimeline":
         """A timeline with ``extra_gb`` stored for the whole horizon.

@@ -20,6 +20,7 @@ __all__ = [
     "OptimizationError",
     "InfeasibleProblemError",
     "ExperimentError",
+    "SimulationError",
 ]
 
 
@@ -71,3 +72,12 @@ class InfeasibleProblemError(OptimizationError):
 
 class ExperimentError(ReproError):
     """An experiment was configured with unknown ids or parameters."""
+
+
+class SimulationError(ReproError):
+    """A lifecycle simulation was configured inconsistently.
+
+    Raised for empty clocks, events scheduled past the horizon, unknown
+    re-selection policies, or event parameters that cannot be applied
+    to the warehouse state.
+    """

@@ -5,7 +5,12 @@ from .exhaustive import exhaustive_select, iterate_subsets
 from .greedy import greedy_select
 from .knapsack import KnapsackSolution, max_value_knapsack, min_weight_cover
 from .pareto import dominates, frontier_outcomes, pareto_frontier
-from .problem import SelectionOutcome, SelectionProblem
+from .problem import (
+    EvaluationStats,
+    SelectionOutcome,
+    SelectionProblem,
+    SubsetEvaluationCache,
+)
 from .scenarios import BudgetLimit, Scenario, TimeLimit, Tradeoff, mv1, mv2, mv3
 from .selector import ALGORITHMS, SelectionResult, select_views
 
@@ -13,7 +18,9 @@ __all__ = [
     "ALGORITHMS",
     "BudgetLimit",
     "ElasticChoice",
+    "EvaluationStats",
     "KnapsackSolution",
+    "SubsetEvaluationCache",
     "elastic_select",
     "scale_out_only",
     "Scenario",

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List
+from typing import Dict, FrozenSet, List, Optional
 
 from ..errors import InfeasibleProblemError, OptimizationError
 from .exhaustive import exhaustive_select
@@ -98,12 +98,21 @@ class SelectionResult:
 
 
 def _independent_marginals(problem: SelectionProblem):
-    """Per-view (weight cents, saving hours), each priced standalone."""
+    """Per-view (weight cents, saving hours), each priced standalone.
+
+    Evaluates the baseline once and each singleton once (n + 1
+    evaluations total) instead of routing through the per-view marginal
+    helpers, which would re-request both outcomes per quantity.
+    """
+    baseline = problem.baseline()
+    base_cost = baseline.total_cost
+    base_hours = baseline.processing_hours
     weights: Dict[str, int] = {}
     savings: Dict[str, float] = {}
     for name in problem.candidate_names:
-        weights[name] = problem.marginal_cost(name).to_cents()
-        savings[name] = max(0.0, problem.marginal_saving_hours(name))
+        single = problem.singleton(name)
+        weights[name] = (single.total_cost - base_cost).to_cents()
+        savings[name] = max(0.0, base_hours - single.processing_hours)
     return weights, savings
 
 
@@ -179,20 +188,23 @@ def _knapsack_mv2(
     outcome = problem.evaluate(frozenset(chosen))
     # Interactions may leave the deadline missed: add fastest views.
     while not scenario.feasible(outcome):
-        best_name = None
-        best_hours = outcome.processing_hours
+        best_trial: Optional[SelectionOutcome] = None
         for name in problem.candidate_names:
             if name in outcome.subset:
                 continue
             trial = problem.evaluate(outcome.subset | {name})
-            if trial.processing_hours < best_hours:
-                best_hours = trial.processing_hours
-                best_name = name
-        if best_name is None:
+            current_best = (
+                best_trial.processing_hours
+                if best_trial is not None
+                else outcome.processing_hours
+            )
+            if trial.processing_hours < current_best:
+                best_trial = trial
+        if best_trial is None:
             raise InfeasibleProblemError(
                 f"repair could not reach {scenario.describe()}"
             )
-        outcome = problem.evaluate(outcome.subset | {best_name})
+        outcome = best_trial  # already priced; no re-evaluation needed
     return outcome
 
 

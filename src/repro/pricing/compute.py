@@ -116,6 +116,13 @@ class ComputePricing:
         """A copy of this price list under a different billing rule."""
         return ComputePricing(self._types.values(), granularity)
 
+    def fingerprint(self) -> tuple:
+        """Hashable value identity: equal fingerprints bill identically."""
+        return (
+            self._granularity.value,
+            tuple(self._types[name] for name in sorted(self._types)),
+        )
+
     def instance(self, name: str) -> InstanceType:
         """Look up an instance type, raising ``PricingError`` if unknown."""
         try:

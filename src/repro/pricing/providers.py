@@ -46,6 +46,21 @@ class Provider:
     storage: StoragePricing
     transfer: TransferPricing
 
+    def fingerprint(self) -> tuple:
+        """Hashable *value* identity of the whole price book.
+
+        Two providers fingerprint equal exactly when every rate, tier
+        and billing rule agrees — the name alone is not trusted, so
+        ``aws_2012(PER_HOUR)`` and ``aws_2012(PER_SECOND)`` (same name,
+        different compute billing) never share cached pricings.
+        """
+        return (
+            self.name,
+            self.compute.fingerprint(),
+            self.storage.fingerprint(),
+            self.transfer.fingerprint(),
+        )
+
 
 def _aws_compute(granularity: BillingGranularity) -> ComputePricing:
     """The paper's Table 2 (EC2 on-demand, early 2012).

@@ -38,6 +38,10 @@ class StoragePricing:
         """The underlying tier schedule (rates are per GB-month)."""
         return self._schedule
 
+    def fingerprint(self) -> tuple:
+        """Hashable value identity: equal fingerprints bill identically."""
+        return self._schedule.fingerprint()
+
     def monthly_cost(self, volume_gb: float) -> Money:
         """Cost of holding ``volume_gb`` for one month."""
         return self._schedule.cost(volume_gb)

@@ -132,6 +132,10 @@ class TierSchedule:
         """The billing semantics of this schedule."""
         return self._mode
 
+    def fingerprint(self) -> tuple:
+        """Hashable value identity: equal fingerprints bill identically."""
+        return (self._mode.value, self._tiers)
+
     def with_mode(self, mode: TierMode) -> "TierSchedule":
         """A copy of this schedule under a different semantics."""
         return TierSchedule(self._tiers, mode)

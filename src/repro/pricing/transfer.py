@@ -54,6 +54,13 @@ class TransferPricing:
         """Whether this provider charges nothing for ingress."""
         return self._inbound is None
 
+    def fingerprint(self) -> tuple:
+        """Hashable value identity: equal fingerprints bill identically."""
+        return (
+            self._outbound.fingerprint(),
+            self._inbound.fingerprint() if self._inbound else None,
+        )
+
     def outbound_cost(self, volume_gb: float) -> Money:
         """Cost of sending ``volume_gb`` out of the cloud.
 

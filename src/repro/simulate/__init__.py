@@ -1,0 +1,82 @@
+"""Online warehouse lifecycle simulation with incremental re-selection.
+
+The paper prices materialized views for a static workload at one
+planning instant.  This package runs the same machinery *through
+time*: a :class:`SimulationClock` steps epochs (billing periods), an
+:class:`EventTimeline` applies drift (queries arriving/leaving/
+re-weighting, data growth, provider repricing, fleet changes), and a
+re-selection policy (``never`` / ``periodic`` / ``regret``) decides
+each epoch whether the materialized set is kept or rebuilt — with
+build and teardown charged through the existing cost model and every
+epoch recorded in a :class:`SimulationLedger`.
+
+Fast multi-epoch x multi-policy sweeps come from two caches: the
+cross-problem :class:`~repro.optimizer.problem.SubsetEvaluationCache`
+(epochs whose world did not change never re-price a subset) and the
+:class:`EpochProblemBuilder`'s incremental per-query pricing (drift
+that adds one query prices one query).
+
+Quick start (see ``examples/lifecycle_simulation.py``)::
+
+    from repro.simulate import drifting_sales_simulator, make_policy
+
+    sim = drifting_sales_simulator(n_epochs=24)
+    ledgers = sim.compare([make_policy(n) for n in ("never", "regret")])
+    for ledger in ledgers.values():
+        print(ledger.summary())
+"""
+
+from .clock import Epoch, SimulationClock
+from .events import (
+    AddQueries,
+    DropQueries,
+    EventTimeline,
+    FleetChange,
+    GrowFactTable,
+    PriceChange,
+    ReweightQueries,
+    SimulationEvent,
+)
+from .ledger import EpochRecord, SimulationLedger
+from .policy import (
+    POLICY_NAMES,
+    NeverReselect,
+    PeriodicReselect,
+    PolicyDecision,
+    RegretTriggered,
+    ReselectionPolicy,
+    make_policy,
+)
+from .presets import DRIFT_MIN_EPOCHS, drifting_sales_simulator, sales_deployment
+from .problems import EpochProblemBuilder
+from .simulator import LifecycleSimulator, full_catalogue
+from .state import WarehouseState
+
+__all__ = [
+    "AddQueries",
+    "DRIFT_MIN_EPOCHS",
+    "DropQueries",
+    "Epoch",
+    "EpochProblemBuilder",
+    "EpochRecord",
+    "EventTimeline",
+    "FleetChange",
+    "GrowFactTable",
+    "LifecycleSimulator",
+    "NeverReselect",
+    "POLICY_NAMES",
+    "PeriodicReselect",
+    "PolicyDecision",
+    "PriceChange",
+    "RegretTriggered",
+    "ReselectionPolicy",
+    "ReweightQueries",
+    "SimulationClock",
+    "SimulationEvent",
+    "SimulationLedger",
+    "WarehouseState",
+    "drifting_sales_simulator",
+    "full_catalogue",
+    "make_policy",
+    "sales_deployment",
+]

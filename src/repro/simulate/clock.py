@@ -1,0 +1,85 @@
+"""Discrete simulation time: epochs over a billing horizon.
+
+The paper prices one billing period at one planning instant.  The
+simulator strings such periods together: a :class:`SimulationClock`
+divides the horizon into equal :class:`Epoch`\\ s, each one billing
+period long (one month by default — the granularity every cost formula
+already speaks: storage months, maintenance cycles per period, runs
+per period).  Events fire at epoch boundaries; selection decisions are
+taken once per epoch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..errors import SimulationError
+
+__all__ = ["Epoch", "SimulationClock"]
+
+
+@dataclass(frozen=True)
+class Epoch:
+    """One step of simulated time: a billing period with an index."""
+
+    index: int
+    start_month: float
+    months: float
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise SimulationError("epoch indexes start at 0")
+        if self.months <= 0:
+            raise SimulationError("an epoch must have positive duration")
+
+    @property
+    def end_month(self) -> float:
+        """The month this epoch ends (exclusive)."""
+        return self.start_month + self.months
+
+
+class SimulationClock:
+    """Equal-length epochs covering ``[0, n_epochs x months_per_epoch)``."""
+
+    def __init__(self, n_epochs: int, months_per_epoch: float = 1.0) -> None:
+        if n_epochs < 1:
+            raise SimulationError(
+                f"a simulation needs at least one epoch, got {n_epochs}"
+            )
+        if months_per_epoch <= 0:
+            raise SimulationError("months_per_epoch must be positive")
+        self._n_epochs = int(n_epochs)
+        self._months = float(months_per_epoch)
+
+    @property
+    def n_epochs(self) -> int:
+        """How many epochs the simulation runs."""
+        return self._n_epochs
+
+    @property
+    def months_per_epoch(self) -> float:
+        """Duration of one epoch, in months."""
+        return self._months
+
+    @property
+    def horizon_months(self) -> float:
+        """Total simulated time."""
+        return self._n_epochs * self._months
+
+    def __len__(self) -> int:
+        return self._n_epochs
+
+    def __iter__(self) -> Iterator[Epoch]:
+        for index in range(self._n_epochs):
+            yield Epoch(
+                index=index,
+                start_month=index * self._months,
+                months=self._months,
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulationClock(n_epochs={self._n_epochs}, "
+            f"months_per_epoch={self._months})"
+        )

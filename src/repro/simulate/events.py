@@ -1,0 +1,232 @@
+"""Lifecycle events: what changes between epochs.
+
+Each event names the epoch it fires at (events fire at the *start* of
+their epoch, before that epoch's selection decision) and transforms a
+:class:`~repro.simulate.state.WarehouseState` into the next one:
+
+* workload drift — :class:`AddQueries`, :class:`DropQueries`,
+  :class:`ReweightQueries`;
+* data dynamics — :class:`GrowFactTable` (logical growth or purge);
+* market dynamics — :class:`PriceChange` (a new provider price book);
+* capacity dynamics — :class:`FleetChange` (scale out/in, node loss).
+
+An :class:`EventTimeline` holds a simulation's full schedule and hands
+the simulator each epoch's events in a deterministic order (schedule
+order within an epoch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from ..errors import SchemaError, SimulationError
+from ..pricing.providers import Provider
+from ..workload.query import AggregateQuery
+from .state import WarehouseState
+
+__all__ = [
+    "SimulationEvent",
+    "AddQueries",
+    "DropQueries",
+    "ReweightQueries",
+    "GrowFactTable",
+    "PriceChange",
+    "FleetChange",
+    "EventTimeline",
+]
+
+
+@dataclass(frozen=True)
+class SimulationEvent:
+    """Base event: fires at the start of ``epoch``."""
+
+    epoch: int
+
+    def __post_init__(self) -> None:
+        if self.epoch < 0:
+            raise SimulationError(
+                f"events fire at epoch >= 0, got {self.epoch}"
+            )
+
+    def apply(self, state: WarehouseState) -> WarehouseState:
+        """The state after this event."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Short human-readable form for ledgers and logs."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class AddQueries(SimulationEvent):
+    """New queries join the workload."""
+
+    queries: Tuple[AggregateQuery, ...] = ()
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.queries:
+            raise SimulationError("AddQueries needs at least one query")
+
+    def apply(self, state: WarehouseState) -> WarehouseState:
+        try:
+            return state.with_workload(
+                state.workload.with_queries(self.queries)
+            )
+        except SchemaError as error:
+            raise SimulationError(
+                f"epoch {self.epoch}: cannot add queries: {error}"
+            ) from error
+
+    def describe(self) -> str:
+        names = ", ".join(q.name for q in self.queries)
+        return f"+queries[{names}]"
+
+
+@dataclass(frozen=True)
+class DropQueries(SimulationEvent):
+    """Queries leave the workload."""
+
+    names: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.names:
+            raise SimulationError("DropQueries needs at least one name")
+
+    def apply(self, state: WarehouseState) -> WarehouseState:
+        try:
+            return state.with_workload(state.workload.without(self.names))
+        except SchemaError as error:
+            raise SimulationError(
+                f"epoch {self.epoch}: cannot drop queries: {error}"
+            ) from error
+
+    def describe(self) -> str:
+        return f"-queries[{', '.join(self.names)}]"
+
+
+@dataclass(frozen=True)
+class ReweightQueries(SimulationEvent):
+    """Query frequencies shift (hot queries get hotter, cold colder)."""
+
+    frequencies: Tuple[Tuple[str, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.frequencies:
+            raise SimulationError(
+                "ReweightQueries needs at least one (name, frequency)"
+            )
+        names = [name for name, _ in self.frequencies]
+        if len(set(names)) != len(names):
+            raise SimulationError(
+                "ReweightQueries lists a query more than once; a "
+                "duplicate would silently shadow the earlier weight"
+            )
+
+    def apply(self, state: WarehouseState) -> WarehouseState:
+        try:
+            return state.with_workload(
+                state.workload.reweighted(dict(self.frequencies))
+            )
+        except SchemaError as error:
+            raise SimulationError(
+                f"epoch {self.epoch}: cannot reweight queries: {error}"
+            ) from error
+
+    def describe(self) -> str:
+        parts = ", ".join(f"{n}x{f:g}" for n, f in self.frequencies)
+        return f"~freq[{parts}]"
+
+
+@dataclass(frozen=True)
+class GrowFactTable(SimulationEvent):
+    """The fact table grows (or shrinks) by a logical factor."""
+
+    factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.factor <= 0:
+            raise SimulationError(
+                f"growth factor must be positive, got {self.factor}"
+            )
+
+    def apply(self, state: WarehouseState) -> WarehouseState:
+        return state.grown(self.factor)
+
+    def describe(self) -> str:
+        return f"data x{self.factor:g}"
+
+
+@dataclass(frozen=True)
+class PriceChange(SimulationEvent):
+    """The warehouse moves to (or is repriced under) a new price book."""
+
+    provider: Provider = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.provider is None:
+            raise SimulationError("PriceChange needs a provider")
+
+    def apply(self, state: WarehouseState) -> WarehouseState:
+        return state.with_provider(self.provider)
+
+    def describe(self) -> str:
+        return f"prices->{self.provider.name}"
+
+
+@dataclass(frozen=True)
+class FleetChange(SimulationEvent):
+    """The instance fleet is resized (scale event or node failure)."""
+
+    n_instances: int = 0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.n_instances < 1:
+            raise SimulationError(
+                f"the fleet needs at least one instance, got {self.n_instances}"
+            )
+
+    def apply(self, state: WarehouseState) -> WarehouseState:
+        return state.with_fleet(self.n_instances)
+
+    def describe(self) -> str:
+        return f"fleet->{self.n_instances}"
+
+
+class EventTimeline:
+    """A simulation's full event schedule, grouped per epoch."""
+
+    def __init__(self, events: Sequence[SimulationEvent] = ()) -> None:
+        self._by_epoch: Dict[int, List[SimulationEvent]] = {}
+        self._events: Tuple[SimulationEvent, ...] = tuple(events)
+        for event in self._events:
+            self._by_epoch.setdefault(event.epoch, []).append(event)
+
+    def at(self, epoch: int) -> Tuple[SimulationEvent, ...]:
+        """The events firing at the start of ``epoch`` (schedule order)."""
+        return tuple(self._by_epoch.get(epoch, ()))
+
+    @property
+    def last_epoch(self) -> int:
+        """The latest epoch any event fires at (-1 when empty)."""
+        return max(self._by_epoch, default=-1)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[SimulationEvent]:
+        return iter(self._events)
+
+    def check_within(self, n_epochs: int) -> None:
+        """Fail fast if any event is scheduled past the clock's horizon."""
+        if self.last_epoch >= n_epochs:
+            raise SimulationError(
+                f"event scheduled at epoch {self.last_epoch} but the clock "
+                f"only runs {n_epochs} epochs"
+            )

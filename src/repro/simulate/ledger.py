@@ -1,0 +1,171 @@
+"""The simulation ledger: per-epoch charges and lifetime totals.
+
+Each epoch produces one :class:`EpochRecord` splitting the bill the
+way an operator would read it:
+
+* ``operating_cost`` — steady-state charges: query processing at the
+  epoch's frequencies, view maintenance, storage (base + views),
+  result egress;
+* ``build_cost`` — materialization compute for views (re)built this
+  epoch (carried views are *not* re-charged — that is the difference
+  between a lifecycle ledger and the paper's single-shot bill);
+* ``teardown_cost`` — egress of dropped views (the view is exported /
+  archived out of the warehouse on decommission).
+
+A :class:`SimulationLedger` accumulates the records for one policy and
+answers the comparison questions (total cost, hours, churn).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from ..errors import SimulationError
+from ..money import Money, ZERO
+
+__all__ = ["EpochRecord", "SimulationLedger"]
+
+
+@dataclass(frozen=True)
+class EpochRecord:
+    """One epoch's full accounting."""
+
+    epoch: int
+    subset: Tuple[str, ...]
+    operating_cost: Money
+    build_cost: Money
+    teardown_cost: Money
+    processing_hours: float
+    views_built: Tuple[str, ...]
+    views_dropped: Tuple[str, ...]
+    reoptimized: bool
+    regret: float
+    events: Tuple[str, ...]
+
+    @property
+    def total_cost(self) -> Money:
+        """Everything this epoch cost: operating + build + teardown."""
+        return self.operating_cost + self.build_cost + self.teardown_cost
+
+    @property
+    def churn(self) -> int:
+        """Views touched by the epoch's decision (built + dropped)."""
+        return len(self.views_built) + len(self.views_dropped)
+
+    def describe(self) -> str:
+        """One ledger line."""
+        views = ",".join(self.subset) if self.subset else "-"
+        marks = []
+        if self.views_built:
+            marks.append("+" + ",".join(self.views_built))
+        if self.views_dropped:
+            marks.append("-" + ",".join(self.views_dropped))
+        change = " ".join(marks) if marks else ""
+        events = "; ".join(self.events) if self.events else ""
+        return (
+            f"e{self.epoch:>3}  C={self.total_cost}  "
+            f"T={self.processing_hours:.3f}h  [{views}] {change}"
+            + (f"  <{events}>" if events else "")
+        )
+
+
+class SimulationLedger:
+    """The per-epoch cost history of one policy's run."""
+
+    def __init__(self, policy_name: str) -> None:
+        self._policy = policy_name
+        self._records: List[EpochRecord] = []
+
+    def append(self, record: EpochRecord) -> None:
+        """Record the next epoch (indexes must arrive in order)."""
+        if self._records and record.epoch <= self._records[-1].epoch:
+            raise SimulationError(
+                f"epoch {record.epoch} recorded after "
+                f"epoch {self._records[-1].epoch}"
+            )
+        self._records.append(record)
+
+    # -- access ---------------------------------------------------------
+
+    @property
+    def policy_name(self) -> str:
+        """The policy that produced this history."""
+        return self._policy
+
+    @property
+    def records(self) -> Tuple[EpochRecord, ...]:
+        """Every epoch's record, in order."""
+        return tuple(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[EpochRecord]:
+        return iter(self._records)
+
+    # -- totals ---------------------------------------------------------
+
+    @property
+    def total_cost(self) -> Money:
+        """The lifetime bill."""
+        return sum((r.total_cost for r in self._records), ZERO)
+
+    @property
+    def total_operating_cost(self) -> Money:
+        """Lifetime steady-state charges."""
+        return sum((r.operating_cost for r in self._records), ZERO)
+
+    @property
+    def total_build_cost(self) -> Money:
+        """Lifetime materialization charges."""
+        return sum((r.build_cost for r in self._records), ZERO)
+
+    @property
+    def total_teardown_cost(self) -> Money:
+        """Lifetime decommission charges."""
+        return sum((r.teardown_cost for r in self._records), ZERO)
+
+    @property
+    def total_hours(self) -> float:
+        """Lifetime workload processing hours (response-time metric)."""
+        return sum(r.processing_hours for r in self._records)
+
+    @property
+    def rebuild_count(self) -> int:
+        """Views (re)built over the lifetime, initial builds included."""
+        return sum(len(r.views_built) for r in self._records)
+
+    @property
+    def teardown_count(self) -> int:
+        """Views decommissioned over the lifetime."""
+        return sum(len(r.views_dropped) for r in self._records)
+
+    @property
+    def reoptimization_count(self) -> int:
+        """How many epochs re-ran the optimizer."""
+        return sum(1 for r in self._records if r.reoptimized)
+
+    @property
+    def churn(self) -> int:
+        """Total views built + dropped."""
+        return self.rebuild_count + self.teardown_count
+
+    # -- display --------------------------------------------------------
+
+    def summary(self) -> str:
+        """One comparison line: the acceptance metrics."""
+        return (
+            f"{self._policy:<18} total={self.total_cost}  "
+            f"hours={self.total_hours:.2f}  "
+            f"rebuilds={self.rebuild_count}  "
+            f"teardowns={self.teardown_count}  "
+            f"reoptimizations={self.reoptimization_count}"
+        )
+
+    def render(self) -> str:
+        """The full per-epoch ledger as text."""
+        lines = [f"policy: {self._policy}"]
+        lines += [r.describe() for r in self._records]
+        lines.append(self.summary())
+        return "\n".join(lines)

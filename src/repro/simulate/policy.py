@@ -1,0 +1,237 @@
+"""Re-selection policies: when does the warehouse revisit its views?
+
+The paper selects views once.  Over a lifecycle, that single selection
+decays as the workload drifts and prices move; the policies here are
+three answers to "when do we re-run the optimizer":
+
+* ``never`` — select at epoch 0, keep the set forever.  The paper's
+  static regime extended in time; the control arm.
+* ``periodic`` — re-select every ``period`` epochs, changed world or
+  not.  Simple, predictable, pays churn on a schedule.
+* ``regret`` — re-select only when keeping the current set would cost
+  measurably more than the current optimum (relative regret above a
+  threshold).  Computing the regret requires optimizing every epoch,
+  which is exactly what the shared subset-evaluation cache makes
+  cheap: on an unchanged epoch the whole optimizer run is cache hits.
+
+Policies choose *what to materialize*; the simulator charges the
+build/teardown consequences of their decisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional
+
+from ..errors import SimulationError
+from ..optimizer.problem import SelectionProblem
+from ..optimizer.scenarios import Scenario, Tradeoff
+from ..optimizer.selector import select_views
+
+__all__ = [
+    "PolicyDecision",
+    "ReselectionPolicy",
+    "NeverReselect",
+    "PeriodicReselect",
+    "RegretTriggered",
+    "POLICY_NAMES",
+    "make_policy",
+]
+
+#: Registry keys accepted by :func:`make_policy` (and the CLI).
+POLICY_NAMES = ("never", "periodic", "regret")
+
+
+@dataclass(frozen=True)
+class PolicyDecision:
+    """One epoch's answer: the subset to hold, and why."""
+
+    subset: FrozenSet[str]
+    #: Whether the optimizer was re-run (vs. keeping the previous set).
+    reoptimized: bool
+    #: Relative regret measured *before* the decision (regret policy
+    #: only; 0.0 where not computed).
+    regret: float = 0.0
+
+
+class ReselectionPolicy:
+    """Base policy: owns the scenario and algorithm used to (re)select.
+
+    The default scenario is the pure cost minimizer — ``Tradeoff`` with
+    ``alpha=0`` — because a lifecycle ledger's natural objective is the
+    cumulative bill; it is always feasible, so simulations cannot die
+    on a drifted constraint.  Any scenario works.
+    """
+
+    name: str = "abstract"
+
+    def __init__(
+        self,
+        scenario: Optional[Scenario] = None,
+        algorithm: str = "greedy",
+    ) -> None:
+        self._scenario = scenario if scenario is not None else Tradeoff(alpha=0.0)
+        self._algorithm = algorithm
+
+    @property
+    def scenario(self) -> Scenario:
+        """The objective each (re)selection optimizes."""
+        return self._scenario
+
+    @property
+    def algorithm(self) -> str:
+        """The selection algorithm (knapsack / greedy / exhaustive)."""
+        return self._algorithm
+
+    def _optimum(self, problem: SelectionProblem) -> FrozenSet[str]:
+        return select_views(
+            problem, self._scenario, self._algorithm
+        ).outcome.subset
+
+    def decide(
+        self,
+        epoch_index: int,
+        problem: SelectionProblem,
+        current: Optional[FrozenSet[str]],
+    ) -> PolicyDecision:
+        """The subset to hold through ``epoch_index``.
+
+        ``current`` is the set held at the end of the previous epoch
+        (``None`` on the first epoch, which every policy answers by
+        optimizing).
+        """
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Display name with parameters."""
+        return self.name
+
+
+class NeverReselect(ReselectionPolicy):
+    """Select once at epoch 0, never look again."""
+
+    name = "never"
+
+    def decide(
+        self,
+        epoch_index: int,
+        problem: SelectionProblem,
+        current: Optional[FrozenSet[str]],
+    ) -> PolicyDecision:
+        if current is None:
+            return PolicyDecision(self._optimum(problem), reoptimized=True)
+        return PolicyDecision(current, reoptimized=False)
+
+
+class PeriodicReselect(ReselectionPolicy):
+    """Re-select every ``period`` epochs."""
+
+    name = "periodic"
+
+    def __init__(
+        self,
+        period: int = 4,
+        scenario: Optional[Scenario] = None,
+        algorithm: str = "greedy",
+    ) -> None:
+        super().__init__(scenario, algorithm)
+        if period < 1:
+            raise SimulationError(
+                f"re-selection period must be >= 1 epoch, got {period}"
+            )
+        self._period = period
+
+    @property
+    def period(self) -> int:
+        """Epochs between re-selections."""
+        return self._period
+
+    def decide(
+        self,
+        epoch_index: int,
+        problem: SelectionProblem,
+        current: Optional[FrozenSet[str]],
+    ) -> PolicyDecision:
+        if current is None or epoch_index % self._period == 0:
+            return PolicyDecision(self._optimum(problem), reoptimized=True)
+        return PolicyDecision(current, reoptimized=False)
+
+    def describe(self) -> str:
+        return f"periodic(every {self._period})"
+
+
+class RegretTriggered(ReselectionPolicy):
+    """Re-select when the current set's relative regret crosses a bar.
+
+    Regret compares the scenario's primary objective for the held
+    subset against the current optimum's: ``(held - best) / |best|``.
+    Below ``threshold`` the held set is kept (no churn); above it, the
+    optimizer's answer is adopted.
+    """
+
+    name = "regret"
+
+    def __init__(
+        self,
+        threshold: float = 0.05,
+        scenario: Optional[Scenario] = None,
+        algorithm: str = "greedy",
+    ) -> None:
+        super().__init__(scenario, algorithm)
+        if threshold < 0:
+            raise SimulationError(
+                f"regret threshold cannot be negative, got {threshold}"
+            )
+        self._threshold = threshold
+
+    @property
+    def threshold(self) -> float:
+        """Relative regret above which re-selection triggers."""
+        return self._threshold
+
+    def decide(
+        self,
+        epoch_index: int,
+        problem: SelectionProblem,
+        current: Optional[FrozenSet[str]],
+    ) -> PolicyDecision:
+        best = self._optimum(problem)
+        if current is None:
+            return PolicyDecision(best, reoptimized=True)
+        held = problem.evaluate(current)
+        if not self._scenario.feasible(held):
+            # Under a constrained scenario an infeasible holding can
+            # look *cheap* on the objective; regret must not excuse a
+            # violated constraint.
+            return PolicyDecision(best, reoptimized=True, regret=float("inf"))
+        held_obj = self._scenario.key(held)[0]
+        best_obj = self._scenario.key(problem.evaluate(best))[0]
+        if best_obj == 0:
+            regret = 0.0 if held_obj == 0 else float("inf")
+        else:
+            regret = (held_obj - best_obj) / abs(best_obj)
+        if regret > self._threshold:
+            return PolicyDecision(best, reoptimized=True, regret=regret)
+        return PolicyDecision(current, reoptimized=False, regret=regret)
+
+    def describe(self) -> str:
+        return f"regret(>{self._threshold:g})"
+
+
+def make_policy(
+    name: str,
+    scenario: Optional[Scenario] = None,
+    algorithm: str = "greedy",
+    period: int = 4,
+    threshold: float = 0.05,
+) -> ReselectionPolicy:
+    """Build a policy from its registry name (CLI/benchmark entry)."""
+    if name == "never":
+        return NeverReselect(scenario, algorithm)
+    if name == "periodic":
+        return PeriodicReselect(period, scenario, algorithm)
+    if name == "regret":
+        return RegretTriggered(threshold, scenario, algorithm)
+    raise SimulationError(
+        f"unknown policy {name!r}; choose from {POLICY_NAMES}"
+    )

@@ -1,0 +1,139 @@
+"""Ready-made lifecycle scenarios.
+
+:func:`drifting_sales_simulator` is the reference scenario the
+example, CLI subcommand, benchmark and tests all share: the paper's
+Section 6 warehouse (10 GB sales dataset, five AWS small instances,
+daily workload runs) stepped through two years of life in which
+
+* the workload starts as the paper's five coarse reporting queries,
+* day-level dashboard queries arrive hot (epoch 5) and get hotter
+  (epoch 9),
+* the original monthly reports go cold and are retired (epochs 9, 13),
+* the fact table grows 30% (epoch 8) and again 20% (epoch 16),
+* the provider repricing moves the warehouse to a flat-rate price
+  book (epoch 12), and
+* a node is lost and not replaced (epoch 18).
+
+The drift is deliberately adversarial to a static selection: the views
+chosen at epoch 0 answer queries that no longer run, while the queries
+that dominate the late workload cannot be answered by them at all.
+"""
+
+from __future__ import annotations
+
+from ..costmodel.params import DeploymentSpec
+from ..data.sales_generator import generate_sales
+from ..errors import SimulationError
+from ..engine.timing import ClusterTimingModel
+from ..optimizer.problem import SubsetEvaluationCache
+from ..pricing.compute import BillingGranularity
+from ..pricing.providers import aws_2012, flat_cloud
+from ..workload.query import AggregateQuery
+from ..workload.workload import paper_sales_workload
+from .clock import SimulationClock
+from .events import (
+    AddQueries,
+    DropQueries,
+    EventTimeline,
+    FleetChange,
+    GrowFactTable,
+    PriceChange,
+    ReweightQueries,
+)
+from .simulator import LifecycleSimulator
+from .state import WarehouseState
+
+__all__ = ["DRIFT_MIN_EPOCHS", "drifting_sales_simulator", "sales_deployment"]
+
+#: The reference scenario's last event fires at epoch 18, so its
+#: clock needs at least this many epochs.
+DRIFT_MIN_EPOCHS = 19
+
+
+def sales_deployment(n_instances: int = 5) -> DeploymentSpec:
+    """The Section 6 deployment the simulations start from."""
+    return DeploymentSpec(
+        provider=aws_2012(BillingGranularity.PER_SECOND),
+        instance_type="small",
+        n_instances=n_instances,
+        timing=ClusterTimingModel(),
+        storage_months=1.0,
+        maintenance_cycles=30,
+        update_fraction_per_cycle=0.01,
+        runs_per_period=30.0,
+        materialization_write_factor=2.0,
+    )
+
+
+def drifting_sales_simulator(
+    n_epochs: int = 24,
+    n_rows: int = 60_000,
+    seed: int = 42,
+    dataset_gb: float = 10.0,
+    charge_teardown_egress: bool = True,
+    cache: "SubsetEvaluationCache | None" = None,
+) -> LifecycleSimulator:
+    """The reference drifting-warehouse scenario (see module docs).
+
+    ``n_epochs`` must leave room for the scheduled drift
+    (>= ``DRIFT_MIN_EPOCHS``); the default is 24 epochs = two years of
+    monthly billing periods.
+    """
+    if n_epochs < DRIFT_MIN_EPOCHS:
+        raise SimulationError(
+            f"the drifting scenario schedules events through epoch "
+            f"{DRIFT_MIN_EPOCHS - 1}; n_epochs must be >= "
+            f"{DRIFT_MIN_EPOCHS}, got {n_epochs}"
+        )
+    dataset = generate_sales(
+        n_rows=n_rows, seed=seed, target_gb=dataset_gb
+    )
+    schema = dataset.schema
+    workload = paper_sales_workload(schema, 5)
+    initial = WarehouseState(
+        workload=workload,
+        dataset=dataset,
+        deployment=sales_deployment(),
+    )
+
+    def day_query(name: str, geo_level: str, frequency: float) -> AggregateQuery:
+        return AggregateQuery.per(
+            schema,
+            name,
+            {"time": "day", "geography": geo_level},
+            frequency=frequency,
+        )
+
+    events = [
+        # A dashboard team arrives: day-level queries, refreshed often.
+        AddQueries(
+            epoch=5,
+            queries=(
+                day_query("D1", "country", 3.0),
+                day_query("D2", "region", 3.0),
+                day_query("D3", "department", 2.0),
+            ),
+        ),
+        # The data keeps landing: +30% fact volume.
+        GrowFactTable(epoch=8, factor=1.3),
+        # Dashboards get hotter, the old monthly reports go cold...
+        ReweightQueries(
+            epoch=9,
+            frequencies=(("D1", 6.0), ("D2", 6.0), ("Q1", 0.25), ("Q2", 0.25)),
+        ),
+        DropQueries(epoch=9, names=("Q3",)),
+        # ...the provider repricing lands...
+        PriceChange(epoch=12, provider=flat_cloud()),
+        # ...the remaining legacy reports are retired...
+        DropQueries(epoch=13, names=("Q1", "Q2")),
+        # ...more growth, and a node is lost without replacement.
+        GrowFactTable(epoch=16, factor=1.2),
+        FleetChange(epoch=18, n_instances=4),
+    ]
+    return LifecycleSimulator(
+        initial=initial,
+        clock=SimulationClock(n_epochs),
+        events=events,
+        cache=cache,
+        charge_teardown_egress=charge_teardown_egress,
+    )

@@ -1,0 +1,198 @@
+"""The lifecycle simulator: clock x events x policy -> ledger.
+
+One :class:`LifecycleSimulator` owns a timeline (initial state +
+events) and a clock, and can run any number of re-selection policies
+over it.  All runs share one :class:`~repro.simulate.problems.
+EpochProblemBuilder`, so the second policy's sweep over the same
+epochs is answered almost entirely from the subset-evaluation cache —
+that sharing is what makes multi-policy comparisons cheap.
+
+Epoch accounting (see :mod:`repro.simulate.ledger` for the split):
+the epoch's subset is priced through the existing cost model, then the
+materialization charge is narrowed to the views actually (re)built
+this epoch — a carried view was paid for when it was built, and only
+its maintenance recurs.  Dropped views are charged one decommission
+egress of their size.  With ``cascade_materialization`` enabled,
+carried views are zeroed out of the cascade's build plan, which
+slightly overstates a rebuild that could have cascaded off a carried
+view — the conservative direction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, FrozenSet, Iterable, Optional, Sequence, Tuple
+
+from ..cube.candidates import enumerate_candidates
+from ..cube.lattice import CuboidLattice
+from ..cube.views import CandidateView
+from ..errors import SimulationError
+from ..money import ZERO
+from ..optimizer.problem import SelectionProblem, SubsetEvaluationCache
+from .clock import SimulationClock
+from .events import EventTimeline, SimulationEvent
+from .ledger import EpochRecord, SimulationLedger
+from .policy import ReselectionPolicy
+from .problems import EpochProblemBuilder
+from .state import WarehouseState
+
+__all__ = ["LifecycleSimulator", "full_catalogue"]
+
+
+def full_catalogue(lattice: CuboidLattice) -> Tuple[CandidateView, ...]:
+    """Every non-base cuboid as a candidate view, stably named.
+
+    The simulator's candidate universe must be fixed for the whole
+    lifecycle (views picked at epoch 0 must still be priceable at
+    epoch 40, whatever the workload drifted to), so it is the schema's
+    lattice rather than any one epoch's query grains.
+    """
+    return tuple(enumerate_candidates(lattice, useful_only=False))
+
+
+class LifecycleSimulator:
+    """Steps a warehouse through epochs, events and re-selections."""
+
+    def __init__(
+        self,
+        initial: WarehouseState,
+        clock: SimulationClock,
+        timeline: Optional[EventTimeline] = None,
+        events: Sequence[SimulationEvent] = (),
+        catalogue: Optional[Sequence[CandidateView]] = None,
+        cache: Optional[SubsetEvaluationCache] = None,
+        charge_teardown_egress: bool = True,
+    ) -> None:
+        if timeline is not None and events:
+            raise SimulationError(
+                "pass either a timeline or an event sequence, not both"
+            )
+        self._initial = initial
+        self._clock = clock
+        # Every cost formula bills one deployment period per epoch, so
+        # the epoch length must *be* the deployment's storage period —
+        # otherwise the ledger would silently misbill the horizon.
+        if abs(clock.months_per_epoch - initial.deployment.storage_months) > 1e-9:
+            raise SimulationError(
+                f"epoch length ({clock.months_per_epoch} months) must match "
+                f"the deployment's billing period "
+                f"({initial.deployment.storage_months} months); adjust "
+                "storage_months or months_per_epoch"
+            )
+        self._timeline = (
+            timeline if timeline is not None else EventTimeline(events)
+        )
+        self._timeline.check_within(clock.n_epochs)
+        if catalogue is None:
+            catalogue = full_catalogue(
+                CuboidLattice(initial.workload.schema)
+            )
+        self._builder = EpochProblemBuilder(catalogue, cache)
+        self._charge_teardown = charge_teardown_egress
+
+    # -- accessors ------------------------------------------------------
+
+    @property
+    def clock(self) -> SimulationClock:
+        """The epoch grid this simulator steps over."""
+        return self._clock
+
+    @property
+    def timeline(self) -> EventTimeline:
+        """The scheduled events."""
+        return self._timeline
+
+    @property
+    def builder(self) -> EpochProblemBuilder:
+        """The shared problem builder (inspect for cache statistics)."""
+        return self._builder
+
+    # -- the run --------------------------------------------------------
+
+    def run(self, policy: ReselectionPolicy) -> SimulationLedger:
+        """Simulate the full horizon under ``policy``."""
+        ledger = SimulationLedger(policy.describe())
+        state = self._initial
+        current: Optional[FrozenSet[str]] = None
+        for epoch in self._clock:
+            fired = self._timeline.at(epoch.index)
+            for event in fired:
+                state = event.apply(state)
+            problem = self._builder.problem_for(state)
+            decision = policy.decide(epoch.index, problem, current)
+            held = current if current is not None else frozenset()
+            built = decision.subset - held
+            dropped = held - decision.subset
+            record = self._account(
+                epoch.index, problem, decision.subset, built, dropped,
+                decision.reoptimized, decision.regret, fired,
+            )
+            ledger.append(record)
+            current = decision.subset
+        return ledger
+
+    def compare(
+        self, policies: Iterable[ReselectionPolicy]
+    ) -> Dict[str, SimulationLedger]:
+        """Run several policies over the same timeline, caches shared."""
+        ledgers: Dict[str, SimulationLedger] = {}
+        for policy in policies:
+            ledger = self.run(policy)
+            if ledger.policy_name in ledgers:
+                raise SimulationError(
+                    f"two policies describe() as {ledger.policy_name!r}; "
+                    "give them distinct parameters"
+                )
+            ledgers[ledger.policy_name] = ledger
+        return ledgers
+
+    # -- epoch accounting ----------------------------------------------
+
+    def _account(
+        self,
+        epoch_index: int,
+        problem: SelectionProblem,
+        subset: FrozenSet[str],
+        built: FrozenSet[str],
+        dropped: FrozenSet[str],
+        reoptimized: bool,
+        regret: float,
+        fired: Tuple[SimulationEvent, ...],
+    ) -> EpochRecord:
+        inputs = problem.inputs
+        plan = inputs.plan_for(subset)
+        # plan_for orders per-view tuples by sorted view name; charge
+        # materialization only for the views built this epoch.
+        ordered = sorted(subset)
+        epoch_plan = replace(
+            plan,
+            materialization_hours=tuple(
+                hours if name in built else 0.0
+                for name, hours in zip(ordered, plan.materialization_hours)
+            ),
+        )
+        breakdown = problem.cost_model.evaluate(epoch_plan)
+        build_cost = breakdown.computing.materialization_cost
+        operating_cost = breakdown.total - build_cost
+        if dropped and self._charge_teardown:
+            dropped_gb = sum(
+                inputs.view_stats[name].size_gb for name in dropped
+            )
+            teardown_cost = (
+                inputs.deployment.provider.transfer.outbound_cost(dropped_gb)
+            )
+        else:
+            teardown_cost = ZERO
+        return EpochRecord(
+            epoch=epoch_index,
+            subset=tuple(ordered),
+            operating_cost=operating_cost,
+            build_cost=build_cost,
+            teardown_cost=teardown_cost,
+            processing_hours=breakdown.processing_hours,
+            views_built=tuple(sorted(built)),
+            views_dropped=tuple(sorted(dropped)),
+            reoptimized=reoptimized,
+            regret=regret,
+            events=tuple(e.describe() for e in fired),
+        )

@@ -1,0 +1,130 @@
+"""The warehouse's mutable world: workload, data volume, deployment.
+
+A :class:`WarehouseState` is everything an epoch's selection problem is
+built from.  States are immutable; events produce new states through
+the ``with_*`` transforms, and :meth:`WarehouseState.key` gives each
+state a hashable identity so unchanged epochs resolve to the same
+cached selection problem.
+
+Data growth is modelled logically: the generated physical rows stay
+fixed while the dataset's :class:`~repro.data.sizing.LogicalSizeModel`
+row scale grows, exactly the substitution the analytic planning mode
+is built on (a 10 GB dataset billed as 13 GB after 30% growth, group
+counts re-estimated at the new logical row count).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Hashable, Tuple
+
+from ..costmodel.params import DeploymentSpec
+from ..data.generator import Dataset
+from ..errors import SimulationError
+from ..pricing.providers import Provider
+from ..workload.workload import Workload
+
+__all__ = ["WarehouseState"]
+
+
+@dataclass(frozen=True)
+class WarehouseState:
+    """One epoch's world: the inputs a selection problem is built from.
+
+    ``growth_factor`` is the cumulative logical data growth relative to
+    the seed dataset; it is part of the state key, so grown epochs are
+    priced in their own world.
+    """
+
+    workload: Workload
+    dataset: Dataset
+    deployment: DeploymentSpec
+    growth_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.growth_factor <= 0:
+            raise SimulationError("growth_factor must be positive")
+
+    def key(self) -> Hashable:
+        """A hashable identity: equal keys mean identical pricing worlds.
+
+        Note the candidate catalogue is *not* part of the state — the
+        :class:`~repro.simulate.problems.EpochProblemBuilder` adds its
+        own catalogue to the cache keys it derives from this.
+        """
+        return (
+            self.workload.fingerprint(),
+            self.dataset_key(),
+            self.deployment.fingerprint(),
+        )
+
+    def dataset_key(self) -> Hashable:
+        """The dataset's share of the identity.
+
+        Physical row count and logical size both matter: two datasets
+        with the same name and seed but different sizes (or sampling
+        densities) estimate different group counts and bill different
+        gigabytes, so they must never share cached pricings.
+        """
+        return (
+            self.dataset.name,
+            self.dataset.seed,
+            self.dataset.fact.n_rows,
+            round(self.dataset.logical_size_gb, 9),
+            round(self.growth_factor, 12),
+        )
+
+    # -- transforms (each returns a new state) --------------------------
+
+    def with_workload(self, workload: Workload) -> "WarehouseState":
+        """The same warehouse serving a different workload."""
+        if workload.schema is not self.workload.schema:
+            raise SimulationError(
+                "a drifted workload must stay on the warehouse's schema"
+            )
+        return replace(self, workload=workload)
+
+    def grown(self, factor: float) -> "WarehouseState":
+        """The warehouse after the fact table grows by ``factor``.
+
+        Growth multiplies the size model's row scale: logical rows and
+        billable gigabytes scale together, physical sample rows stay
+        put (shrinkage, ``factor < 1``, models retention purges).
+        """
+        if factor <= 0:
+            raise SimulationError(
+                f"growth factor must be positive, got {factor}"
+            )
+        scaled = replace(
+            self.dataset,
+            size_model=replace(
+                self.dataset.size_model,
+                row_scale=self.dataset.size_model.row_scale * factor,
+            ),
+        )
+        return replace(
+            self,
+            dataset=scaled,
+            growth_factor=self.growth_factor * factor,
+        )
+
+    def with_provider(self, provider: Provider) -> "WarehouseState":
+        """The same warehouse billed under a different price book."""
+        return replace(
+            self, deployment=replace(self.deployment, provider=provider)
+        )
+
+    def with_fleet(self, n_instances: int) -> "WarehouseState":
+        """The same warehouse on a different number of instances."""
+        return replace(
+            self, deployment=replace(self.deployment, n_instances=n_instances)
+        )
+
+    def describe(self) -> str:
+        """One-line display of the state's headline knobs."""
+        dep = self.deployment
+        return (
+            f"{len(self.workload)} queries, "
+            f"{self.dataset.logical_size_gb:.1f} GB, "
+            f"{dep.n_instances}x {dep.instance_type} on {dep.provider.name}"
+        )

@@ -52,6 +52,19 @@ class Workload:
     def __iter__(self) -> Iterator[AggregateQuery]:
         return iter(self._queries)
 
+    def fingerprint(self) -> Tuple:
+        """Hashable value identity of the workload.
+
+        Everything pricing-relevant per query, in workload order.  This
+        is *the* workload component of every cross-problem cache key
+        (:meth:`repro.costmodel.PlanningInputs.fingerprint` and the
+        lifecycle simulator's state keys), so any new pricing-relevant
+        query field must be added here once, not at each call site.
+        """
+        return tuple(
+            (q.name, q.grain, q.frequency, q.filters) for q in self._queries
+        )
+
     def prefix(self, m: int) -> "Workload":
         """The first ``m`` queries as a workload (paper's m=3/5/10)."""
         if not 1 <= m <= len(self._queries):
@@ -59,6 +72,49 @@ class Workload:
                 f"prefix size {m} outside [1, {len(self._queries)}]"
             )
         return Workload(self._schema, self._queries[:m])
+
+    # -- drift operations (used by the lifecycle simulator) ------------
+
+    def with_queries(self, queries: Iterable[AggregateQuery]) -> "Workload":
+        """This workload plus ``queries`` appended, as a new workload."""
+        return Workload(self._schema, (*self._queries, *queries))
+
+    def without(self, names: Iterable[str]) -> "Workload":
+        """This workload minus the named queries, as a new workload.
+
+        Every name must exist, and at least one query must survive —
+        both enforced so a drift event that mistypes a query name fails
+        loudly instead of silently dropping nothing.
+        """
+        drop = set(names)
+        unknown = drop - {q.name for q in self._queries}
+        if unknown:
+            raise SchemaError(
+                f"cannot drop unknown queries: {sorted(unknown)}"
+            )
+        kept = [q for q in self._queries if q.name not in drop]
+        if not kept:
+            raise SchemaError("cannot drop every query from a workload")
+        return Workload(self._schema, kept)
+
+    def reweighted(self, frequencies: "dict[str, float]") -> "Workload":
+        """A workload with the named queries' frequencies replaced."""
+        unknown = set(frequencies) - {q.name for q in self._queries}
+        if unknown:
+            raise SchemaError(
+                f"cannot reweight unknown queries: {sorted(unknown)}"
+            )
+        from dataclasses import replace
+
+        return Workload(
+            self._schema,
+            [
+                replace(q, frequency=frequencies[q.name])
+                if q.name in frequencies
+                else q
+                for q in self._queries
+            ],
+        )
 
     def __repr__(self) -> str:
         return f"Workload({self._schema.name!r}, {[q.name for q in self._queries]})"

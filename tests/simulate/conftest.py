@@ -1,0 +1,29 @@
+"""Shared fixtures for the lifecycle simulator tests.
+
+Small physical datasets keep these fast; the analytic planning mode
+makes the *logical* numbers identical to the paper-scale world.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulate import WarehouseState, drifting_sales_simulator
+from repro.simulate.presets import sales_deployment
+from repro.workload import paper_sales_workload
+
+
+@pytest.fixture(scope="session")
+def small_simulator():
+    """The reference drifting scenario, sized for tests (24 epochs)."""
+    return drifting_sales_simulator(n_epochs=24, n_rows=10_000, seed=7)
+
+
+@pytest.fixture()
+def initial_state(sales_dataset_10gb):
+    """A fresh 5-query warehouse state on the Section 6 deployment."""
+    return WarehouseState(
+        workload=paper_sales_workload(sales_dataset_10gb.schema, 5),
+        dataset=sales_dataset_10gb,
+        deployment=sales_deployment(),
+    )

@@ -1,0 +1,155 @@
+"""Re-selection policies and the simulation ledger."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cube import CuboidLattice
+from repro.errors import SimulationError
+from repro.money import Money
+from repro.simulate import (
+    EpochProblemBuilder,
+    EpochRecord,
+    NeverReselect,
+    PeriodicReselect,
+    RegretTriggered,
+    SimulationLedger,
+    full_catalogue,
+    make_policy,
+)
+
+
+@pytest.fixture()
+def problem(initial_state):
+    lattice = CuboidLattice(initial_state.workload.schema)
+    return EpochProblemBuilder(full_catalogue(lattice)).problem_for(
+        initial_state
+    )
+
+
+class TestPolicies:
+    def test_every_policy_optimizes_its_first_epoch(self, problem):
+        for policy in (NeverReselect(), PeriodicReselect(3), RegretTriggered()):
+            decision = policy.decide(0, problem, None)
+            assert decision.reoptimized
+
+    def test_never_keeps_whatever_it_holds(self, problem):
+        policy = NeverReselect()
+        held = frozenset({"V1"})
+        for epoch in (1, 5, 40):
+            decision = policy.decide(epoch, problem, held)
+            assert decision.subset == held
+            assert not decision.reoptimized
+
+    def test_periodic_reoptimizes_on_schedule(self, problem):
+        policy = PeriodicReselect(period=3)
+        held = frozenset({"V1"})
+        assert policy.decide(3, problem, held).reoptimized
+        assert not policy.decide(4, problem, held).reoptimized
+        assert not policy.decide(5, problem, held).reoptimized
+        assert policy.decide(6, problem, held).reoptimized
+
+    def test_regret_keeps_the_optimum(self, problem):
+        policy = RegretTriggered(threshold=0.05)
+        optimum = policy.decide(0, problem, None).subset
+        decision = policy.decide(1, problem, optimum)
+        assert not decision.reoptimized
+        assert decision.subset == optimum
+        assert decision.regret == pytest.approx(0.0)
+
+    def test_regret_triggers_on_a_bad_holding(self, problem):
+        policy = RegretTriggered(threshold=0.01)
+        # Holding nothing while views would pay for themselves is
+        # regretful in this world; the policy must switch.
+        optimum = policy.decide(0, problem, None).subset
+        assert optimum  # the scenario does select views
+        decision = policy.decide(1, problem, frozenset())
+        assert decision.regret > 0.01
+        assert decision.reoptimized
+        assert decision.subset == optimum
+
+    def test_regret_reoptimizes_out_of_an_infeasible_holding(self, problem):
+        """Regression: an infeasible held set can look cheap on the
+        objective; regret must not excuse a violated constraint."""
+        from repro.optimizer import TimeLimit
+
+        baseline_hours = problem.baseline().processing_hours
+        everything = problem.evaluate(frozenset(problem.candidate_names))
+        # A deadline the empty set misses but the full set meets.
+        limit = (everything.processing_hours + baseline_hours) / 2
+        scenario = TimeLimit(limit)
+        assert not scenario.feasible(problem.baseline())
+        policy = RegretTriggered(threshold=10.0, scenario=scenario)
+        decision = policy.decide(1, problem, frozenset())
+        assert decision.reoptimized
+        assert decision.regret == float("inf")
+        assert scenario.feasible(problem.evaluate(decision.subset))
+
+    def test_make_policy_registry(self):
+        assert isinstance(make_policy("never"), NeverReselect)
+        assert make_policy("periodic", period=7).period == 7
+        assert make_policy("regret", threshold=0.2).threshold == 0.2
+        with pytest.raises(SimulationError, match="unknown policy"):
+            make_policy("sometimes")
+
+    def test_parameter_validation(self):
+        with pytest.raises(SimulationError):
+            PeriodicReselect(period=0)
+        with pytest.raises(SimulationError):
+            RegretTriggered(threshold=-0.1)
+
+
+def _record(epoch: int, **overrides) -> EpochRecord:
+    defaults = dict(
+        epoch=epoch,
+        subset=("V1",),
+        operating_cost=Money("10"),
+        build_cost=Money("2"),
+        teardown_cost=Money("1"),
+        processing_hours=0.5,
+        views_built=("V1",),
+        views_dropped=(),
+        reoptimized=True,
+        regret=0.0,
+        events=(),
+    )
+    defaults.update(overrides)
+    return EpochRecord(**defaults)
+
+
+class TestLedger:
+    def test_totals_add_up(self):
+        ledger = SimulationLedger("test")
+        ledger.append(_record(0))
+        ledger.append(
+            _record(
+                1,
+                views_built=(),
+                views_dropped=("V1",),
+                build_cost=Money("0"),
+                reoptimized=False,
+            )
+        )
+        assert ledger.total_cost == Money("24")
+        assert ledger.total_operating_cost == Money("20")
+        assert ledger.total_build_cost == Money("2")
+        assert ledger.total_teardown_cost == Money("2")
+        assert ledger.total_hours == pytest.approx(1.0)
+        assert ledger.rebuild_count == 1
+        assert ledger.teardown_count == 1
+        assert ledger.churn == 2
+        assert ledger.reoptimization_count == 1
+
+    def test_epoch_order_enforced(self):
+        ledger = SimulationLedger("test")
+        ledger.append(_record(3))
+        with pytest.raises(SimulationError):
+            ledger.append(_record(3))
+
+    def test_render_mentions_policy_and_epochs(self):
+        ledger = SimulationLedger("regret(>0.05)")
+        ledger.append(_record(0))
+        text = ledger.render()
+        assert "regret(>0.05)" in text
+        assert "e  0" in text
+        assert "rebuilds=1" in ledger.summary()

@@ -1,0 +1,182 @@
+"""State keys and the incremental problem builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.costmodel import PlanningEstimator
+from repro.cube import CuboidLattice
+from repro.optimizer import SubsetEvaluationCache
+from repro.pricing.providers import archive_cloud
+from repro.simulate import EpochProblemBuilder, full_catalogue
+from repro.workload import AggregateQuery
+
+
+@pytest.fixture()
+def builder(initial_state):
+    lattice = CuboidLattice(initial_state.workload.schema)
+    return EpochProblemBuilder(full_catalogue(lattice))
+
+
+class TestStateKey:
+    def test_stable_for_equal_states(self, initial_state):
+        assert initial_state.key() == initial_state.key()
+
+    def test_changes_with_workload(self, initial_state):
+        drifted = initial_state.with_workload(
+            initial_state.workload.without(["Q1"])
+        )
+        assert drifted.key() != initial_state.key()
+
+    def test_changes_with_growth(self, initial_state):
+        assert initial_state.grown(1.2).key() != initial_state.key()
+
+    def test_changes_with_provider(self, initial_state):
+        repriced = initial_state.with_provider(archive_cloud())
+        assert repriced.key() != initial_state.key()
+
+    def test_changes_with_fleet(self, initial_state):
+        assert initial_state.with_fleet(2).key() != initial_state.key()
+
+    def test_reweighting_changes_key(self, initial_state):
+        hot = initial_state.with_workload(
+            initial_state.workload.reweighted({"Q1": 5.0})
+        )
+        assert hot.key() != initial_state.key()
+
+    def test_dataset_size_is_part_of_the_key(self, initial_state):
+        """Same name/seed but different logical size must not collide.
+
+        Regression: the key once identified the dataset by (name,
+        seed) only, so a 50 GB simulator warmed from a 10 GB cache
+        took every pricing from the wrong world.
+        """
+        from dataclasses import replace
+
+        from repro.data import generate_sales
+
+        bigger = replace(
+            initial_state,
+            dataset=generate_sales(n_rows=60_000, seed=42, target_gb=50.0),
+        )
+        assert bigger.key() != initial_state.key()
+        denser = replace(
+            initial_state,
+            dataset=generate_sales(n_rows=30_000, seed=42, target_gb=10.0),
+        )
+        assert denser.key() != initial_state.key()
+
+
+class TestFullCatalogue:
+    def test_excludes_base_and_is_stable(self, initial_state):
+        lattice = CuboidLattice(initial_state.workload.schema)
+        catalogue = full_catalogue(lattice)
+        grains = [c.grain for c in catalogue]
+        assert lattice.base not in grains
+        assert len(catalogue) == len(lattice) - 1
+        assert [c.name for c in catalogue] == [
+            f"V{i + 1}" for i in range(len(catalogue))
+        ]
+        # Deterministic across constructions.
+        assert catalogue == full_catalogue(
+            CuboidLattice(initial_state.workload.schema)
+        )
+
+
+class TestEpochProblemBuilder:
+    def test_unchanged_state_returns_same_problem(self, builder, initial_state):
+        first = builder.problem_for(initial_state)
+        second = builder.problem_for(initial_state)
+        assert first is second
+        assert builder.builds == 1
+
+    def test_matches_batch_estimator_exactly(self, builder, initial_state):
+        """The incremental path must price like the batch build."""
+        incremental = builder.problem_for(initial_state).inputs
+        batch = PlanningEstimator(
+            initial_state.dataset, initial_state.deployment
+        ).build(initial_state.workload, builder.catalogue)
+        assert incremental.base_query_hours == batch.base_query_hours
+        assert incremental.view_query_hours == batch.view_query_hours
+        assert incremental.result_sizes_gb == batch.result_sizes_gb
+        assert incremental.view_stats == batch.view_stats
+        assert incremental.dataset_gb == batch.dataset_gb
+        assert incremental.fingerprint() == batch.fingerprint()
+
+    def test_adding_one_query_prices_one_query(self, builder, initial_state):
+        builder.problem_for(initial_state)
+        priced_before = builder.queries_priced
+        schema = initial_state.workload.schema
+        new = AggregateQuery.per(
+            schema, "D1", {"time": "day", "geography": "region"}, 2.0
+        )
+        drifted = initial_state.with_workload(
+            initial_state.workload.with_queries([new])
+        )
+        builder.problem_for(drifted)
+        assert builder.queries_priced == priced_before + 1
+        assert builder.worlds_built == 1  # same (dataset, deployment) world
+
+    def test_drop_and_reweight_price_nothing(self, builder, initial_state):
+        builder.problem_for(initial_state)
+        priced_before = builder.queries_priced
+        dropped = initial_state.with_workload(
+            initial_state.workload.without(["Q2"])
+        )
+        reweighted = initial_state.with_workload(
+            initial_state.workload.reweighted({"Q1": 7.0})
+        )
+        builder.problem_for(dropped)
+        builder.problem_for(reweighted)
+        assert builder.queries_priced == priced_before
+        assert builder.builds == 3  # three problems, zero new pricings
+
+    def test_growth_opens_a_new_world(self, builder, initial_state):
+        builder.problem_for(initial_state)
+        builder.problem_for(initial_state.grown(1.3))
+        assert builder.worlds_built == 2
+
+    def test_different_catalogues_never_alias_view_names(self, initial_state):
+        """Regression: 'V1' only means something relative to a catalogue.
+
+        Two builders sharing one cache but enumerating different
+        candidate universes once served each other's pricings by name.
+        """
+        from repro.cube import CandidateView
+
+        cache = SubsetEvaluationCache()
+        lattice = CuboidLattice(initial_state.workload.schema)
+        full = EpochProblemBuilder(full_catalogue(lattice), cache)
+        coarse_grain = full.catalogue[-1].grain  # some coarse cuboid
+        fine_grain = full.catalogue[0].grain
+        assert coarse_grain != fine_grain
+        renamed = EpochProblemBuilder(
+            (CandidateView("V1", coarse_grain),), cache
+        )
+        a = full.problem_for(initial_state).evaluate(frozenset({"V1"}))
+        b = renamed.problem_for(initial_state).evaluate(frozenset({"V1"}))
+        # 'V1' is fine_grain in one universe, coarse_grain in the other.
+        assert renamed.problem_for(initial_state).stats.priced == 1
+        assert a.breakdown != b.breakdown
+
+    def test_shared_cache_serves_equal_worlds(self, initial_state):
+        """Two builders on one cache: the second prices zero subsets."""
+        cache = SubsetEvaluationCache()
+        lattice = CuboidLattice(initial_state.workload.schema)
+        first = EpochProblemBuilder(full_catalogue(lattice), cache)
+        problem_a = first.problem_for(initial_state)
+        problem_a.evaluate(frozenset())
+        problem_a.evaluate(frozenset({"V1"}))
+        assert problem_a.stats.priced == 2
+
+        second = EpochProblemBuilder(full_catalogue(lattice), cache)
+        problem_b = second.problem_for(initial_state)
+        assert problem_b is not problem_a
+        problem_b.evaluate(frozenset())
+        problem_b.evaluate(frozenset({"V1"}))
+        assert problem_b.stats.priced == 0
+        assert problem_b.stats.shared_hits == 2
+        # And the outcomes are literally shared.
+        assert problem_b.evaluate(frozenset({"V1"})) is problem_a.evaluate(
+            frozenset({"V1"})
+        )

@@ -2,6 +2,11 @@
 
 from __future__ import annotations
 
+import os
+import subprocess
+import sys
+from pathlib import Path
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -44,3 +49,50 @@ class TestRun:
         assert main(["run", "table6", "--rows", "5000"]) == 0
         out = capsys.readouterr().out
         assert "Table 6" in out
+
+
+class TestSimulate:
+    def test_python_dash_m_repro_simulate_help(self):
+        """``python -m repro simulate --help`` exits 0 and shows options."""
+        src = Path(__file__).resolve().parent.parent / "src"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            f"{src}{os.pathsep}{env['PYTHONPATH']}"
+            if env.get("PYTHONPATH")
+            else str(src)
+        )
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "simulate", "--help"],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=120,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "--policy" in result.stdout
+        assert "--epochs" in result.stdout
+
+    def test_help_via_parser(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["simulate", "--help"])
+        assert excinfo.value.code == 0
+        assert "lifecycle" in capsys.readouterr().out
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--policy", "sometimes"])
+
+    def test_small_simulation_end_to_end(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--rows", "5000",
+                "--epochs", "20",
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        for policy in ("never", "periodic", "regret"):
+            assert policy in out
+        assert "subset evaluations" in out

@@ -60,6 +60,64 @@ class TestWorkload:
             workload.prefix(11)
 
 
+class TestPrefixEdges:
+    def test_prefix_of_one_is_just_q1(self, schema):
+        one = paper_sales_workload(schema, 10).prefix(1)
+        assert [q.name for q in one] == ["Q1"]
+
+    def test_full_prefix_preserves_order_and_content(self, schema):
+        workload = paper_sales_workload(schema, 10)
+        full = workload.prefix(len(workload))
+        assert tuple(full.queries) == tuple(workload.queries)
+        assert full.schema is workload.schema
+
+    def test_prefix_is_a_new_workload(self, schema):
+        workload = paper_sales_workload(schema, 10)
+        assert workload.prefix(3) is not workload
+        assert len(workload) == 10  # the original is untouched
+
+    def test_negative_prefix_rejected(self, schema):
+        with pytest.raises(SchemaError, match="outside"):
+            paper_sales_workload(schema, 10).prefix(-1)
+
+    def test_prefix_keeps_frequencies_and_filters(self, schema):
+        hot = AggregateQuery("H", ("year", ALL), frequency=5.0)
+        cold = AggregateQuery("C", ("month", ALL), frequency=0.5)
+        workload = Workload(schema, [hot, cold])
+        assert workload.prefix(1).queries[0].frequency == 5.0
+
+    def test_prefix_of_prefix(self, schema):
+        workload = paper_sales_workload(schema, 10)
+        assert [q.name for q in workload.prefix(5).prefix(2)] == ["Q1", "Q2"]
+
+
+class TestDriftHelpers:
+    def test_with_queries_appends(self, schema):
+        base = paper_sales_workload(schema, 3)
+        extra = AggregateQuery("X", ("day", ALL))
+        grown = base.with_queries([extra])
+        assert [q.name for q in grown] == ["Q1", "Q2", "Q3", "X"]
+        assert len(base) == 3
+
+    def test_with_queries_rejects_duplicates(self, schema):
+        base = paper_sales_workload(schema, 3)
+        with pytest.raises(SchemaError):
+            base.with_queries([AggregateQuery("Q1", ("day", ALL))])
+
+    def test_without_and_reweighted(self, schema):
+        base = paper_sales_workload(schema, 3)
+        assert [q.name for q in base.without(["Q2"])] == ["Q1", "Q3"]
+        hot = base.reweighted({"Q1": 4.0})
+        assert hot.queries[0].frequency == 4.0
+        assert base.queries[0].frequency == 1.0
+        with pytest.raises(SchemaError):
+            base.without(["nope"])
+        with pytest.raises(SchemaError):
+            base.without(["Q1", "Q2", "Q3"])
+        with pytest.raises(SchemaError):
+            base.reweighted({"nope": 2.0})
+
+
 class TestPaperWorkload:
     def test_q1_is_the_quoted_query(self, schema):
         # Section 2.1: Q1 = "sales per year and country".
@@ -96,3 +154,43 @@ class TestCrossWorkload:
 
     def test_size_is_lattice_minus_apex(self, schema):
         assert len(cross_workload(schema)) == 16 - 1
+
+    def test_grains_are_unique_and_valid(self, schema):
+        workload = cross_workload(schema)
+        grains = [q.grain for q in workload]
+        assert len(set(grains)) == len(grains)
+        for grain in grains:
+            assert schema.validate_grain(grain) == grain
+
+    def test_enumerates_the_full_level_cross_product(self, schema):
+        expected = {
+            (t, g)
+            for t in ("day", "month", "year", ALL)
+            for g in ("department", "country", "region", ALL)
+        } - {(ALL, ALL)}
+        assert {q.grain for q in cross_workload(schema)} == expected
+
+    def test_includes_base_grain(self, schema):
+        # Unlike candidate enumeration, the *workload* may ask for the
+        # base grain (the finest roll-up is a legitimate query).
+        assert schema.base_grain in {q.grain for q in cross_workload(schema)}
+
+    def test_names_follow_enumeration_order(self, schema):
+        names = [q.name for q in cross_workload(schema)]
+        assert names == [f"Q{i + 1}" for i in range(len(names))]
+
+    def test_frequency_propagates_to_every_query(self, schema):
+        workload = cross_workload(schema, frequency=2.5)
+        assert all(q.frequency == 2.5 for q in workload)
+        default = cross_workload(schema)
+        assert all(q.frequency == 1.0 for q in default)
+
+    def test_ssb_cross_product_counts(self):
+        from repro.schema import ssb_schema
+
+        schema = ssb_schema()
+        workload = cross_workload(schema)
+        expected = 1
+        for dim in schema.dimensions:
+            expected *= len(dim.hierarchy.levels_with_all)
+        assert len(workload) == expected - 1
