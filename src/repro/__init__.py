@@ -29,7 +29,12 @@ Package map:
 * :mod:`repro.optimizer` — MV1/MV2/MV3, knapsack/greedy/exhaustive
 * :mod:`repro.experiments` — Figure 5, Tables 6-8, ablations, SSB
 * :mod:`repro.simulate` — warehouse lifecycle simulation: epochs,
-  drift events, incremental re-selection policies, cost ledgers
+  drift events, incremental re-selection policies, cost ledgers;
+  multi-tenant fleets with shared-cost attribution and fairness-aware
+  selection
+
+``docs/ARCHITECTURE.md`` maps the packages to the paper's sections;
+``docs/SIMULATE.md`` documents the lifecycle and multi-tenant layers.
 """
 
 from .costmodel import (

@@ -6,12 +6,18 @@ Usage::
     repro-experiments run figure5a [--csv-dir out/]
     repro-experiments all [--csv-dir out/]
     repro-experiments simulate --epochs 24 --policy all
+    repro-experiments simulate --tenants 3 [--attribution even]
 
 (or ``python -m repro ...`` / ``python -m repro.cli ...``).
 
 ``simulate`` steps the drifting-warehouse lifecycle scenario
 (:func:`repro.simulate.drifting_sales_simulator`) under one or all
-re-selection policies and prints each policy's cost ledger.
+re-selection policies and prints each policy's cost ledger.  With
+``--tenants N`` it runs the multi-tenant scenario
+(:func:`repro.simulate.multi_tenant_sales_simulator`) instead: N
+workloads share the warehouse, each epoch's bill is attributed into
+per-tenant ledgers, and ``--fair-slack`` adds a soft fairness
+preference to the selection itself.
 """
 
 from __future__ import annotations
@@ -20,11 +26,16 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .errors import ReproError
+from .errors import ReproError, SimulationError
 from .experiments.context import ExperimentConfig, ExperimentContext
 from .experiments.runner import EXPERIMENTS, run_all, run_experiment
+from .simulate.attribution import ATTRIBUTION_MODES
 from .simulate.policy import POLICY_NAMES, make_policy
-from .simulate.presets import DRIFT_MIN_EPOCHS, drifting_sales_simulator
+from .simulate.presets import (
+    DRIFT_MIN_EPOCHS,
+    drifting_sales_simulator,
+    multi_tenant_sales_simulator,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -55,7 +66,9 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "Step the Section 6 warehouse through a drifting lifecycle "
             "(queries arriving/leaving, data growth, a provider price "
-            "change, a node loss) and compare re-selection policies."
+            "change, a node loss) and compare re-selection policies. "
+            "With --tenants N, N workloads share the warehouse and every "
+            "epoch's bill is attributed across per-tenant ledgers."
         ),
     )
     simulate.add_argument(
@@ -104,6 +117,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="dataset RNG seed (default %(default)s)",
     )
     simulate.add_argument(
+        "--tenants",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "share the warehouse between N tenants and attribute every "
+            "epoch's charges into per-tenant ledgers (default: single "
+            "workload, no attribution)"
+        ),
+    )
+    simulate.add_argument(
+        "--attribution",
+        choices=ATTRIBUTION_MODES,
+        default=None,
+        help=(
+            "how shared view/storage charges are split between tenants "
+            "(default proportional; needs --tenants)"
+        ),
+    )
+    simulate.add_argument(
+        "--fair-slack",
+        type=float,
+        default=None,
+        metavar="S",
+        help=(
+            "select views under a soft fairness preference: minimize how "
+            "far any tenant's attributed share exceeds (1+S)x the even "
+            "split before minimizing cost (needs --tenants)"
+        ),
+    )
+    simulate.add_argument(
         "--quiet",
         action="store_true",
         help="print only the per-policy summary lines",
@@ -136,34 +180,80 @@ def _context(args: argparse.Namespace) -> ExperimentContext:
     )
 
 
-def _run_simulate(args: argparse.Namespace) -> int:
-    simulator = drifting_sales_simulator(
-        n_epochs=args.epochs, n_rows=args.rows, seed=args.seed
-    )
+def _simulate_policies(args: argparse.Namespace, scenario_factory=None):
     names = POLICY_NAMES if args.policy == "all" else (args.policy,)
-    policies = [
+    return [
         make_policy(
             name,
             algorithm=args.algorithm,
             period=args.period,
             threshold=args.threshold,
+            scenario_factory=scenario_factory,
         )
         for name in names
     ]
-    ledgers = simulator.compare(policies)
+
+
+def _print_cache_stats(builder) -> None:
+    stats = builder.evaluation_stats()
+    print(
+        f"subset evaluations: {stats.calls} requested, "
+        f"{stats.priced} priced, {stats.hits} served from cache; "
+        f"{builder.queries_priced} queries priced across "
+        f"{builder.problems_cached} epoch problems"
+    )
+
+
+def _run_simulate(args: argparse.Namespace) -> int:
+    if args.tenants:
+        return _run_simulate_tenants(args)
+    # Tenant-only flags must not be silently ignored: a user who types
+    # --fair-slack but forgets --tenants would read an ordinary run as
+    # a fairness-constrained one.
+    if args.fair_slack is not None or args.attribution is not None:
+        raise SimulationError(
+            "--attribution and --fair-slack apply to multi-tenant runs; "
+            "add --tenants N"
+        )
+    simulator = drifting_sales_simulator(
+        n_epochs=args.epochs, n_rows=args.rows, seed=args.seed
+    )
+    ledgers = simulator.compare(_simulate_policies(args))
     for ledger in ledgers.values():
         if args.quiet:
             print(ledger.summary())
         else:
             print(ledger.render())
             print()
-    stats = simulator.builder.evaluation_stats()
-    print(
-        f"subset evaluations: {stats.calls} requested, "
-        f"{stats.priced} priced, {stats.hits} served from cache; "
-        f"{simulator.builder.queries_priced} queries priced across "
-        f"{simulator.builder.problems_cached} epoch problems"
+    _print_cache_stats(simulator.builder)
+    return 0
+
+
+def _run_simulate_tenants(args: argparse.Namespace) -> int:
+    simulator = multi_tenant_sales_simulator(
+        n_tenants=args.tenants,
+        n_epochs=args.epochs,
+        n_rows=args.rows,
+        seed=args.seed,
+        attribution=args.attribution or "proportional",
     )
+    factory = None
+    if args.fair_slack is not None:
+        factory = simulator.fair_scenario_factory(
+            max_share_slack=args.fair_slack
+        )
+    print(
+        f"fleet: {simulator.fleet.describe()}; "
+        f"attribution: {simulator.attributor.describe()}\n"
+    )
+    ledgers = simulator.compare(_simulate_policies(args, factory))
+    for fleet_ledger in ledgers.values():
+        if args.quiet:
+            print(fleet_ledger.summary())
+        else:
+            print(fleet_ledger.render())
+            print()
+    _print_cache_stats(simulator.builder)
     return 0
 
 

@@ -137,6 +137,27 @@ class PlanningInputs:
             per_query[q.name] * q.frequency for q in self.workload
         )
 
+    def group_processing_hours(
+        self, subset: AbstractSet[str], query_names: AbstractSet[str]
+    ) -> float:
+        """Formula 9 restricted to the named queries (one tenant's slice).
+
+        Every name must belong to the workload — a silently ignored
+        typo would make a tenant's hours quietly vanish.
+        """
+        names = set(query_names)
+        unknown = names - {q.name for q in self.workload}
+        if unknown:
+            raise CostModelError(
+                f"unknown workload queries: {sorted(unknown)}"
+            )
+        per_query = self.query_hours_with(subset)
+        return sum(
+            per_query[q.name] * q.frequency
+            for q in self.workload
+            if q.name in names
+        )
+
     def plan_for(self, subset: AbstractSet[str]) -> WorkloadPlan:
         """The :class:`WorkloadPlan` a subset induces (empty = baseline)."""
         subset = self.check_subset(subset)

@@ -20,12 +20,24 @@ Two deliberately missing operations:
 from __future__ import annotations
 
 import functools
-from decimal import ROUND_HALF_UP, Decimal
+from decimal import Context, ROUND_HALF_UP, Decimal
 from typing import Union
 
 __all__ = ["Money", "ZERO", "dollars", "cents"]
 
 _Number = Union[int, str, float, Decimal]
+
+# Bill arithmetic must never round silently.  The default context's 28
+# significant digits are not enough once float-derived factors enter a
+# product (``str(float)`` carries up to 17 significant digits, and the
+# multi-tenant attributor multiplies full-precision amounts by such
+# ratios): products would be rounded, and per-tenant shares would sum
+# to the fleet bill only approximately.  Money therefore runs all its
+# arithmetic through a private 60-digit context — enough exact
+# headroom for every chain this library performs, identical in every
+# thread, and invisible to the host application's own ``decimal``
+# context.
+_CTX = Context(prec=60)
 
 # One cent: the resolution every bill is quantized to on request.
 _CENT = Decimal("0.01")
@@ -94,7 +106,7 @@ class Money:
     def __add__(self, other: "Money") -> "Money":
         if not isinstance(other, Money):
             return NotImplemented
-        return Money(self._amount + other._amount)
+        return Money(_CTX.add(self._amount, other._amount))
 
     def __radd__(self, other: object) -> "Money":
         # Support sum() which starts from int 0.
@@ -105,12 +117,12 @@ class Money:
     def __sub__(self, other: "Money") -> "Money":
         if not isinstance(other, Money):
             return NotImplemented
-        return Money(self._amount - other._amount)
+        return Money(_CTX.subtract(self._amount, other._amount))
 
     def __mul__(self, factor: _Number) -> "Money":
         if isinstance(factor, Money):
             raise TypeError("cannot multiply Money by Money")
-        return Money(self._amount * _to_decimal(factor))
+        return Money(_CTX.multiply(self._amount, _to_decimal(factor)))
 
     def __rmul__(self, factor: _Number) -> "Money":
         return self.__mul__(factor)
@@ -120,13 +132,13 @@ class Money:
             raise TypeError(
                 "Money / Money is a ratio; use .ratio_to() for that"
             )
-        return Money(self._amount / _to_decimal(divisor))
+        return Money(_CTX.divide(self._amount, _to_decimal(divisor)))
 
     def __neg__(self) -> "Money":
-        return Money(-self._amount)
+        return Money(_CTX.minus(self._amount))
 
     def __abs__(self) -> "Money":
-        return Money(abs(self._amount))
+        return Money(_CTX.abs(self._amount))
 
     def ratio_to(self, other: "Money") -> float:
         """Dimensionless ratio ``self / other`` as a float.
@@ -138,7 +150,7 @@ class Money:
             raise TypeError("ratio_to expects Money")
         if other._amount == 0:
             raise ZeroDivisionError("ratio to zero Money")
-        return float(self._amount / other._amount)
+        return float(_CTX.divide(self._amount, other._amount))
 
     # -- comparisons / hashing ---------------------------------------
 

@@ -2,6 +2,7 @@
 
 from .elastic import ElasticChoice, elastic_select, scale_out_only
 from .exhaustive import exhaustive_select, iterate_subsets
+from .fairness import FairShareScenario
 from .greedy import greedy_select
 from .knapsack import KnapsackSolution, max_value_knapsack, min_weight_cover
 from .pareto import dominates, frontier_outcomes, pareto_frontier
@@ -19,6 +20,7 @@ __all__ = [
     "BudgetLimit",
     "ElasticChoice",
     "EvaluationStats",
+    "FairShareScenario",
     "KnapsackSolution",
     "SubsetEvaluationCache",
     "elastic_select",

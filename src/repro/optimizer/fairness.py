@@ -1,0 +1,203 @@
+"""Fairness-aware selection: tenant constraints over a base scenario.
+
+A fleet optimum can be grossly unfair: the subset minimizing the
+*total* bill may lavish views on one tenant's queries while another
+tenant subsidizes storage it never touches.
+:class:`FairShareScenario` layers per-tenant constraints on top of any
+base :class:`~repro.optimizer.scenarios.Scenario`:
+
+* **budget caps** — each tenant's attributed cost must stay within its
+  explicit dollar cap (typically ``budget_share x fleet budget``);
+* **max-regret vs the even split** — no tenant's attributed cost may
+  exceed ``(1 + slack)`` times an even 1/n share of the subset's total
+  bill, bounding how far attribution can drift from parity.
+
+The scenario is deliberately ignorant of *how* costs are attributed:
+a ``shares_fn(outcome) -> {tenant: Money}`` is injected (in practice
+:meth:`repro.simulate.attribution.SharedCostAttributor.outcome_shares`
+closed over the epoch's problem), keeping the optimizer layer free of
+simulation imports.  Because it implements the standard ``Scenario``
+protocol (feasible / violation / key), the greedy and exhaustive
+algorithms handle it natively; the knapsack falls back to an exact
+repair when its fairness-blind answer lands infeasible (see
+:func:`repro.optimizer.selector.select_views`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Mapping, Optional, Tuple
+
+from ..errors import OptimizationError
+from ..money import Money, ZERO
+from .problem import SelectionOutcome
+from .scenarios import Scenario, Tradeoff
+
+__all__ = ["FairShareScenario"]
+
+#: ``shares_fn`` signature: a subset outcome's per-tenant attributed cost.
+SharesFn = Callable[[SelectionOutcome], Mapping[str, Money]]
+
+
+class FairShareScenario(Scenario):
+    """A base scenario constrained by per-tenant attributed costs.
+
+    Parameters
+    ----------
+    shares_fn:
+        Maps a :class:`SelectionOutcome` to per-tenant attributed
+        dollar shares that sum to the outcome's total cost.  Memoized
+        per subset, so repair loops do not re-attribute.
+    base:
+        The fleet-level scenario optimized within the fairness
+        envelope; defaults to the pure cost minimizer
+        (:class:`Tradeoff` with ``alpha=0``).
+    caps:
+        Absolute per-tenant dollar caps.  Tenants absent from the
+        mapping are uncapped.
+    max_share_slack:
+        If set, every tenant's share must be at most
+        ``(1 + slack) x total / n_tenants`` — a relative max-regret
+        constraint against the even split.  ``0.0`` demands exact
+        parity (usually infeasible; 0.25-1.0 is the practical range).
+    hard:
+        ``True`` (default) treats the tenant caps as feasibility
+        constraints — selection fails with
+        :class:`~repro.errors.InfeasibleProblemError` when no subset
+        satisfies them (a tenant whose own queries dominate the bill
+        can make *any* cap unreachable, since direct costs cannot be
+        redistributed).  ``False`` makes fairness a lexicographic
+        preference instead: minimize the total overshoot first, the
+        base objective second — always feasible, which is what a
+        lifecycle policy that must decide *something* every epoch
+        wants.
+
+    At least one of ``caps`` / ``max_share_slack`` must be given.
+    """
+
+    name = "FairShare"
+
+    def __init__(
+        self,
+        shares_fn: SharesFn,
+        base: Optional[Scenario] = None,
+        caps: Optional[Mapping[str, Money]] = None,
+        max_share_slack: Optional[float] = None,
+        hard: bool = True,
+    ) -> None:
+        if caps is None and max_share_slack is None:
+            raise OptimizationError(
+                "FairShareScenario needs caps and/or max_share_slack; "
+                "with neither it is just the base scenario"
+            )
+        if max_share_slack is not None and max_share_slack < 0:
+            raise OptimizationError(
+                f"max_share_slack cannot be negative, got {max_share_slack}"
+            )
+        if caps is not None and any(cap < ZERO for cap in caps.values()):
+            raise OptimizationError("per-tenant caps cannot be negative")
+        self._base = base if base is not None else Tradeoff(alpha=0.0)
+        self._shares_fn = shares_fn
+        self._caps: Optional[Dict[str, Money]] = (
+            dict(caps) if caps is not None else None
+        )
+        self._slack = max_share_slack
+        self._hard = hard
+        self._memo: Dict[FrozenSet[str], Mapping[str, Money]] = {}
+
+    @property
+    def base(self) -> Scenario:
+        """The fleet objective optimized inside the fairness envelope."""
+        return self._base
+
+    @property
+    def caps(self) -> Optional[Mapping[str, Money]]:
+        """The absolute per-tenant dollar caps, if any."""
+        return dict(self._caps) if self._caps is not None else None
+
+    @property
+    def max_share_slack(self) -> Optional[float]:
+        """Allowed relative overshoot of the even split, if constrained."""
+        return self._slack
+
+    @property
+    def hard(self) -> bool:
+        """Whether fairness binds as a constraint or as a preference."""
+        return self._hard
+
+    def shares(self, outcome: SelectionOutcome) -> Mapping[str, Money]:
+        """The outcome's attributed per-tenant costs (memoized)."""
+        cached = self._memo.get(outcome.subset)
+        if cached is None:
+            cached = dict(self._shares_fn(outcome))
+            if not cached:
+                raise OptimizationError(
+                    "shares_fn returned no tenants; fairness needs at "
+                    "least one"
+                )
+            self._memo[outcome.subset] = cached
+        return cached
+
+    # -- constraint arithmetic -----------------------------------------
+
+    def _overshoots(self, outcome: SelectionOutcome) -> Tuple[Money, ...]:
+        """Each tenant's dollars above its binding cap (empty if none)."""
+        shares = self.shares(outcome)
+        even_cap: Optional[Money] = None
+        if self._slack is not None:
+            total = sum(shares.values(), ZERO)
+            even_cap = (total / len(shares)) * (1.0 + self._slack)
+        overshoots = []
+        for tenant, share in shares.items():
+            cap: Optional[Money] = None
+            if self._caps is not None and tenant in self._caps:
+                cap = self._caps[tenant]
+            if even_cap is not None:
+                cap = even_cap if cap is None else min(cap, even_cap)
+            if cap is not None and share > cap:
+                overshoots.append(share - cap)
+        return tuple(overshoots)
+
+    def _overshoot_dollars(self, outcome: SelectionOutcome) -> float:
+        return sum(
+            (over for over in self._overshoots(outcome)), ZERO
+        ).to_float()
+
+    # -- the Scenario protocol -----------------------------------------
+
+    def feasible(self, outcome: SelectionOutcome) -> bool:
+        """Base-feasible; in hard mode, every tenant within its caps too."""
+        if not self._base.feasible(outcome):
+            return False
+        if not self._hard:
+            return True
+        return not self._overshoots(outcome)
+
+    def violation(self, outcome: SelectionOutcome) -> float:
+        """Base violation plus (hard mode) total tenant overshoot, in $."""
+        fairness = self._overshoot_dollars(outcome) if self._hard else 0.0
+        return self._base.violation(outcome) + fairness
+
+    def key(self, outcome: SelectionOutcome) -> Tuple[float, ...]:
+        """The minimization key.
+
+        Hard mode: the base key unchanged (fairness lives in
+        feasibility).  Soft mode: total overshoot first, then the base
+        key — the least-unfair subset wins, the base objective breaks
+        ties among equally fair ones.
+        """
+        if self._hard:
+            return self._base.key(outcome)
+        return (self._overshoot_dollars(outcome), *self._base.key(outcome))
+
+    def describe(self) -> str:
+        """The base description plus the fairness envelope."""
+        constraints = []
+        if self._caps is not None:
+            caps = ", ".join(
+                f"{tenant}<={cap}" for tenant, cap in sorted(self._caps.items())
+            )
+            constraints.append(f"caps[{caps}]")
+        if self._slack is not None:
+            constraints.append(f"share<=(1+{self._slack:g})/n")
+        binding = "fair" if self._hard else "fair-soft"
+        return f"{self._base.describe()} | {binding}: {' & '.join(constraints)}"

@@ -262,3 +262,15 @@ class SelectionProblem:
             self.baseline().processing_hours
             - self.singleton(view_name).processing_hours
         )
+
+    def processing_hours_for(
+        self, subset: AbstractSet[str], query_names: AbstractSet[str]
+    ) -> float:
+        """Frequency-weighted hours of a query group under ``subset``.
+
+        The multi-workload slice of Formula 9: summing over one
+        tenant's queries instead of the whole workload.  The groups'
+        hours sum to the subset's total processing hours when the
+        groups partition the workload.
+        """
+        return self._inputs.group_processing_hours(subset, query_names)

@@ -28,6 +28,7 @@ from typing import Dict, FrozenSet, List, Optional
 
 from ..errors import InfeasibleProblemError, OptimizationError
 from .exhaustive import exhaustive_select
+from .fairness import FairShareScenario
 from .greedy import greedy_select
 from .knapsack import max_value_knapsack, min_weight_cover
 from .problem import SelectionOutcome, SelectionProblem
@@ -226,6 +227,18 @@ def _knapsack_mv3(
 def _knapsack_select(
     problem: SelectionProblem, scenario: Scenario
 ) -> SelectionOutcome:
+    if isinstance(scenario, FairShareScenario):
+        # The knapsack DP has no tenant dimension, so solve the base
+        # scenario fairness-blind first; only when that answer breaks
+        # (hard mode) or overshoots (soft mode) a tenant cap is the
+        # slower, interaction-exact greedy re-run under the full
+        # fairness envelope.
+        unconstrained = _knapsack_select(problem, scenario.base)
+        if scenario.feasible(unconstrained) and (
+            scenario.hard or scenario.key(unconstrained)[0] == 0.0
+        ):
+            return unconstrained
+        return greedy_select(problem, scenario)
     if isinstance(scenario, BudgetLimit):
         return _knapsack_mv1(problem, scenario)
     if isinstance(scenario, TimeLimit):

@@ -16,7 +16,19 @@ cross-problem :class:`~repro.optimizer.problem.SubsetEvaluationCache`
 :class:`EpochProblemBuilder`'s incremental per-query pricing (drift
 that adds one query prices one query).
 
-Quick start (see ``examples/lifecycle_simulation.py``)::
+Multi-tenant lifecycles layer on top (see
+:mod:`repro.simulate.tenants` and :mod:`repro.simulate.attribution`):
+a :class:`TenantFleet` merges several tenants' workloads onto one
+shared warehouse, a :class:`MultiTenantSimulator` runs the merged
+fleet through the same epoch loop, and a
+:class:`SharedCostAttributor` splits every epoch's charges into
+per-tenant ledgers that sum exactly to the fleet bill — with an
+optional fairness-aware selection mode
+(:class:`~repro.optimizer.fairness.FairShareScenario`) capping each
+tenant's attributed cost.
+
+Quick start (see ``examples/lifecycle_simulation.py`` and
+``examples/multi_tenant_simulation.py``)::
 
     from repro.simulate import drifting_sales_simulator, make_policy
 
@@ -24,8 +36,20 @@ Quick start (see ``examples/lifecycle_simulation.py``)::
     ledgers = sim.compare([make_policy(n) for n in ("never", "regret")])
     for ledger in ledgers.values():
         print(ledger.summary())
+
+    from repro.simulate import multi_tenant_sales_simulator
+
+    fleet_sim = multi_tenant_sales_simulator(n_tenants=3)
+    fleet_ledger = fleet_sim.run(make_policy("regret"))
+    print(fleet_ledger.summary())   # fleet line + one line per tenant
 """
 
+from .attribution import (
+    ATTRIBUTION_MODES,
+    SharedCostAttributor,
+    allocate_exactly,
+    tenant_of_query,
+)
 from .clock import Epoch, SimulationClock
 from .events import (
     AddQueries,
@@ -37,7 +61,13 @@ from .events import (
     ReweightQueries,
     SimulationEvent,
 )
-from .ledger import EpochRecord, SimulationLedger
+from .ledger import (
+    EpochRecord,
+    FleetLedger,
+    SimulationLedger,
+    TenantEpochRecord,
+    TenantLedger,
+)
 from .policy import (
     POLICY_NAMES,
     NeverReselect,
@@ -45,24 +75,36 @@ from .policy import (
     PolicyDecision,
     RegretTriggered,
     ReselectionPolicy,
+    ScenarioFactory,
     make_policy,
 )
-from .presets import DRIFT_MIN_EPOCHS, drifting_sales_simulator, sales_deployment
+from .presets import (
+    DRIFT_MIN_EPOCHS,
+    drifting_sales_simulator,
+    multi_tenant_min_epochs,
+    multi_tenant_sales_simulator,
+    sales_deployment,
+)
 from .problems import EpochProblemBuilder
-from .simulator import LifecycleSimulator, full_catalogue
+from .simulator import EpochObserver, LifecycleSimulator, full_catalogue
 from .state import WarehouseState
+from .tenants import MultiTenantSimulator, Tenant, TenantFleet, qualify
 
 __all__ = [
+    "ATTRIBUTION_MODES",
     "AddQueries",
     "DRIFT_MIN_EPOCHS",
     "DropQueries",
     "Epoch",
+    "EpochObserver",
     "EpochProblemBuilder",
     "EpochRecord",
     "EventTimeline",
     "FleetChange",
+    "FleetLedger",
     "GrowFactTable",
     "LifecycleSimulator",
+    "MultiTenantSimulator",
     "NeverReselect",
     "POLICY_NAMES",
     "PeriodicReselect",
@@ -71,12 +113,23 @@ __all__ = [
     "RegretTriggered",
     "ReselectionPolicy",
     "ReweightQueries",
+    "ScenarioFactory",
+    "SharedCostAttributor",
     "SimulationClock",
     "SimulationEvent",
     "SimulationLedger",
+    "Tenant",
+    "TenantEpochRecord",
+    "TenantFleet",
+    "TenantLedger",
     "WarehouseState",
+    "allocate_exactly",
     "drifting_sales_simulator",
     "full_catalogue",
     "make_policy",
+    "multi_tenant_min_epochs",
+    "multi_tenant_sales_simulator",
+    "qualify",
     "sales_deployment",
+    "tenant_of_query",
 ]

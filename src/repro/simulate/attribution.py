@@ -1,0 +1,388 @@
+"""Shared-cost attribution: one warehouse bill, split across tenants.
+
+When several tenants share a warehouse, most of the bill is jointly
+caused: a view at (day, country) may serve three tenants' dashboards,
+the base dataset is stored once for everyone, and a maintenance job
+refreshes a view for whoever queries it next.  A
+:class:`SharedCostAttributor` splits every component of an epoch's
+:class:`~repro.costmodel.total.CostBreakdown` into per-tenant shares
+that **sum exactly** to the fleet amount — the invariant
+:meth:`~repro.simulate.ledger.FleetLedger.verify_attribution` enforces.
+
+Cost components and how they are split:
+
+* **query processing** and **result transfer** — directly caused:
+  every query belongs to exactly one tenant, so these are split by
+  each tenant's frequency-weighted processing hours / egress volume;
+* **view maintenance**, **view storage**, **view builds** — shared by
+  the tenants whose queries the view answers this epoch, split by the
+  attribution *mode* (below);
+* **base-dataset storage** and **teardown egress** — fleet
+  infrastructure with no per-view user set, split by the
+  infrastructure rule (proportional to use, or evenly).
+
+Two attribution modes (:data:`ATTRIBUTION_MODES`):
+
+* ``"proportional"`` — proportional-to-use: a view's charges are split
+  by each using tenant's frequency-weighted accesses (a tenant running
+  a view-answered query 6x/period pays twice the share of one running
+  it 3x/period);
+* ``"even"`` — Shapley-style even split: a view's cost is a fixed
+  joint cost, and the Shapley value of a fixed-cost game shared by *k*
+  symmetric players is ``cost / k``, so every tenant using the view
+  pays the same share regardless of intensity.
+
+Exactness: shares are computed in :class:`~repro.money.Money`
+(``Decimal``) arithmetic, and each component's last tenant receives
+``amount - sum(other shares)`` rather than its own rounded product, so
+per-tenant ledgers always sum to the fleet ledger — not just "to the
+cent" but to the last decimal digit.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Mapping, Optional, Sequence, Tuple
+
+from ..costmodel.storage import storage_cost
+from ..costmodel.total import CostBreakdown
+from ..errors import SimulationError
+from ..money import Money, ZERO
+from ..optimizer.problem import SelectionOutcome, SelectionProblem
+from .ledger import EpochRecord, TenantEpochRecord
+
+__all__ = [
+    "ATTRIBUTION_MODES",
+    "TENANT_SEPARATOR",
+    "SharedCostAttributor",
+    "allocate_exactly",
+    "tenant_of_query",
+]
+
+#: Attribution modes accepted by :class:`SharedCostAttributor`.
+ATTRIBUTION_MODES = ("proportional", "even")
+
+#: Separator between a tenant's name and its queries' names in the
+#: merged fleet workload ("acme/Q1" belongs to tenant "acme").
+TENANT_SEPARATOR = "/"
+
+
+def tenant_of_query(query_name: str) -> Optional[str]:
+    """The tenant a namespaced fleet query belongs to (``None`` if unscoped)."""
+    if TENANT_SEPARATOR not in query_name:
+        return None
+    return query_name.split(TENANT_SEPARATOR, 1)[0]
+
+
+def allocate_exactly(
+    amount: Money, weights: Mapping[str, float], order: Sequence[str]
+) -> Dict[str, Money]:
+    """Split ``amount`` by ``weights`` so the shares sum to it exactly.
+
+    Every tenant but the last gets ``amount * (weight / total_weight)``;
+    the last gets the exact residual, which absorbs any rounding of the
+    Decimal products.  Zero (or degenerate) total weight falls back to
+    an even split — a charge must never vanish just because nobody's
+    weight registered.
+
+    >>> from repro.money import Money
+    >>> shares = allocate_exactly(
+    ...     Money("10.00"), {"a": 2.0, "b": 1.0}, ["a", "b"]
+    ... )
+    >>> shares["a"] + shares["b"] == Money("10.00")
+    True
+    """
+    if not order:
+        raise SimulationError("cannot allocate a charge to zero tenants")
+    total_weight = sum(max(0.0, weights.get(name, 0.0)) for name in order)
+    if total_weight <= 0.0:
+        weights = {name: 1.0 for name in order}
+        total_weight = float(len(order))
+    shares: Dict[str, Money] = {}
+    running = ZERO
+    for name in order[:-1]:
+        share = amount * (max(0.0, weights.get(name, 0.0)) / total_weight)
+        shares[name] = share
+        running = running + share
+    shares[order[-1]] = amount - running
+    return shares
+
+
+class SharedCostAttributor:
+    """Splits fleet charges into per-tenant shares (see module docs).
+
+    Parameters
+    ----------
+    tenants:
+        The tenant names, in the deterministic order used for residual
+        assignment (the last tenant absorbs rounding residues).
+    mode:
+        One of :data:`ATTRIBUTION_MODES`.
+    tenant_of:
+        Maps a fleet query name to its owning tenant; defaults to the
+        :data:`TENANT_SEPARATOR` prefix convention used by
+        :class:`~repro.simulate.tenants.TenantFleet`.
+    """
+
+    def __init__(
+        self,
+        tenants: Sequence[str],
+        mode: str = "proportional",
+        tenant_of: Optional[Callable[[str], Optional[str]]] = None,
+    ) -> None:
+        if mode not in ATTRIBUTION_MODES:
+            raise SimulationError(
+                f"unknown attribution mode {mode!r}; "
+                f"choose from {ATTRIBUTION_MODES}"
+            )
+        if not tenants:
+            raise SimulationError("an attributor needs at least one tenant")
+        if len(set(tenants)) != len(tenants):
+            raise SimulationError("tenant names must be unique")
+        self._tenants: Tuple[str, ...] = tuple(tenants)
+        self._mode = mode
+        self._tenant_of = tenant_of if tenant_of is not None else tenant_of_query
+
+    @property
+    def tenants(self) -> Tuple[str, ...]:
+        """Tenant names, in residual-assignment order."""
+        return self._tenants
+
+    @property
+    def mode(self) -> str:
+        """``'proportional'`` or ``'even'``."""
+        return self._mode
+
+    def describe(self) -> str:
+        """Short display form."""
+        return f"{self._mode} over {len(self._tenants)} tenants"
+
+    # -- per-epoch working data ----------------------------------------
+
+    def _owner(self, query_name: str) -> str:
+        tenant = self._tenant_of(query_name)
+        if tenant is None or tenant not in self._tenants:
+            raise SimulationError(
+                f"query {query_name!r} does not belong to any known tenant "
+                f"({', '.join(self._tenants)})"
+            )
+        return tenant
+
+    def _direct_weights(
+        self, problem: SelectionProblem, subset: FrozenSet[str]
+    ) -> Tuple[Dict[str, float], Dict[str, float], Dict[str, Dict[str, float]]]:
+        """Per-tenant processing/egress weights and per-view user weights.
+
+        Returns ``(processing, egress, users)`` where ``processing`` and
+        ``egress`` map tenant -> frequency-weighted hours / GB, and
+        ``users`` maps view name -> {tenant: frequency-weighted accesses
+        to that view} (only tenants with at least one query answered by
+        the view appear).
+        """
+        inputs = problem.inputs
+        # One pass computes hours, egress and per-view users together;
+        # the hours agree with PlanningInputs.group_processing_hours
+        # per tenant (pinned by a test) without re-scanning the
+        # workload once per tenant.
+        per_query = inputs.query_hours_with(subset)
+        processing = {name: 0.0 for name in self._tenants}
+        egress = {name: 0.0 for name in self._tenants}
+        users: Dict[str, Dict[str, float]] = {}
+        for query in inputs.workload:
+            tenant = self._owner(query.name)
+            processing[tenant] += per_query[query.name] * query.frequency
+            egress[tenant] += (
+                inputs.result_sizes_gb[query.name] * query.frequency
+            )
+            source = inputs.best_source(query.name, subset)
+            if source is not None:
+                users.setdefault(source, {}).setdefault(tenant, 0.0)
+                users[source][tenant] += query.frequency
+        return processing, egress, users
+
+    def _view_weights(
+        self,
+        per_view_amounts: Mapping[str, float],
+        users: Mapping[str, Mapping[str, float]],
+        infrastructure: Mapping[str, float],
+    ) -> Dict[str, float]:
+        """Per-tenant weights for charges that accrue per view.
+
+        ``per_view_amounts`` weights each view's contribution (hours,
+        gigabytes); each view's amount is divided among its users by
+        the attribution mode, falling back to the infrastructure rule
+        for views nobody currently uses (a policy may carry a view
+        through an epoch in which no query reads it).
+        """
+        weights = {name: 0.0 for name in self._tenants}
+        infra_total = sum(infrastructure.values())
+        for view_name, amount in per_view_amounts.items():
+            if amount <= 0.0:
+                continue
+            view_users = users.get(view_name)
+            if view_users:
+                if self._mode == "even":
+                    share = amount / len(view_users)
+                    for tenant in view_users:
+                        weights[tenant] += share
+                else:
+                    use_total = sum(view_users.values())
+                    for tenant, use in view_users.items():
+                        weights[tenant] += amount * (use / use_total)
+            elif infra_total > 0.0:
+                for tenant, infra in infrastructure.items():
+                    weights[tenant] += amount * (infra / infra_total)
+            else:
+                share = amount / len(self._tenants)
+                for tenant in self._tenants:
+                    weights[tenant] += share
+        return weights
+
+    def _infrastructure_weights(
+        self, processing: Mapping[str, float]
+    ) -> Mapping[str, float]:
+        """The rule for charges with no per-view user set."""
+        if self._mode == "even":
+            return {name: 1.0 for name in self._tenants}
+        return processing
+
+    # -- the splits -----------------------------------------------------
+
+    def _component_shares(
+        self,
+        problem: SelectionProblem,
+        subset: FrozenSet[str],
+        built: FrozenSet[str],
+        breakdown: CostBreakdown,
+        teardown_cost: Money,
+    ) -> Tuple[Dict[str, Dict[str, Money]], Dict[str, float]]:
+        """Split every component of one epoch's breakdown.
+
+        Returns ``(shares, hours)``: ``shares`` maps component name
+        (``processing``, ``transfer``, ``maintenance``, ``storage``,
+        ``build``, ``teardown``) to per-tenant shares summing exactly
+        to the fleet amount; ``hours`` is each tenant's own
+        frequency-weighted processing hours (the processing weights,
+        reused so the hours reported on a
+        :class:`~repro.simulate.ledger.TenantEpochRecord` can never
+        drift from the weights its processing cost was split by).
+        """
+        inputs = problem.inputs
+        plan = inputs.plan_for(subset)
+        processing, egress, users = self._direct_weights(problem, subset)
+        infrastructure = self._infrastructure_weights(processing)
+        ordered = sorted(subset)
+        cycles = inputs.deployment.maintenance_cycles
+
+        maintenance_amounts = {
+            name: inputs.view_stats[name].maintenance_hours_per_cycle * cycles
+            for name in ordered
+        }
+        build_amounts = {
+            name: hours
+            for name, hours in zip(ordered, plan.materialization_hours)
+            if name in built and hours > 0.0
+        }
+        size_amounts = {
+            name: inputs.view_stats[name].size_gb for name in ordered
+        }
+
+        base_storage = storage_cost(
+            inputs.deployment.provider.storage, plan.base_timeline
+        )
+        view_storage = breakdown.storage - base_storage
+
+        tenants = self._tenants
+        storage_shares = allocate_exactly(
+            base_storage, infrastructure, tenants
+        )
+        view_storage_shares = allocate_exactly(
+            view_storage,
+            self._view_weights(size_amounts, users, infrastructure),
+            tenants,
+        )
+        shares = {
+            "processing": allocate_exactly(
+                breakdown.computing.processing_cost, processing, tenants
+            ),
+            "transfer": allocate_exactly(breakdown.transfer, egress, tenants),
+            "maintenance": allocate_exactly(
+                breakdown.computing.maintenance_cost,
+                self._view_weights(maintenance_amounts, users, infrastructure),
+                tenants,
+            ),
+            "storage": {
+                name: storage_shares[name] + view_storage_shares[name]
+                for name in tenants
+            },
+            "build": allocate_exactly(
+                breakdown.computing.materialization_cost,
+                self._view_weights(build_amounts, users, infrastructure),
+                tenants,
+            ),
+            "teardown": allocate_exactly(
+                teardown_cost, infrastructure, tenants
+            ),
+        }
+        return shares, processing
+
+    def attribute(
+        self,
+        problem: SelectionProblem,
+        record: EpochRecord,
+        breakdown: CostBreakdown,
+    ) -> Dict[str, TenantEpochRecord]:
+        """One epoch's fleet record split into per-tenant records.
+
+        ``breakdown`` must be the epoch breakdown the record was
+        accounted from (materialization narrowed to the views built
+        this epoch) — the simulator passes it to its observer.
+        """
+        subset = frozenset(record.subset)
+        built = frozenset(record.views_built)
+        shares, hours = self._component_shares(
+            problem, subset, built, breakdown, record.teardown_cost
+        )
+        return {
+            name: TenantEpochRecord(
+                epoch=record.epoch,
+                tenant=name,
+                processing_cost=shares["processing"][name],
+                transfer_cost=shares["transfer"][name],
+                maintenance_cost=shares["maintenance"][name],
+                storage_cost=shares["storage"][name],
+                build_cost=shares["build"][name],
+                teardown_cost=shares["teardown"][name],
+                processing_hours=hours[name],
+            )
+            for name in self._tenants
+        }
+
+    def outcome_shares(
+        self, problem: SelectionProblem, outcome: SelectionOutcome
+    ) -> Dict[str, Money]:
+        """Per-tenant shares of a selection outcome's full bill.
+
+        The selection-time view of attribution: every view in the
+        subset is charged as if built this period (exactly what
+        ``outcome.breakdown`` prices), so the shares sum to
+        ``outcome.total_cost``.  This is the quantity fairness-aware
+        selection (:class:`~repro.optimizer.fairness.FairShareScenario`)
+        constrains.
+        """
+        shares, _ = self._component_shares(
+            problem,
+            outcome.subset,
+            outcome.subset,
+            outcome.breakdown,
+            ZERO,
+        )
+        totals: Dict[str, Money] = {}
+        for name in self._tenants:
+            totals[name] = (
+                shares["processing"][name]
+                + shares["transfer"][name]
+                + shares["maintenance"][name]
+                + shares["storage"][name]
+                + shares["build"][name]
+            )
+        return totals

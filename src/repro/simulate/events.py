@@ -70,6 +70,7 @@ class AddQueries(SimulationEvent):
             raise SimulationError("AddQueries needs at least one query")
 
     def apply(self, state: WarehouseState) -> WarehouseState:
+        """The state with the new queries appended to the workload."""
         try:
             return state.with_workload(
                 state.workload.with_queries(self.queries)
@@ -80,6 +81,7 @@ class AddQueries(SimulationEvent):
             ) from error
 
     def describe(self) -> str:
+        """``+queries[...]`` with the arriving query names."""
         names = ", ".join(q.name for q in self.queries)
         return f"+queries[{names}]"
 
@@ -96,6 +98,7 @@ class DropQueries(SimulationEvent):
             raise SimulationError("DropQueries needs at least one name")
 
     def apply(self, state: WarehouseState) -> WarehouseState:
+        """The state with the named queries removed from the workload."""
         try:
             return state.with_workload(state.workload.without(self.names))
         except SchemaError as error:
@@ -104,6 +107,7 @@ class DropQueries(SimulationEvent):
             ) from error
 
     def describe(self) -> str:
+        """``-queries[...]`` with the departing query names."""
         return f"-queries[{', '.join(self.names)}]"
 
 
@@ -127,6 +131,7 @@ class ReweightQueries(SimulationEvent):
             )
 
     def apply(self, state: WarehouseState) -> WarehouseState:
+        """The state with the named queries' frequencies replaced."""
         try:
             return state.with_workload(
                 state.workload.reweighted(dict(self.frequencies))
@@ -137,6 +142,7 @@ class ReweightQueries(SimulationEvent):
             ) from error
 
     def describe(self) -> str:
+        """``~freq[...]`` with the new per-query weights."""
         parts = ", ".join(f"{n}x{f:g}" for n, f in self.frequencies)
         return f"~freq[{parts}]"
 
@@ -155,9 +161,11 @@ class GrowFactTable(SimulationEvent):
             )
 
     def apply(self, state: WarehouseState) -> WarehouseState:
+        """The state after logical growth (or purge) by ``factor``."""
         return state.grown(self.factor)
 
     def describe(self) -> str:
+        """``data xF`` with the growth factor."""
         return f"data x{self.factor:g}"
 
 
@@ -173,9 +181,11 @@ class PriceChange(SimulationEvent):
             raise SimulationError("PriceChange needs a provider")
 
     def apply(self, state: WarehouseState) -> WarehouseState:
+        """The state billed under the new provider's price book."""
         return state.with_provider(self.provider)
 
     def describe(self) -> str:
+        """``prices->provider`` with the new price book's name."""
         return f"prices->{self.provider.name}"
 
 
@@ -193,9 +203,11 @@ class FleetChange(SimulationEvent):
             )
 
     def apply(self, state: WarehouseState) -> WarehouseState:
+        """The state running on the resized instance fleet."""
         return state.with_fleet(self.n_instances)
 
     def describe(self) -> str:
+        """``fleet->N`` with the new instance count."""
         return f"fleet->{self.n_instances}"
 
 

@@ -14,17 +14,31 @@ way an operator would read it:
 
 A :class:`SimulationLedger` accumulates the records for one policy and
 answers the comparison questions (total cost, hours, churn).
+
+Multi-tenant runs add a second layer: each epoch's fleet record is
+split by a :class:`~repro.simulate.attribution.SharedCostAttributor`
+into one :class:`TenantEpochRecord` per tenant, accumulated in
+per-tenant :class:`TenantLedger`\\ s, and a :class:`FleetLedger` rolls
+the fleet history and the tenant histories up together — with
+:meth:`FleetLedger.verify_attribution` enforcing that the tenant
+ledgers sum *exactly* to the fleet ledger, epoch by epoch.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Tuple
+from typing import Dict, Iterator, List, Mapping, Tuple
 
 from ..errors import SimulationError
 from ..money import Money, ZERO
 
-__all__ = ["EpochRecord", "SimulationLedger"]
+__all__ = [
+    "EpochRecord",
+    "FleetLedger",
+    "SimulationLedger",
+    "TenantEpochRecord",
+    "TenantLedger",
+]
 
 
 @dataclass(frozen=True)
@@ -169,3 +183,245 @@ class SimulationLedger:
         lines += [r.describe() for r in self._records]
         lines.append(self.summary())
         return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Multi-tenant attribution layer
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TenantEpochRecord:
+    """One tenant's attributed share of one epoch's fleet charges.
+
+    The component fields mirror how the fleet bill decomposes —
+    processing compute, result transfer, view maintenance, storage
+    (base share + view share), builds and teardowns — so a tenant's
+    invoice explains *why* it owes what it owes.  Across the fleet's
+    tenants, each component sums exactly to the fleet amount (see
+    :mod:`repro.simulate.attribution`).
+    """
+
+    epoch: int
+    tenant: str
+    processing_cost: Money
+    transfer_cost: Money
+    maintenance_cost: Money
+    storage_cost: Money
+    build_cost: Money
+    teardown_cost: Money
+    #: The tenant's own frequency-weighted processing hours this epoch.
+    processing_hours: float
+
+    @property
+    def operating_cost(self) -> Money:
+        """Steady-state share: processing + transfer + maintenance + storage."""
+        return (
+            self.processing_cost
+            + self.transfer_cost
+            + self.maintenance_cost
+            + self.storage_cost
+        )
+
+    @property
+    def total_cost(self) -> Money:
+        """Everything attributed to the tenant this epoch."""
+        return self.operating_cost + self.build_cost + self.teardown_cost
+
+    def describe(self) -> str:
+        """One invoice line."""
+        return (
+            f"e{self.epoch:>3}  C={self.total_cost}  "
+            f"(proc={self.processing_cost}, maint={self.maintenance_cost}, "
+            f"stor={self.storage_cost}, xfer={self.transfer_cost}, "
+            f"build={self.build_cost}, drop={self.teardown_cost})  "
+            f"T={self.processing_hours:.3f}h"
+        )
+
+
+class TenantLedger:
+    """One tenant's attributed cost history under one policy's run."""
+
+    def __init__(self, tenant: str, policy_name: str) -> None:
+        self._tenant = tenant
+        self._policy = policy_name
+        self._records: List[TenantEpochRecord] = []
+
+    def append(self, record: TenantEpochRecord) -> None:
+        """Record the next epoch's share (must belong to this tenant)."""
+        if record.tenant != self._tenant:
+            raise SimulationError(
+                f"record for tenant {record.tenant!r} appended to "
+                f"{self._tenant!r}'s ledger"
+            )
+        if self._records and record.epoch <= self._records[-1].epoch:
+            raise SimulationError(
+                f"epoch {record.epoch} recorded after "
+                f"epoch {self._records[-1].epoch}"
+            )
+        self._records.append(record)
+
+    # -- access ---------------------------------------------------------
+
+    @property
+    def tenant(self) -> str:
+        """The tenant this ledger bills."""
+        return self._tenant
+
+    @property
+    def policy_name(self) -> str:
+        """The fleet policy that produced this history."""
+        return self._policy
+
+    @property
+    def records(self) -> Tuple[TenantEpochRecord, ...]:
+        """Every epoch's attributed record, in order."""
+        return tuple(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TenantEpochRecord]:
+        return iter(self._records)
+
+    # -- totals ---------------------------------------------------------
+
+    @property
+    def total_cost(self) -> Money:
+        """The tenant's lifetime attributed bill."""
+        return sum((r.total_cost for r in self._records), ZERO)
+
+    @property
+    def total_operating_cost(self) -> Money:
+        """Lifetime attributed steady-state charges."""
+        return sum((r.operating_cost for r in self._records), ZERO)
+
+    @property
+    def total_build_cost(self) -> Money:
+        """Lifetime attributed materialization charges."""
+        return sum((r.build_cost for r in self._records), ZERO)
+
+    @property
+    def total_teardown_cost(self) -> Money:
+        """Lifetime attributed decommission charges."""
+        return sum((r.teardown_cost for r in self._records), ZERO)
+
+    @property
+    def total_hours(self) -> float:
+        """The tenant's lifetime processing hours."""
+        return sum(r.processing_hours for r in self._records)
+
+    # -- display --------------------------------------------------------
+
+    def summary(self) -> str:
+        """One comparison line for the tenant."""
+        return (
+            f"{self._tenant:<12} total={self.total_cost}  "
+            f"operating={self.total_operating_cost}  "
+            f"build={self.total_build_cost}  "
+            f"hours={self.total_hours:.2f}"
+        )
+
+    def render(self) -> str:
+        """The tenant's full per-epoch invoice as text."""
+        lines = [f"tenant: {self._tenant}  (policy: {self._policy})"]
+        lines += [r.describe() for r in self._records]
+        lines.append(self.summary())
+        return "\n".join(lines)
+
+
+class FleetLedger:
+    """A fleet run's full accounting: the fleet ledger + tenant ledgers.
+
+    ``fleet`` is the ordinary :class:`SimulationLedger` of the shared
+    warehouse; ``tenants`` maps tenant name to its attributed
+    :class:`TenantLedger`.  The two views describe the same money:
+    :meth:`verify_attribution` re-checks the books and raises if any
+    epoch's tenant shares do not sum exactly to the fleet record.
+    """
+
+    def __init__(
+        self, fleet: SimulationLedger, tenants: Mapping[str, TenantLedger]
+    ) -> None:
+        if not tenants:
+            raise SimulationError("a fleet ledger needs at least one tenant")
+        self._fleet = fleet
+        self._tenants: Dict[str, TenantLedger] = dict(tenants)
+
+    @property
+    def fleet(self) -> SimulationLedger:
+        """The shared warehouse's own per-epoch ledger."""
+        return self._fleet
+
+    @property
+    def tenants(self) -> Mapping[str, TenantLedger]:
+        """Per-tenant attributed ledgers, by tenant name."""
+        return dict(self._tenants)
+
+    @property
+    def policy_name(self) -> str:
+        """The policy that produced this history."""
+        return self._fleet.policy_name
+
+    @property
+    def total_cost(self) -> Money:
+        """The fleet's lifetime bill (equals the sum of tenant bills)."""
+        return self._fleet.total_cost
+
+    def tenant(self, name: str) -> TenantLedger:
+        """One tenant's ledger, by name."""
+        try:
+            return self._tenants[name]
+        except KeyError:
+            raise SimulationError(
+                f"no tenant named {name!r}; fleet has "
+                f"{sorted(self._tenants)}"
+            ) from None
+
+    def verify_attribution(self) -> None:
+        """Assert the books balance: tenant shares sum to fleet charges.
+
+        Checked exactly (``Decimal`` equality), per epoch and per
+        component (operating / build / teardown).  Raises
+        :class:`~repro.errors.SimulationError` on the first mismatch.
+        """
+        n_epochs = len(self._fleet.records)
+        for ledger in self._tenants.values():
+            if len(ledger.records) != n_epochs:
+                raise SimulationError(
+                    f"tenant {ledger.tenant!r} has "
+                    f"{len(ledger.records)} records for "
+                    f"{n_epochs} fleet epochs"
+                )
+        for index, record in enumerate(self._fleet.records):
+            shares = [
+                ledger.records[index] for ledger in self._tenants.values()
+            ]
+            checks = (
+                ("operating", record.operating_cost,
+                 sum((s.operating_cost for s in shares), ZERO)),
+                ("build", record.build_cost,
+                 sum((s.build_cost for s in shares), ZERO)),
+                ("teardown", record.teardown_cost,
+                 sum((s.teardown_cost for s in shares), ZERO)),
+            )
+            for component, fleet_amount, tenant_sum in checks:
+                if fleet_amount != tenant_sum:
+                    raise SimulationError(
+                        f"epoch {record.epoch}: tenant {component} shares "
+                        f"sum to {tenant_sum}, fleet charged {fleet_amount}"
+                    )
+
+    def summary(self) -> str:
+        """The fleet comparison line plus one line per tenant."""
+        lines = [self._fleet.summary()]
+        lines += [
+            "  " + ledger.summary() for ledger in self._tenants.values()
+        ]
+        return "\n".join(lines)
+
+    def render(self) -> str:
+        """Fleet ledger followed by every tenant's invoice."""
+        parts = [self._fleet.render()]
+        parts += [ledger.render() for ledger in self._tenants.values()]
+        return "\n\n".join(parts)

@@ -21,12 +21,17 @@ build/teardown consequences of their decisions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Optional
+from typing import Callable, FrozenSet, Optional
 
 from ..errors import SimulationError
 from ..optimizer.problem import SelectionProblem
 from ..optimizer.scenarios import Scenario, Tradeoff
 from ..optimizer.selector import select_views
+
+#: Builds the epoch's scenario from the epoch's problem.  Used when the
+#: objective depends on the epoch's world — e.g. fairness constraints
+#: over attributed tenant costs, which need the problem to price shares.
+ScenarioFactory = Callable[[SelectionProblem], Scenario]
 
 __all__ = [
     "PolicyDecision",
@@ -35,11 +40,32 @@ __all__ = [
     "PeriodicReselect",
     "RegretTriggered",
     "POLICY_NAMES",
+    "ScenarioFactory",
     "make_policy",
 ]
 
 #: Registry keys accepted by :func:`make_policy` (and the CLI).
 POLICY_NAMES = ("never", "periodic", "regret")
+
+
+def _relative_regret(held_key, best_key) -> float:
+    """Relative regret between two scenario keys, lexicographically.
+
+    Compares component by component and measures the relative gap at
+    the first component where the keys differ.  A scalar-keyed
+    scenario reduces to the familiar ``(held - best) / |best|``; a
+    lexicographic key (the soft fairness scenario puts overshoot
+    before the cost objective) still registers cost drift when the
+    leading components tie — exactly the case where looking only at
+    ``key[0]`` would report zero regret forever.
+    """
+    for held_obj, best_obj in zip(held_key, best_key):
+        if held_obj == best_obj:
+            continue
+        if best_obj == 0:
+            return float("inf")
+        return (held_obj - best_obj) / abs(best_obj)
+    return 0.0
 
 
 @dataclass(frozen=True)
@@ -60,7 +86,12 @@ class ReselectionPolicy:
     The default scenario is the pure cost minimizer — ``Tradeoff`` with
     ``alpha=0`` — because a lifecycle ledger's natural objective is the
     cumulative bill; it is always feasible, so simulations cannot die
-    on a drifted constraint.  Any scenario works.
+    on a drifted constraint.  Any scenario works.  A
+    ``scenario_factory`` replaces the fixed scenario with one built
+    per epoch from the epoch's problem (the fairness-aware selection
+    mode: attributed tenant shares depend on the epoch's pricing
+    world); ``scenario`` and ``scenario_factory`` are mutually
+    exclusive.
     """
 
     name: str = "abstract"
@@ -69,13 +100,19 @@ class ReselectionPolicy:
         self,
         scenario: Optional[Scenario] = None,
         algorithm: str = "greedy",
+        scenario_factory: Optional[ScenarioFactory] = None,
     ) -> None:
+        if scenario is not None and scenario_factory is not None:
+            raise SimulationError(
+                "pass either a scenario or a scenario_factory, not both"
+            )
         self._scenario = scenario if scenario is not None else Tradeoff(alpha=0.0)
+        self._factory = scenario_factory
         self._algorithm = algorithm
 
     @property
     def scenario(self) -> Scenario:
-        """The objective each (re)selection optimizes."""
+        """The fixed objective (ignored when a factory is set)."""
         return self._scenario
 
     @property
@@ -83,9 +120,15 @@ class ReselectionPolicy:
         """The selection algorithm (knapsack / greedy / exhaustive)."""
         return self._algorithm
 
+    def _scenario_for(self, problem: SelectionProblem) -> Scenario:
+        """The scenario this epoch optimizes (factory-built if dynamic)."""
+        if self._factory is not None:
+            return self._factory(problem)
+        return self._scenario
+
     def _optimum(self, problem: SelectionProblem) -> FrozenSet[str]:
         return select_views(
-            problem, self._scenario, self._algorithm
+            problem, self._scenario_for(problem), self._algorithm
         ).outcome.subset
 
     def decide(
@@ -118,6 +161,7 @@ class NeverReselect(ReselectionPolicy):
         problem: SelectionProblem,
         current: Optional[FrozenSet[str]],
     ) -> PolicyDecision:
+        """Optimize once on the first epoch, then hold forever."""
         if current is None:
             return PolicyDecision(self._optimum(problem), reoptimized=True)
         return PolicyDecision(current, reoptimized=False)
@@ -133,8 +177,9 @@ class PeriodicReselect(ReselectionPolicy):
         period: int = 4,
         scenario: Optional[Scenario] = None,
         algorithm: str = "greedy",
+        scenario_factory: Optional[ScenarioFactory] = None,
     ) -> None:
-        super().__init__(scenario, algorithm)
+        super().__init__(scenario, algorithm, scenario_factory)
         if period < 1:
             raise SimulationError(
                 f"re-selection period must be >= 1 epoch, got {period}"
@@ -152,20 +197,25 @@ class PeriodicReselect(ReselectionPolicy):
         problem: SelectionProblem,
         current: Optional[FrozenSet[str]],
     ) -> PolicyDecision:
+        """Re-optimize on schedule epochs, hold in between."""
         if current is None or epoch_index % self._period == 0:
             return PolicyDecision(self._optimum(problem), reoptimized=True)
         return PolicyDecision(current, reoptimized=False)
 
     def describe(self) -> str:
+        """``periodic(every k)``."""
         return f"periodic(every {self._period})"
 
 
 class RegretTriggered(ReselectionPolicy):
     """Re-select when the current set's relative regret crosses a bar.
 
-    Regret compares the scenario's primary objective for the held
-    subset against the current optimum's: ``(held - best) / |best|``.
-    Below ``threshold`` the held set is kept (no churn); above it, the
+    Regret compares the held subset's scenario key against the current
+    optimum's at the first component where they differ:
+    ``(held - best) / |best|`` (so a scalar objective behaves exactly
+    as expected, and a lexicographic key — soft fairness — registers
+    drift in the later components when the leading ones tie).  Below
+    ``threshold`` the held set is kept (no churn); above it, the
     optimizer's answer is adopted.
     """
 
@@ -176,8 +226,9 @@ class RegretTriggered(ReselectionPolicy):
         threshold: float = 0.05,
         scenario: Optional[Scenario] = None,
         algorithm: str = "greedy",
+        scenario_factory: Optional[ScenarioFactory] = None,
     ) -> None:
-        super().__init__(scenario, algorithm)
+        super().__init__(scenario, algorithm, scenario_factory)
         if threshold < 0:
             raise SimulationError(
                 f"regret threshold cannot be negative, got {threshold}"
@@ -195,26 +246,29 @@ class RegretTriggered(ReselectionPolicy):
         problem: SelectionProblem,
         current: Optional[FrozenSet[str]],
     ) -> PolicyDecision:
-        best = self._optimum(problem)
+        """Measure the held set's regret; adopt the optimum if it crosses
+        the threshold (or the holding turned infeasible)."""
+        # One scenario instance for both the optimum and the regret
+        # check, so a factory-built scenario's share memo is shared.
+        scenario = self._scenario_for(problem)
+        best = select_views(problem, scenario, self._algorithm).outcome.subset
         if current is None:
             return PolicyDecision(best, reoptimized=True)
         held = problem.evaluate(current)
-        if not self._scenario.feasible(held):
+        if not scenario.feasible(held):
             # Under a constrained scenario an infeasible holding can
             # look *cheap* on the objective; regret must not excuse a
             # violated constraint.
             return PolicyDecision(best, reoptimized=True, regret=float("inf"))
-        held_obj = self._scenario.key(held)[0]
-        best_obj = self._scenario.key(problem.evaluate(best))[0]
-        if best_obj == 0:
-            regret = 0.0 if held_obj == 0 else float("inf")
-        else:
-            regret = (held_obj - best_obj) / abs(best_obj)
+        regret = _relative_regret(
+            scenario.key(held), scenario.key(problem.evaluate(best))
+        )
         if regret > self._threshold:
             return PolicyDecision(best, reoptimized=True, regret=regret)
         return PolicyDecision(current, reoptimized=False, regret=regret)
 
     def describe(self) -> str:
+        """``regret(>r)``."""
         return f"regret(>{self._threshold:g})"
 
 
@@ -224,14 +278,15 @@ def make_policy(
     algorithm: str = "greedy",
     period: int = 4,
     threshold: float = 0.05,
+    scenario_factory: Optional[ScenarioFactory] = None,
 ) -> ReselectionPolicy:
     """Build a policy from its registry name (CLI/benchmark entry)."""
     if name == "never":
-        return NeverReselect(scenario, algorithm)
+        return NeverReselect(scenario, algorithm, scenario_factory)
     if name == "periodic":
-        return PeriodicReselect(period, scenario, algorithm)
+        return PeriodicReselect(period, scenario, algorithm, scenario_factory)
     if name == "regret":
-        return RegretTriggered(threshold, scenario, algorithm)
+        return RegretTriggered(threshold, scenario, algorithm, scenario_factory)
     raise SimulationError(
         f"unknown policy {name!r}; choose from {POLICY_NAMES}"
     )

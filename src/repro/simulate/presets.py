@@ -17,6 +17,13 @@ daily workload runs) stepped through two years of life in which
 The drift is deliberately adversarial to a static selection: the views
 chosen at epoch 0 answer queries that no longer run, while the queries
 that dominate the late workload cannot be answered by them at all.
+
+:func:`multi_tenant_sales_simulator` is its multi-tenant sibling: the
+same warehouse shared by *n* tenants whose workloads differ in size
+and intensity and whose dashboard drift arrives staggered (tenant
+``t2``'s dashboards land two epochs after ``t1``'s), over the shared
+growth/repricing backdrop.  It is the preset behind
+``python -m repro simulate --tenants N``.
 """
 
 from __future__ import annotations
@@ -42,8 +49,15 @@ from .events import (
 )
 from .simulator import LifecycleSimulator
 from .state import WarehouseState
+from .tenants import MultiTenantSimulator, Tenant, TenantFleet
 
-__all__ = ["DRIFT_MIN_EPOCHS", "drifting_sales_simulator", "sales_deployment"]
+__all__ = [
+    "DRIFT_MIN_EPOCHS",
+    "drifting_sales_simulator",
+    "multi_tenant_min_epochs",
+    "multi_tenant_sales_simulator",
+    "sales_deployment",
+]
 
 #: The reference scenario's last event fires at epoch 18, so its
 #: clock needs at least this many epochs.
@@ -134,6 +148,115 @@ def drifting_sales_simulator(
         initial=initial,
         clock=SimulationClock(n_epochs),
         events=events,
+        cache=cache,
+        charge_teardown_egress=charge_teardown_egress,
+    )
+
+
+def multi_tenant_min_epochs(n_tenants: int) -> int:
+    """Epochs the staggered multi-tenant drift needs for ``n_tenants``.
+
+    Tenant *i* (0-based) reweights at epoch ``9 + 2i`` and the shared
+    backdrop's last event fires at epoch 16, so the horizon must cover
+    whichever is later.
+    """
+    return max(17, 9 + 2 * (n_tenants - 1) + 1)
+
+
+def multi_tenant_sales_simulator(
+    n_tenants: int = 3,
+    n_epochs: int = 24,
+    n_rows: int = 60_000,
+    seed: int = 42,
+    dataset_gb: float = 10.0,
+    attribution: str = "proportional",
+    charge_teardown_egress: bool = True,
+    cache: "SubsetEvaluationCache | None" = None,
+) -> MultiTenantSimulator:
+    """The reference multi-tenant scenario: *n* tenants, one warehouse.
+
+    Tenant ``t{i}`` starts with a prefix of the paper workload (3, 5
+    or 4 queries, cycling) at its own intensity (1x, 2x, 0.5x base
+    frequency, cycling), grows a dashboard habit at epoch ``4 + 2i``
+    (day-level queries, arriving staggered so tenants drift out of
+    phase), and re-weights it hot at epoch ``9 + 2i`` while its oldest
+    report cools.  The shared backdrop reuses the single-tenant drift:
+    +30% data at epoch 8, the flat-rate repricing at epoch 12, +20%
+    data at epoch 16.
+
+    ``attribution`` picks the sharing rule applied every epoch (see
+    :mod:`repro.simulate.attribution`).
+    """
+    if n_tenants < 1:
+        raise SimulationError(
+            f"the fleet needs at least one tenant, got {n_tenants}"
+        )
+    needed = multi_tenant_min_epochs(n_tenants)
+    if n_epochs < needed:
+        raise SimulationError(
+            f"the {n_tenants}-tenant scenario schedules events through "
+            f"epoch {needed - 1}; n_epochs must be >= {needed}, "
+            f"got {n_epochs}"
+        )
+    dataset = generate_sales(n_rows=n_rows, seed=seed, target_gb=dataset_gb)
+    schema = dataset.schema
+
+    def day_query(name: str, geo_level: str, frequency: float) -> AggregateQuery:
+        return AggregateQuery.per(
+            schema,
+            name,
+            {"time": "day", "geography": geo_level},
+            frequency=frequency,
+        )
+
+    sizes = (3, 5, 4)
+    intensities = (1.0, 2.0, 0.5)
+    geo_levels = ("country", "region", "department")
+    tenants = []
+    for i in range(n_tenants):
+        base = paper_sales_workload(schema, sizes[i % len(sizes)])
+        intensity = intensities[i % len(intensities)]
+        workload = base.reweighted(
+            {q.name: q.frequency * intensity for q in base}
+        )
+        events = (
+            # The tenant's dashboard team arrives, out of phase with
+            # its neighbours'.
+            AddQueries(
+                epoch=4 + 2 * i,
+                queries=(
+                    day_query("D1", geo_levels[i % len(geo_levels)], 3.0),
+                    day_query("D2", "country", 2.0),
+                ),
+            ),
+            # Dashboards get hot, the oldest report cools.
+            ReweightQueries(
+                epoch=9 + 2 * i,
+                frequencies=(
+                    ("D1", 6.0),
+                    ("Q1", 0.25 * intensity),
+                ),
+            ),
+        )
+        tenants.append(
+            Tenant(name=f"t{i + 1}", workload=workload, events=events)
+        )
+
+    shared = (
+        GrowFactTable(epoch=8, factor=1.3),
+        PriceChange(epoch=12, provider=flat_cloud()),
+        GrowFactTable(epoch=16, factor=1.2),
+    )
+    fleet = TenantFleet(
+        tenants,
+        dataset=dataset,
+        deployment=sales_deployment(),
+        shared_events=shared,
+    )
+    return MultiTenantSimulator(
+        fleet,
+        clock=SimulationClock(n_epochs),
+        attribution=attribution,
         cache=cache,
         charge_teardown_egress=charge_teardown_egress,
     )

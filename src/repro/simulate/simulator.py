@@ -21,8 +21,9 @@ view — the conservative direction.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, FrozenSet, Iterable, Optional, Sequence, Tuple
+from typing import Callable, Dict, FrozenSet, Iterable, Optional, Sequence, Tuple
 
+from ..costmodel.total import CostBreakdown
 from ..cube.candidates import enumerate_candidates
 from ..cube.lattice import CuboidLattice
 from ..cube.views import CandidateView
@@ -36,7 +37,32 @@ from .policy import ReselectionPolicy
 from .problems import EpochProblemBuilder
 from .state import WarehouseState
 
-__all__ = ["LifecycleSimulator", "full_catalogue"]
+__all__ = ["EpochObserver", "LifecycleSimulator", "full_catalogue"]
+
+#: Per-epoch callback: ``(record, problem, breakdown)``, invoked by
+#: :meth:`LifecycleSimulator.run` after each epoch is accounted.
+EpochObserver = Callable[[EpochRecord, SelectionProblem, CostBreakdown], None]
+
+
+def compare_policies(run, policies):
+    """Run ``policies`` through ``run``, keyed by their describe() names.
+
+    Shared by :meth:`LifecycleSimulator.compare` and the multi-tenant
+    :meth:`~repro.simulate.tenants.MultiTenantSimulator.compare`:
+    ``run(policy)`` returns any ledger-like object with a
+    ``policy_name``, and two policies describing identically are
+    rejected so no result can silently shadow another.
+    """
+    ledgers = {}
+    for policy in policies:
+        ledger = run(policy)
+        if ledger.policy_name in ledgers:
+            raise SimulationError(
+                f"two policies describe() as {ledger.policy_name!r}; "
+                "give them distinct parameters"
+            )
+        ledgers[ledger.policy_name] = ledger
+    return ledgers
 
 
 def full_catalogue(lattice: CuboidLattice) -> Tuple[CandidateView, ...]:
@@ -109,8 +135,21 @@ class LifecycleSimulator:
 
     # -- the run --------------------------------------------------------
 
-    def run(self, policy: ReselectionPolicy) -> SimulationLedger:
-        """Simulate the full horizon under ``policy``."""
+    def run(
+        self,
+        policy: ReselectionPolicy,
+        observer: Optional[EpochObserver] = None,
+    ) -> SimulationLedger:
+        """Simulate the full horizon under ``policy``.
+
+        ``observer``, if given, is called once per epoch — after the
+        epoch is accounted — with ``(record, problem, breakdown)``,
+        where ``breakdown`` is the epoch's priced
+        :class:`~repro.costmodel.total.CostBreakdown` (materialization
+        narrowed to the views built this epoch).  The multi-tenant
+        layer uses this hook to attribute each epoch's charges without
+        the core loop knowing tenants exist.
+        """
         ledger = SimulationLedger(policy.describe())
         state = self._initial
         current: Optional[FrozenSet[str]] = None
@@ -123,11 +162,13 @@ class LifecycleSimulator:
             held = current if current is not None else frozenset()
             built = decision.subset - held
             dropped = held - decision.subset
-            record = self._account(
+            record, breakdown = self._account(
                 epoch.index, problem, decision.subset, built, dropped,
                 decision.reoptimized, decision.regret, fired,
             )
             ledger.append(record)
+            if observer is not None:
+                observer(record, problem, breakdown)
             current = decision.subset
         return ledger
 
@@ -135,16 +176,7 @@ class LifecycleSimulator:
         self, policies: Iterable[ReselectionPolicy]
     ) -> Dict[str, SimulationLedger]:
         """Run several policies over the same timeline, caches shared."""
-        ledgers: Dict[str, SimulationLedger] = {}
-        for policy in policies:
-            ledger = self.run(policy)
-            if ledger.policy_name in ledgers:
-                raise SimulationError(
-                    f"two policies describe() as {ledger.policy_name!r}; "
-                    "give them distinct parameters"
-                )
-            ledgers[ledger.policy_name] = ledger
-        return ledgers
+        return compare_policies(self.run, policies)
 
     # -- epoch accounting ----------------------------------------------
 
@@ -158,7 +190,7 @@ class LifecycleSimulator:
         reoptimized: bool,
         regret: float,
         fired: Tuple[SimulationEvent, ...],
-    ) -> EpochRecord:
+    ) -> Tuple[EpochRecord, CostBreakdown]:
         inputs = problem.inputs
         plan = inputs.plan_for(subset)
         # plan_for orders per-view tuples by sorted view name; charge
@@ -183,7 +215,7 @@ class LifecycleSimulator:
             )
         else:
             teardown_cost = ZERO
-        return EpochRecord(
+        record = EpochRecord(
             epoch=epoch_index,
             subset=tuple(ordered),
             operating_cost=operating_cost,
@@ -196,3 +228,4 @@ class LifecycleSimulator:
             regret=regret,
             events=tuple(e.describe() for e in fired),
         )
+        return record, breakdown

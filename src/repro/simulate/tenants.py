@@ -1,0 +1,413 @@
+"""Multi-tenant lifecycles: several workloads sharing one warehouse.
+
+The paper prices one workload against one provider.  This module runs
+*several* tenants — each a workload with its own drift timeline and
+budget share — against one shared :class:`~repro.simulate.state.
+WarehouseState`:
+
+* a :class:`Tenant` owns a workload and the workload-scoped events
+  that drift it (queries arriving, leaving, re-weighting);
+* a :class:`TenantFleet` merges the tenants onto one dataset and
+  deployment, namespacing query names (``acme/Q1``) so ownership
+  survives the merge, and interleaves tenant events with the fleet's
+  shared events (data growth, repricing, fleet changes);
+* a :class:`MultiTenantSimulator` wraps the single-tenant
+  :class:`~repro.simulate.simulator.LifecycleSimulator` — the merged
+  fleet runs through the *same* epoch loop, caches and accounting —
+  and attributes every epoch's charges across tenants through a
+  :class:`~repro.simulate.attribution.SharedCostAttributor`, producing
+  a :class:`~repro.simulate.ledger.FleetLedger`.
+
+Because the multi-tenant layer is a pure wrapper, a one-tenant fleet
+reproduces the single-tenant simulator's ledger exactly: same
+decisions, same charges, digit for digit (the tenant's namespaced
+query names never enter the cost formulas).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..costmodel.params import DeploymentSpec
+from ..cube.views import CandidateView
+from ..data.generator import Dataset
+from ..errors import SimulationError
+from ..money import Money
+from ..optimizer.fairness import FairShareScenario
+from ..optimizer.problem import SelectionProblem, SubsetEvaluationCache
+from ..optimizer.scenarios import Scenario
+from ..workload.workload import Workload
+from .attribution import TENANT_SEPARATOR, SharedCostAttributor
+from .clock import SimulationClock
+from .events import (
+    AddQueries,
+    DropQueries,
+    ReweightQueries,
+    SimulationEvent,
+)
+from .ledger import FleetLedger, TenantLedger
+from .policy import ReselectionPolicy
+from .problems import EpochProblemBuilder
+from .simulator import LifecycleSimulator, compare_policies
+from .state import WarehouseState
+
+__all__ = [
+    "MultiTenantSimulator",
+    "Tenant",
+    "TenantFleet",
+    "qualify",
+]
+
+#: Event types whose names/queries are tenant-scoped (namespaced on
+#: merge).  Everything else mutates the shared warehouse and belongs
+#: in the fleet's ``shared_events``.
+_WORKLOAD_EVENTS = (AddQueries, DropQueries, ReweightQueries)
+
+
+def qualify(tenant: str, query_name: str) -> str:
+    """The fleet-wide name of a tenant's query (``acme/Q1``)."""
+    return f"{tenant}{TENANT_SEPARATOR}{query_name}"
+
+
+def _qualify_event(tenant: str, event: SimulationEvent) -> SimulationEvent:
+    """A tenant-scoped event rewritten to fleet-wide query names."""
+    if isinstance(event, AddQueries):
+        return replace(
+            event,
+            queries=tuple(
+                replace(q, name=qualify(tenant, q.name)) for q in event.queries
+            ),
+        )
+    if isinstance(event, DropQueries):
+        return replace(
+            event, names=tuple(qualify(tenant, n) for n in event.names)
+        )
+    if isinstance(event, ReweightQueries):
+        return replace(
+            event,
+            frequencies=tuple(
+                (qualify(tenant, n), f) for n, f in event.frequencies
+            ),
+        )
+    raise SimulationError(
+        f"tenant {tenant!r} schedules a {type(event).__name__}; only "
+        "workload events (AddQueries / DropQueries / ReweightQueries) are "
+        "tenant-scoped — global events belong in the fleet's shared_events"
+    )
+
+
+@dataclass(frozen=True)
+class Tenant:
+    """One workload sharing the warehouse, with its own drift and budget.
+
+    Parameters
+    ----------
+    name:
+        Fleet-unique identifier; becomes the query-name prefix, so it
+        must not contain the separator (``/``).
+    workload:
+        The tenant's queries, named in the tenant's own namespace
+        (``Q1`` — the fleet qualifies them to ``name/Q1``).
+    events:
+        Workload-scoped drift events (:class:`AddQueries`,
+        :class:`DropQueries`, :class:`ReweightQueries`) with names in
+        the tenant's namespace.  Global events (growth, repricing,
+        fleet changes) are fleet-level, not per-tenant.
+    budget_share:
+        The tenant's fraction of a fleet budget, used by the fairness
+        scenario to derive per-tenant caps.  ``None`` means an equal
+        split across tenants whose share is unset.
+    """
+
+    name: str
+    workload: Workload
+    events: Tuple[SimulationEvent, ...] = ()
+    budget_share: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SimulationError("a tenant needs a non-empty name")
+        if TENANT_SEPARATOR in self.name:
+            raise SimulationError(
+                f"tenant name {self.name!r} must not contain "
+                f"{TENANT_SEPARATOR!r} (it separates tenant from query)"
+            )
+        if self.budget_share is not None and self.budget_share <= 0:
+            raise SimulationError(
+                f"budget_share must be positive, got {self.budget_share}"
+            )
+        for event in self.events:
+            if not isinstance(event, _WORKLOAD_EVENTS):
+                raise SimulationError(
+                    f"tenant {self.name!r} schedules a "
+                    f"{type(event).__name__}; only workload events are "
+                    "tenant-scoped"
+                )
+
+    def qualified_workload(self) -> Workload:
+        """The workload with fleet-wide (namespaced) query names."""
+        return Workload(
+            self.workload.schema,
+            (
+                replace(q, name=qualify(self.name, q.name))
+                for q in self.workload
+            ),
+        )
+
+    def qualified_events(self) -> Tuple[SimulationEvent, ...]:
+        """The drift events rewritten to fleet-wide query names."""
+        return tuple(_qualify_event(self.name, e) for e in self.events)
+
+
+class TenantFleet:
+    """Tenants merged onto one dataset and deployment.
+
+    The merge preserves tenant order (both in the combined workload
+    and in attribution's residual assignment) so fleets are
+    deterministic and cache-friendly.
+    """
+
+    def __init__(
+        self,
+        tenants: Sequence[Tenant],
+        dataset: Dataset,
+        deployment: DeploymentSpec,
+        shared_events: Sequence[SimulationEvent] = (),
+    ) -> None:
+        if not tenants:
+            raise SimulationError("a fleet needs at least one tenant")
+        names = [t.name for t in tenants]
+        if len(set(names)) != len(names):
+            raise SimulationError(f"tenant names must be unique: {names}")
+        schema = tenants[0].workload.schema
+        for tenant in tenants[1:]:
+            if tenant.workload.schema is not schema:
+                raise SimulationError(
+                    "all tenants must query the shared warehouse's schema"
+                )
+        if dataset.schema is not schema:
+            raise SimulationError(
+                "the fleet's dataset must carry the tenants' schema"
+            )
+        for event in shared_events:
+            if isinstance(event, _WORKLOAD_EVENTS):
+                raise SimulationError(
+                    f"shared event {type(event).__name__} at epoch "
+                    f"{event.epoch} drifts a workload; schedule it on the "
+                    "owning tenant instead"
+                )
+        self._tenants: Tuple[Tenant, ...] = tuple(tenants)
+        self._dataset = dataset
+        self._deployment = deployment
+        self._shared: Tuple[SimulationEvent, ...] = tuple(shared_events)
+
+    @property
+    def tenants(self) -> Tuple[Tenant, ...]:
+        """The tenants, in merge (and attribution) order."""
+        return self._tenants
+
+    @property
+    def tenant_names(self) -> Tuple[str, ...]:
+        """Tenant names, in merge order."""
+        return tuple(t.name for t in self._tenants)
+
+    @property
+    def shared_events(self) -> Tuple[SimulationEvent, ...]:
+        """The fleet-level (non-workload) events."""
+        return self._shared
+
+    def budget_shares(self) -> Dict[str, float]:
+        """Each tenant's normalized fraction of a fleet budget.
+
+        Explicit ``budget_share`` values are kept in proportion; tenants
+        without one split the remaining mass evenly.  The result sums
+        to 1.
+        """
+        explicit = {
+            t.name: t.budget_share
+            for t in self._tenants
+            if t.budget_share is not None
+        }
+        declared = sum(explicit.values())
+        unset = [t.name for t in self._tenants if t.name not in explicit]
+        if not unset:
+            if declared <= 0:
+                raise SimulationError("budget shares must sum to > 0")
+            return {name: share / declared for name, share in explicit.items()}
+        if declared >= 1.0:
+            raise SimulationError(
+                f"explicit budget shares sum to {declared:g}, leaving "
+                f"nothing for {unset}"
+            )
+        remainder = (1.0 - declared) / len(unset)
+        shares = dict(explicit)
+        shares.update({name: remainder for name in unset})
+        return shares
+
+    def tenant_caps(self, fleet_budget: Money) -> Dict[str, Money]:
+        """Per-tenant budget caps: each share of a fleet-wide budget."""
+        return {
+            name: fleet_budget * share
+            for name, share in self.budget_shares().items()
+        }
+
+    def initial_state(self) -> WarehouseState:
+        """The merged warehouse state the simulation starts from."""
+        merged: List = []
+        for tenant in self._tenants:
+            merged.extend(tenant.qualified_workload())
+        return WarehouseState(
+            workload=Workload(self._dataset.schema, merged),
+            dataset=self._dataset,
+            deployment=self._deployment,
+        )
+
+    def events(self) -> Tuple[SimulationEvent, ...]:
+        """All events — qualified tenant drift plus shared — in epoch order.
+
+        Within an epoch, tenant events fire in merge order, then shared
+        events; the sort is stable so each source's internal order is
+        preserved.
+        """
+        combined: List[SimulationEvent] = []
+        for tenant in self._tenants:
+            combined.extend(tenant.qualified_events())
+        combined.extend(self._shared)
+        combined.sort(key=lambda e: e.epoch)
+        return tuple(combined)
+
+    def describe(self) -> str:
+        """One-line fleet display."""
+        sizes = ", ".join(
+            f"{t.name}({len(t.workload)}q)" for t in self._tenants
+        )
+        return f"{len(self._tenants)} tenants [{sizes}]"
+
+
+class MultiTenantSimulator:
+    """Runs a tenant fleet through a lifecycle, attributing every charge.
+
+    A thin orchestration layer: the merged fleet steps through the
+    ordinary :class:`LifecycleSimulator` (same policies, same caches,
+    same epoch accounting), and an observer splits each epoch's record
+    across tenants.  ``attribution`` picks the sharing rule — see
+    :mod:`repro.simulate.attribution`.
+    """
+
+    def __init__(
+        self,
+        fleet: TenantFleet,
+        clock: SimulationClock,
+        attribution: str = "proportional",
+        catalogue: Optional[Sequence[CandidateView]] = None,
+        cache: Optional[SubsetEvaluationCache] = None,
+        charge_teardown_egress: bool = True,
+    ) -> None:
+        self._fleet = fleet
+        self._attributor = SharedCostAttributor(
+            fleet.tenant_names, mode=attribution
+        )
+        self._simulator = LifecycleSimulator(
+            initial=fleet.initial_state(),
+            clock=clock,
+            events=fleet.events(),
+            catalogue=catalogue,
+            cache=cache,
+            charge_teardown_egress=charge_teardown_egress,
+        )
+
+    # -- accessors ------------------------------------------------------
+
+    @property
+    def fleet(self) -> TenantFleet:
+        """The tenants and their shared infrastructure."""
+        return self._fleet
+
+    @property
+    def attributor(self) -> SharedCostAttributor:
+        """The cost-sharing rule applied each epoch."""
+        return self._attributor
+
+    @property
+    def simulator(self) -> LifecycleSimulator:
+        """The wrapped single-warehouse lifecycle simulator."""
+        return self._simulator
+
+    @property
+    def clock(self) -> SimulationClock:
+        """The epoch grid (delegated)."""
+        return self._simulator.clock
+
+    @property
+    def builder(self) -> EpochProblemBuilder:
+        """The shared problem builder (delegated; cache statistics)."""
+        return self._simulator.builder
+
+    # -- runs -----------------------------------------------------------
+
+    def run(self, policy: ReselectionPolicy) -> FleetLedger:
+        """Simulate the fleet under ``policy``; books verified on return."""
+        ledgers = {
+            name: TenantLedger(name, policy.describe())
+            for name in self._fleet.tenant_names
+        }
+
+        def observe(record, problem, breakdown) -> None:
+            for name, share in self._attributor.attribute(
+                problem, record, breakdown
+            ).items():
+                ledgers[name].append(share)
+
+        fleet_ledger = self._simulator.run(policy, observer=observe)
+        result = FleetLedger(fleet_ledger, ledgers)
+        result.verify_attribution()
+        return result
+
+    def compare(
+        self, policies: Iterable[ReselectionPolicy]
+    ) -> Dict[str, FleetLedger]:
+        """Run several policies over the same fleet, caches shared."""
+        return compare_policies(self.run, policies)
+
+    # -- fairness-aware selection --------------------------------------
+
+    def fair_scenario_factory(
+        self,
+        base: Optional[Scenario] = None,
+        caps: Optional[Dict[str, Money]] = None,
+        max_share_slack: Optional[float] = None,
+        hard: bool = False,
+    ):
+        """A per-epoch scenario factory enforcing tenant fairness.
+
+        Returns a callable suitable for a policy's ``scenario_factory``:
+        each epoch it wraps ``base`` in a
+        :class:`~repro.optimizer.fairness.FairShareScenario` whose
+        per-tenant costs are this simulator's attributed shares.
+        ``caps`` are absolute per-tenant dollar caps (e.g. from
+        :meth:`TenantFleet.tenant_caps`); ``max_share_slack`` bounds
+        every tenant's share to ``(1 + slack)`` times the even split of
+        the fleet bill.
+
+        ``hard`` defaults to ``False`` here — the soft (lexicographic)
+        mode — because a lifecycle policy must decide *something* every
+        epoch, and a drifted workload can make any fixed cap
+        unreachable mid-run.  Pass ``hard=True`` for strict caps if an
+        :class:`~repro.errors.InfeasibleProblemError` mid-simulation is
+        acceptable.
+        """
+        attributor = self._attributor
+
+        def factory(problem: SelectionProblem) -> FairShareScenario:
+            return FairShareScenario(
+                base=base,
+                shares_fn=lambda outcome: attributor.outcome_shares(
+                    problem, outcome
+                ),
+                caps=caps,
+                max_share_slack=max_share_slack,
+                hard=hard,
+            )
+
+        return factory

@@ -1,0 +1,85 @@
+"""The shared-cost attribution arithmetic, in isolation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.money import Money, ZERO
+from repro.simulate import (
+    SharedCostAttributor,
+    allocate_exactly,
+    tenant_of_query,
+)
+
+
+class TestAllocateExactly:
+    def test_shares_sum_exactly(self):
+        amount = Money("123.456789012345678901234567")
+        weights = {"a": 0.123456789, "b": 7.2, "c": 0.0001}
+        shares = allocate_exactly(amount, weights, ["a", "b", "c"])
+        assert sum(shares.values(), ZERO) == amount
+
+    def test_proportionality(self):
+        # 3/4 is exactly representable, so the shares are exact too.
+        shares = allocate_exactly(
+            Money("8.00"), {"a": 3.0, "b": 1.0}, ["a", "b"]
+        )
+        assert shares["a"] == Money("6.00")
+        assert shares["b"] == Money("2.00")
+
+    def test_zero_weights_fall_back_to_even_split(self):
+        shares = allocate_exactly(
+            Money("10.00"), {"a": 0.0, "b": 0.0}, ["a", "b"]
+        )
+        assert shares["a"] == shares["b"] == Money("5.00")
+
+    def test_missing_weight_counts_as_zero(self):
+        shares = allocate_exactly(Money("4.00"), {"a": 1.0}, ["a", "b"])
+        assert shares["a"] == Money("4.00")
+        assert shares["b"] == ZERO
+
+    def test_single_recipient_gets_everything(self):
+        amount = Money("7.77")
+        assert allocate_exactly(amount, {}, ["only"])["only"] == amount
+
+    def test_negative_weights_ignored(self):
+        shares = allocate_exactly(
+            Money("4.00"), {"a": -5.0, "b": 1.0}, ["a", "b"]
+        )
+        assert shares["a"] == ZERO
+        assert shares["b"] == Money("4.00")
+
+    def test_empty_order_rejected(self):
+        with pytest.raises(SimulationError, match="zero tenants"):
+            allocate_exactly(Money("1.00"), {}, [])
+
+
+class TestTenantOfQuery:
+    def test_prefix_is_extracted(self):
+        assert tenant_of_query("acme/Q1") == "acme"
+
+    def test_unscoped_name_is_none(self):
+        assert tenant_of_query("Q1") is None
+
+    def test_only_first_separator_splits(self):
+        assert tenant_of_query("acme/sub/Q1") == "acme"
+
+
+class TestConstruction:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(SimulationError, match="attribution mode"):
+            SharedCostAttributor(["a"], mode="fair-ish")
+
+    def test_needs_a_tenant(self):
+        with pytest.raises(SimulationError, match="at least one"):
+            SharedCostAttributor([])
+
+    def test_duplicate_tenants_rejected(self):
+        with pytest.raises(SimulationError, match="unique"):
+            SharedCostAttributor(["a", "a"])
+
+    def test_describe_names_mode_and_size(self):
+        attributor = SharedCostAttributor(["a", "b"], mode="even")
+        assert "even" in attributor.describe()
+        assert "2" in attributor.describe()

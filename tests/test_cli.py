@@ -96,3 +96,95 @@ class TestSimulate:
         for policy in ("never", "periodic", "regret"):
             assert policy in out
         assert "subset evaluations" in out
+
+    def test_multi_tenant_simulation_end_to_end(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--tenants", "3",
+                "--rows", "5000",
+                "--epochs", "20",
+                "--policy", "regret",
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "3 tenants" in out
+        for tenant in ("t1", "t2", "t3"):
+            assert tenant in out
+        assert "proportional" in out
+
+    def test_attribution_mode_flag(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--tenants", "2",
+                "--attribution", "even",
+                "--rows", "5000",
+                "--epochs", "20",
+                "--policy", "never",
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        assert "even" in capsys.readouterr().out
+
+    def test_unknown_attribution_mode_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["simulate", "--tenants", "2", "--attribution", "karma"]
+            )
+
+    def test_fair_slack_flag(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--tenants", "2",
+                "--fair-slack", "0.5",
+                "--rows", "5000",
+                "--epochs", "20",
+                "--policy", "periodic",
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        assert "t1" in capsys.readouterr().out
+
+    def test_tenant_flags_without_tenants_error_cleanly(self, capsys):
+        """--fair-slack / --attribution without --tenants must be loud,
+        not silently ignored."""
+        code = main(
+            ["simulate", "--fair-slack", "0.5", "--rows", "5000", "--quiet"]
+        )
+        assert code == 1
+        assert "--tenants" in capsys.readouterr().err
+        code = main(
+            ["simulate", "--attribution", "even", "--rows", "5000", "--quiet"]
+        )
+        assert code == 1
+        assert "--tenants" in capsys.readouterr().err
+        # The explicit default must be caught too, not just non-defaults.
+        code = main(
+            [
+                "simulate",
+                "--attribution", "proportional",
+                "--rows", "5000",
+                "--quiet",
+            ]
+        )
+        assert code == 1
+        assert "--tenants" in capsys.readouterr().err
+
+    def test_too_many_tenants_for_horizon_errors_cleanly(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--tenants", "30",
+                "--rows", "5000",
+                "--epochs", "20",
+                "--quiet",
+            ]
+        )
+        assert code == 1
+        assert "n_epochs" in capsys.readouterr().err
