@@ -1,0 +1,71 @@
+"""Bench: stochastic timeline compilation and the Monte Carlo harness.
+
+Two claims are kept honest here:
+
+* compiling a sampled drift timeline is negligible next to running it
+  (generation must never dominate a trial), and
+* a small Monte Carlo sweep — the unit CI runs per commit — completes
+  in interactive time, and its result is identical whatever the
+  worker count (asserted on every round).
+"""
+
+from __future__ import annotations
+
+from repro.pricing.providers import aws_2012
+from repro.simulate import (
+    GeneratorContext,
+    MonteCarloConfig,
+    PolicySpec,
+    compile_timeline,
+    generator_preset,
+    run_monte_carlo,
+)
+from repro.workload import paper_sales_workload
+
+TRIALS = 4
+EPOCHS = 6
+ROWS = 4_000
+
+CONFIG = MonteCarloConfig(
+    generator="mixed",
+    n_trials=TRIALS,
+    n_epochs=EPOCHS,
+    n_rows=ROWS,
+    seed=7,
+    policies=(
+        PolicySpec("never"),
+        PolicySpec("regret"),
+        PolicySpec("regret", hysteresis=2),
+    ),
+)
+
+
+def test_compile_timeline_is_cheap(benchmark):
+    from repro.data import generate_sales
+
+    dataset = generate_sales(n_rows=2_000, seed=7, target_gb=10.0)
+    context = GeneratorContext(
+        schema=dataset.schema,
+        base_workload=paper_sales_workload(dataset.schema, 5),
+        provider=aws_2012(),
+        n_epochs=24,
+    )
+    generators = generator_preset("mixed")
+
+    timeline = benchmark(lambda: compile_timeline(generators, 7, context))
+    assert len(timeline) > 0
+    assert timeline.last_epoch < 24
+
+
+def test_monte_carlo_smoke_serial(benchmark):
+    """The per-commit CI unit: a small serial sweep."""
+    result = benchmark(lambda: run_monte_carlo(CONFIG, jobs=1))
+    assert result.metric("never", "total_cost").n == TRIALS
+
+
+def test_monte_carlo_parallel_matches_serial(benchmark):
+    """Worker processes buy wall-clock only — never a different answer."""
+    serial_rows = run_monte_carlo(CONFIG, jobs=1).rows()
+
+    result = benchmark(lambda: run_monte_carlo(CONFIG, jobs=2))
+    assert result.rows() == serial_rows

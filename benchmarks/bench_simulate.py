@@ -11,7 +11,6 @@ Two claims are kept honest here:
 
 from __future__ import annotations
 
-import pytest
 
 from repro.optimizer import SubsetEvaluationCache
 from repro.simulate import drifting_sales_simulator, make_policy

@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""Benchmark regression gate for CI.
+
+Compares a pytest-benchmark JSON report against the committed
+baseline (``benchmarks/baseline.json``, a distilled
+``{test_name: {"mean": seconds}}`` map) and exits non-zero when any
+benchmark's mean runtime regressed more than the allowed fraction.
+
+Usage::
+
+    # gate a fresh run against the committed baseline
+    python benchmarks/check_regression.py BENCH.json \
+        --baseline benchmarks/baseline.json --max-regression 0.25
+
+    # refresh the baseline after an intentional perf change
+    python benchmarks/check_regression.py BENCH.json \
+        --baseline benchmarks/baseline.json --write-baseline
+
+Benchmarks present in the run but absent from the baseline are
+reported and pass (new benchmarks need a baseline refresh, not a red
+build); benchmarks present in the baseline but missing from the run
+fail — a silently dropped benchmark is how perf coverage rots.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_means(report_path: Path) -> "dict[str, float]":
+    """``{benchmark fullname: mean seconds}`` from a pytest-benchmark JSON."""
+    with open(report_path, encoding="utf-8") as handle:
+        report = json.load(handle)
+    benchmarks = report.get("benchmarks", [])
+    if not benchmarks:
+        raise SystemExit(f"error: no benchmarks in {report_path}")
+    return {
+        bench["fullname"]: float(bench["stats"]["mean"])
+        for bench in benchmarks
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", type=Path, help="pytest-benchmark JSON")
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=Path(__file__).parent / "baseline.json",
+        help="distilled baseline map (default %(default)s)",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="allowed fractional slowdown per benchmark (default 0.25)",
+    )
+    parser.add_argument(
+        "--min-baseline-seconds",
+        type=float,
+        default=0.0,
+        help=(
+            "benchmarks whose baseline mean is below this are reported "
+            "but not gated — sub-millisecond timings vary more across "
+            "machines than any real regression (default: gate all)"
+        ),
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="distill the report into the baseline file and exit",
+    )
+    args = parser.parse_args(argv)
+
+    means = load_means(args.report)
+
+    if args.write_baseline:
+        distilled = {
+            name: {"mean": mean} for name, mean in sorted(means.items())
+        }
+        with open(args.baseline, "w", encoding="utf-8") as handle:
+            json.dump(distilled, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"baseline written: {args.baseline} ({len(distilled)} entries)")
+        return 0
+
+    with open(args.baseline, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+
+    failures = []
+    for name, entry in sorted(baseline.items()):
+        reference = float(entry["mean"])
+        if name not in means:
+            failures.append(f"MISSING  {name} (in baseline, not in run)")
+            continue
+        observed = means[name]
+        change = observed / reference - 1.0
+        status = "ok"
+        if reference < args.min_baseline_seconds:
+            status = "ungated"
+        elif change > args.max_regression:
+            status = "REGRESSED"
+            failures.append(
+                f"{status}  {name}: {reference * 1e3:.2f}ms -> "
+                f"{observed * 1e3:.2f}ms ({change:+.0%} > "
+                f"+{args.max_regression:.0%})"
+            )
+        print(
+            f"{status:>9}  {name}: {reference * 1e3:.2f}ms -> "
+            f"{observed * 1e3:.2f}ms ({change:+.0%})"
+        )
+    for name in sorted(set(means) - set(baseline)):
+        print(
+            f"      new  {name}: {means[name] * 1e3:.2f}ms "
+            "(no baseline; refresh with --write-baseline)"
+        )
+
+    if failures:
+        print("\nbenchmark regression gate FAILED:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(
+        f"\nbenchmark regression gate passed "
+        f"({len(baseline)} benchmarks within +{args.max_regression:.0%})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,73 @@
+"""Monte Carlo policy evaluation: compare policies on distributions.
+
+A single lifecycle run answers "what did this policy cost in one
+future"; but whether materialization pays depends on futures nobody
+gets to pick.  This example samples 16 futures from the seeded
+stochastic drift generators — Poisson query churn, a seasonal demand
+wave, noisy data growth, a spot-price random walk — runs every
+re-selection policy through each of them, and compares the *cost
+distributions*: means, spreads, tail quantiles, and regret against a
+clairvoyant baseline that re-selects every epoch.
+
+The hysteresis knob shows why noise changes policy design: a plain
+regret trigger churns on every transient spike, while ``hold 2``
+waits for the regret to persist before rebuilding.
+
+Identical seeds give identical results whatever ``jobs`` is — each
+trial is a pure function of (config, trial index).
+
+Run:  python examples/monte_carlo_simulation.py
+"""
+
+from __future__ import annotations
+
+from repro.simulate import (
+    MonteCarloConfig,
+    PolicySpec,
+    run_monte_carlo,
+)
+
+
+def main() -> None:
+    config = MonteCarloConfig(
+        generator="mixed",
+        n_trials=16,
+        n_epochs=12,
+        n_rows=10_000,
+        seed=7,
+        policies=(
+            PolicySpec("never"),
+            PolicySpec("periodic", period=4),
+            PolicySpec("regret", threshold=0.05),
+            PolicySpec("regret", threshold=0.05, hysteresis=2),
+        ),
+    )
+    print(
+        f"Sampling {config.n_trials} futures x {config.n_epochs} epochs "
+        f"from the {config.generator!r} generator bundle "
+        f"(seed {config.seed})...\n"
+    )
+    result = run_monte_carlo(config, jobs=2)
+
+    print(result.summary())
+
+    print("\nTail risk (p90 lifetime cost):")
+    for policy in result.policies:
+        cost = result.metric(policy, "total_cost")
+        churn = result.metric(policy, "rebuilds")
+        print(
+            f"  {policy:<24} p90 ${cost.p90:,.2f}  "
+            f"(mean ${cost.mean:,.2f}, "
+            f"{churn.mean:.1f} rebuilds on average)"
+        )
+
+    plain = result.metric("regret(>0.05)", "rebuilds")
+    sticky = result.metric("regret(>0.05, hold 2)", "rebuilds")
+    print(
+        f"\nHysteresis: waiting for regret to persist 2 epochs changes "
+        f"average rebuilds from {plain.mean:.1f} to {sticky.mean:.1f}."
+    )
+
+
+if __name__ == "__main__":
+    main()

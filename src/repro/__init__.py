@@ -31,7 +31,8 @@ Package map:
 * :mod:`repro.simulate` — warehouse lifecycle simulation: epochs,
   drift events, incremental re-selection policies, cost ledgers;
   multi-tenant fleets with shared-cost attribution and fairness-aware
-  selection
+  selection; stochastic drift generators and Monte Carlo policy
+  evaluation over sampled futures
 
 ``docs/ARCHITECTURE.md`` maps the packages to the paper's sections;
 ``docs/SIMULATE.md`` documents the lifecycle and multi-tenant layers.
@@ -99,11 +100,15 @@ from .schema import ALL, StarSchema, sales_schema, ssb_schema
 from .simulate import (
     EventTimeline,
     LifecycleSimulator,
+    MonteCarloConfig,
+    PolicySpec,
     SimulationClock,
     SimulationLedger,
     WarehouseState,
     drifting_sales_simulator,
     make_policy,
+    run_monte_carlo,
+    stochastic_sales_simulator,
 )
 from .workload import AggregateQuery, DimensionFilter, Workload, paper_sales_workload
 
@@ -137,6 +142,7 @@ __all__ = [
     "GrainTable",
     "InfeasibleProblemError",
     "LifecycleSimulator",
+    "MonteCarloConfig",
     "Money",
     "OptimizationError",
     "PlanningEstimator",
@@ -147,6 +153,7 @@ __all__ = [
     "SchemaError",
     "SelectionProblem",
     "SelectionResult",
+    "PolicySpec",
     "SimulationClock",
     "SimulationLedger",
     "StarSchema",
@@ -165,6 +172,7 @@ __all__ = [
     "candidates_from_workload",
     "dollars",
     "drifting_sales_simulator",
+    "stochastic_sales_simulator",
     "enumerate_candidates",
     "flat_cloud",
     "frontier_outcomes",
@@ -172,6 +180,7 @@ __all__ = [
     "generate_ssb",
     "hru_select",
     "make_policy",
+    "run_monte_carlo",
     "mv1",
     "mv2",
     "mv3",

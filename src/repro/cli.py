@@ -7,6 +7,8 @@ Usage::
     repro-experiments all [--csv-dir out/]
     repro-experiments simulate --epochs 24 --policy all
     repro-experiments simulate --tenants 3 [--attribution even]
+    repro-experiments simulate --generator spot
+    repro-experiments simulate --trials 32 --seed 7 --jobs 4
 
 (or ``python -m repro ...`` / ``python -m repro.cli ...``).
 
@@ -18,6 +20,14 @@ re-selection policies and prints each policy's cost ledger.  With
 workloads share the warehouse, each epoch's bill is attributed into
 per-tenant ledgers, and ``--fair-slack`` adds a soft fairness
 preference to the selection itself.
+
+``--generator NAME`` swaps the hand-written drift for sampled drift
+(:mod:`repro.simulate.stochastic`), and ``--trials N`` evaluates the
+policies over *N* sampled futures at once — the Monte Carlo harness
+(:mod:`repro.simulate.montecarlo`), parallel across ``--jobs``
+processes, printing distribution summaries and optionally writing
+them as CSV (``--summary-csv``).  Identical ``--seed`` means
+identical output, whatever ``--jobs`` is.
 """
 
 from __future__ import annotations
@@ -30,12 +40,20 @@ from .errors import ReproError, SimulationError
 from .experiments.context import ExperimentConfig, ExperimentContext
 from .experiments.runner import EXPERIMENTS, run_all, run_experiment
 from .simulate.attribution import ATTRIBUTION_MODES
+from .simulate.montecarlo import (
+    MonteCarloConfig,
+    PolicySpec,
+    run_monte_carlo,
+)
 from .simulate.policy import POLICY_NAMES, make_policy
 from .simulate.presets import (
     DRIFT_MIN_EPOCHS,
     drifting_sales_simulator,
     multi_tenant_sales_simulator,
+    stochastic_multi_tenant_simulator,
+    stochastic_sales_simulator,
 )
+from .simulate.stochastic import GENERATOR_PRESETS
 
 __all__ = ["main", "build_parser"]
 
@@ -99,6 +117,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="relative regret that triggers re-selection (default %(default)s)",
     )
     simulate.add_argument(
+        "--hysteresis",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "epochs the regret must stay above the threshold before "
+            "the regret policy churns (default %(default)s)"
+        ),
+    )
+    simulate.add_argument(
         "--algorithm",
         choices=("knapsack", "greedy", "exhaustive"),
         default="greedy",
@@ -148,6 +176,46 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     simulate.add_argument(
+        "--generator",
+        choices=sorted(GENERATOR_PRESETS),
+        default=None,
+        help=(
+            "sample the drift from a seeded stochastic generator "
+            "bundle instead of the hand-written scenario"
+        ),
+    )
+    simulate.add_argument(
+        "--trials",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "evaluate the policies over N sampled futures (Monte "
+            "Carlo; implies --generator mixed unless one is named) "
+            "and print distribution summaries (default: one "
+            "deterministic run)"
+        ),
+    )
+    simulate.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="J",
+        help=(
+            "worker processes for --trials; never changes the result "
+            "(default %(default)s)"
+        ),
+    )
+    simulate.add_argument(
+        "--summary-csv",
+        default=None,
+        metavar="PATH",
+        help=(
+            "also write the Monte Carlo distribution summary as CSV "
+            "(needs --trials); byte-identical for identical --seed"
+        ),
+    )
+    simulate.add_argument(
         "--quiet",
         action="store_true",
         help="print only the per-policy summary lines",
@@ -189,6 +257,7 @@ def _simulate_policies(args: argparse.Namespace, scenario_factory=None):
             period=args.period,
             threshold=args.threshold,
             scenario_factory=scenario_factory,
+            hysteresis=args.hysteresis,
         )
         for name in names
     ]
@@ -205,6 +274,14 @@ def _print_cache_stats(builder) -> None:
 
 
 def _run_simulate(args: argparse.Namespace) -> int:
+    if args.trials:
+        return _run_simulate_montecarlo(args)
+    # Monte-Carlo-only flags must not be silently ignored either.
+    if args.jobs != 1 or args.summary_csv is not None:
+        raise SimulationError(
+            "--jobs and --summary-csv apply to Monte Carlo runs; "
+            "add --trials N"
+        )
     if args.tenants:
         return _run_simulate_tenants(args)
     # Tenant-only flags must not be silently ignored: a user who types
@@ -215,9 +292,17 @@ def _run_simulate(args: argparse.Namespace) -> int:
             "--attribution and --fair-slack apply to multi-tenant runs; "
             "add --tenants N"
         )
-    simulator = drifting_sales_simulator(
-        n_epochs=args.epochs, n_rows=args.rows, seed=args.seed
-    )
+    if args.generator is not None:
+        simulator = stochastic_sales_simulator(
+            generator=args.generator,
+            n_epochs=args.epochs,
+            n_rows=args.rows,
+            seed=args.seed,
+        )
+    else:
+        simulator = drifting_sales_simulator(
+            n_epochs=args.epochs, n_rows=args.rows, seed=args.seed
+        )
     ledgers = simulator.compare(_simulate_policies(args))
     for ledger in ledgers.values():
         if args.quiet:
@@ -229,14 +314,67 @@ def _run_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_simulate_tenants(args: argparse.Namespace) -> int:
-    simulator = multi_tenant_sales_simulator(
-        n_tenants=args.tenants,
+def _run_simulate_montecarlo(args: argparse.Namespace) -> int:
+    if args.fair_slack is not None:
+        raise SimulationError(
+            "--fair-slack is not supported under --trials (scenario "
+            "factories do not cross process boundaries); run single "
+            "trials instead"
+        )
+    if args.attribution is not None and not args.tenants:
+        raise SimulationError(
+            "--attribution applies to multi-tenant runs; add --tenants N"
+        )
+    names = POLICY_NAMES if args.policy == "all" else (args.policy,)
+    config = MonteCarloConfig(
+        generator=args.generator or "mixed",
+        n_trials=args.trials,
         n_epochs=args.epochs,
         n_rows=args.rows,
         seed=args.seed,
+        n_tenants=args.tenants,
         attribution=args.attribution or "proportional",
+        policies=tuple(
+            PolicySpec(
+                name,
+                algorithm=args.algorithm,
+                period=args.period,
+                threshold=args.threshold,
+                hysteresis=args.hysteresis,
+            )
+            for name in names
+        ),
     )
+    result = run_monte_carlo(config, jobs=args.jobs)
+    print(result.summary())
+    if not args.quiet:
+        print()
+        for row in result.rows():
+            print(",".join(row))
+    if args.summary_csv is not None:
+        result.to_csv(args.summary_csv)
+        print(f"\nsummary csv written to {args.summary_csv}")
+    return 0
+
+
+def _run_simulate_tenants(args: argparse.Namespace) -> int:
+    if args.generator is not None:
+        simulator = stochastic_multi_tenant_simulator(
+            n_tenants=args.tenants,
+            generator=args.generator,
+            n_epochs=args.epochs,
+            n_rows=args.rows,
+            seed=args.seed,
+            attribution=args.attribution or "proportional",
+        )
+    else:
+        simulator = multi_tenant_sales_simulator(
+            n_tenants=args.tenants,
+            n_epochs=args.epochs,
+            n_rows=args.rows,
+            seed=args.seed,
+            attribution=args.attribution or "proportional",
+        )
     factory = None
     if args.fair_slack is not None:
         factory = simulator.fair_scenario_factory(

@@ -22,7 +22,7 @@ from dataclasses import dataclass
 
 from .compute import BillingGranularity, ComputePricing, InstanceType
 from .storage import StoragePricing
-from .tiers import Tier, TierMode, TierSchedule
+from .tiers import TierMode, TierSchedule
 from .transfer import TransferPricing
 from ..money import dollars
 from ..units import GB_PER_TB

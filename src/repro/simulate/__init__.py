@@ -27,8 +27,18 @@ optional fairness-aware selection mode
 (:class:`~repro.optimizer.fairness.FairShareScenario`) capping each
 tenant's attributed cost.
 
-Quick start (see ``examples/lifecycle_simulation.py`` and
-``examples/multi_tenant_simulation.py``)::
+Stochastic drift and Monte Carlo evaluation close the loop (see
+:mod:`repro.simulate.stochastic` and
+:mod:`repro.simulate.montecarlo`): seeded generators — Poisson query
+churn, seasonal frequency waves, lognormal growth shocks, spot-price
+random walks — compile sampled futures into deterministic
+:class:`EventTimeline`\\ s, and :func:`run_monte_carlo` compares
+policies on cost *distributions* over many such futures (parallel
+across processes, byte-identical results for any worker count).
+
+Quick start (see ``examples/lifecycle_simulation.py``,
+``examples/multi_tenant_simulation.py`` and
+``examples/monte_carlo_simulation.py``)::
 
     from repro.simulate import drifting_sales_simulator, make_policy
 
@@ -68,6 +78,16 @@ from .ledger import (
     TenantEpochRecord,
     TenantLedger,
 )
+from .montecarlo import (
+    CLAIRVOYANT,
+    DistributionSummary,
+    MonteCarloConfig,
+    MonteCarloResult,
+    PolicySpec,
+    TrialOutcome,
+    run_monte_carlo,
+    run_trial,
+)
 from .policy import (
     POLICY_NAMES,
     NeverReselect,
@@ -84,16 +104,35 @@ from .presets import (
     multi_tenant_min_epochs,
     multi_tenant_sales_simulator,
     sales_deployment,
+    stochastic_multi_tenant_simulator,
+    stochastic_sales_simulator,
 )
 from .problems import EpochProblemBuilder
 from .simulator import EpochObserver, LifecycleSimulator, full_catalogue
 from .state import WarehouseState
+from .stochastic import (
+    GENERATOR_PRESETS,
+    DriftGenerator,
+    GeneratorContext,
+    GeometricGrowth,
+    PoissonQueryChurn,
+    SeasonalWave,
+    SpotPriceWalk,
+    compile_timeline,
+    derive_seed,
+    generator_preset,
+    split_by_scope,
+    spot_repriced,
+)
 from .tenants import MultiTenantSimulator, Tenant, TenantFleet, qualify
 
 __all__ = [
     "ATTRIBUTION_MODES",
     "AddQueries",
+    "CLAIRVOYANT",
     "DRIFT_MIN_EPOCHS",
+    "DistributionSummary",
+    "DriftGenerator",
     "DropQueries",
     "Epoch",
     "EpochObserver",
@@ -102,34 +141,53 @@ __all__ = [
     "EventTimeline",
     "FleetChange",
     "FleetLedger",
+    "GENERATOR_PRESETS",
+    "GeneratorContext",
+    "GeometricGrowth",
     "GrowFactTable",
     "LifecycleSimulator",
+    "MonteCarloConfig",
+    "MonteCarloResult",
     "MultiTenantSimulator",
     "NeverReselect",
     "POLICY_NAMES",
     "PeriodicReselect",
+    "PoissonQueryChurn",
     "PolicyDecision",
+    "PolicySpec",
     "PriceChange",
     "RegretTriggered",
     "ReselectionPolicy",
     "ReweightQueries",
     "ScenarioFactory",
+    "SeasonalWave",
     "SharedCostAttributor",
     "SimulationClock",
     "SimulationEvent",
     "SimulationLedger",
+    "SpotPriceWalk",
     "Tenant",
     "TenantEpochRecord",
     "TenantFleet",
     "TenantLedger",
+    "TrialOutcome",
     "WarehouseState",
     "allocate_exactly",
+    "compile_timeline",
+    "derive_seed",
     "drifting_sales_simulator",
     "full_catalogue",
+    "generator_preset",
     "make_policy",
     "multi_tenant_min_epochs",
     "multi_tenant_sales_simulator",
     "qualify",
+    "run_monte_carlo",
+    "run_trial",
     "sales_deployment",
+    "split_by_scope",
+    "spot_repriced",
+    "stochastic_multi_tenant_simulator",
+    "stochastic_sales_simulator",
     "tenant_of_query",
 ]

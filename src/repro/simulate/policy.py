@@ -217,6 +217,15 @@ class RegretTriggered(ReselectionPolicy):
     drift in the later components when the leading ones tie).  Below
     ``threshold`` the held set is kept (no churn); above it, the
     optimizer's answer is adopted.
+
+    ``hysteresis`` makes the trigger sticky: the regret must stay
+    above the threshold for that many *consecutive* epochs before the
+    policy churns.  Under deterministic drift one epoch of regret is
+    a fact; under stochastic drift (seasonal waves, spot-price walks)
+    one epoch of regret is often noise that reverts before a rebuild
+    could pay for itself — hysteresis is the knob that separates the
+    two.  An infeasible holding bypasses hysteresis entirely: a
+    violated constraint is never noise.
     """
 
     name = "regret"
@@ -227,18 +236,33 @@ class RegretTriggered(ReselectionPolicy):
         scenario: Optional[Scenario] = None,
         algorithm: str = "greedy",
         scenario_factory: Optional[ScenarioFactory] = None,
+        hysteresis: int = 1,
     ) -> None:
         super().__init__(scenario, algorithm, scenario_factory)
         if threshold < 0:
             raise SimulationError(
                 f"regret threshold cannot be negative, got {threshold}"
             )
+        if hysteresis < 1:
+            raise SimulationError(
+                f"hysteresis must be >= 1 epoch, got {hysteresis}"
+            )
         self._threshold = threshold
+        self._hysteresis = hysteresis
+        # Consecutive epochs the current run has spent above threshold.
+        # Reset whenever a run starts (current is None) so one policy
+        # instance can serve several runs back to back.
+        self._streak = 0
 
     @property
     def threshold(self) -> float:
         """Relative regret above which re-selection triggers."""
         return self._threshold
+
+    @property
+    def hysteresis(self) -> int:
+        """Consecutive over-threshold epochs required before churning."""
+        return self._hysteresis
 
     def decide(
         self,
@@ -246,29 +270,41 @@ class RegretTriggered(ReselectionPolicy):
         problem: SelectionProblem,
         current: Optional[FrozenSet[str]],
     ) -> PolicyDecision:
-        """Measure the held set's regret; adopt the optimum if it crosses
-        the threshold (or the holding turned infeasible)."""
+        """Measure the held set's regret; adopt the optimum once it has
+        crossed the threshold for ``hysteresis`` consecutive epochs (or
+        the holding turned infeasible)."""
         # One scenario instance for both the optimum and the regret
         # check, so a factory-built scenario's share memo is shared.
         scenario = self._scenario_for(problem)
         best = select_views(problem, scenario, self._algorithm).outcome.subset
         if current is None:
+            self._streak = 0
             return PolicyDecision(best, reoptimized=True)
         held = problem.evaluate(current)
         if not scenario.feasible(held):
             # Under a constrained scenario an infeasible holding can
             # look *cheap* on the objective; regret must not excuse a
             # violated constraint.
+            self._streak = 0
             return PolicyDecision(best, reoptimized=True, regret=float("inf"))
         regret = _relative_regret(
             scenario.key(held), scenario.key(problem.evaluate(best))
         )
         if regret > self._threshold:
-            return PolicyDecision(best, reoptimized=True, regret=regret)
+            self._streak += 1
+            if self._streak >= self._hysteresis:
+                self._streak = 0
+                return PolicyDecision(best, reoptimized=True, regret=regret)
+            return PolicyDecision(current, reoptimized=False, regret=regret)
+        self._streak = 0
         return PolicyDecision(current, reoptimized=False, regret=regret)
 
     def describe(self) -> str:
-        """``regret(>r)``."""
+        """``regret(>r)``, with ``hold n`` once hysteresis is sticky."""
+        if self._hysteresis > 1:
+            return (
+                f"regret(>{self._threshold:g}, hold {self._hysteresis})"
+            )
         return f"regret(>{self._threshold:g})"
 
 
@@ -279,6 +315,7 @@ def make_policy(
     period: int = 4,
     threshold: float = 0.05,
     scenario_factory: Optional[ScenarioFactory] = None,
+    hysteresis: int = 1,
 ) -> ReselectionPolicy:
     """Build a policy from its registry name (CLI/benchmark entry)."""
     if name == "never":
@@ -286,7 +323,9 @@ def make_policy(
     if name == "periodic":
         return PeriodicReselect(period, scenario, algorithm, scenario_factory)
     if name == "regret":
-        return RegretTriggered(threshold, scenario, algorithm, scenario_factory)
+        return RegretTriggered(
+            threshold, scenario, algorithm, scenario_factory, hysteresis
+        )
     raise SimulationError(
         f"unknown policy {name!r}; choose from {POLICY_NAMES}"
     )

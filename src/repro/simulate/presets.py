@@ -24,9 +24,20 @@ and intensity and whose dashboard drift arrives staggered (tenant
 ``t2``'s dashboards land two epochs after ``t1``'s), over the shared
 growth/repricing backdrop.  It is the preset behind
 ``python -m repro simulate --tenants N``.
+
+:func:`stochastic_sales_simulator` and
+:func:`stochastic_multi_tenant_simulator` replace the hand-written
+drift with sampled drift (:mod:`repro.simulate.stochastic`): the same
+base warehouse, but the future is drawn from a seeded generator bundle
+— Poisson query churn, seasonal frequency waves, noisy growth, a
+spot-price walk.  ``seed`` fixes the starting world; ``drift_seed``
+(default: ``seed``) fixes the sampled future, so a Monte Carlo harness
+can hold the world constant while varying the future per trial.
 """
 
 from __future__ import annotations
+
+import functools
 
 from ..costmodel.params import DeploymentSpec
 from ..data.sales_generator import generate_sales
@@ -41,7 +52,6 @@ from .clock import SimulationClock
 from .events import (
     AddQueries,
     DropQueries,
-    EventTimeline,
     FleetChange,
     GrowFactTable,
     PriceChange,
@@ -49,6 +59,13 @@ from .events import (
 )
 from .simulator import LifecycleSimulator
 from .state import WarehouseState
+from .stochastic import (
+    GeneratorContext,
+    compile_timeline,
+    derive_seed,
+    generator_preset,
+    split_by_scope,
+)
 from .tenants import MultiTenantSimulator, Tenant, TenantFleet
 
 __all__ = [
@@ -57,6 +74,8 @@ __all__ = [
     "multi_tenant_min_epochs",
     "multi_tenant_sales_simulator",
     "sales_deployment",
+    "stochastic_multi_tenant_simulator",
+    "stochastic_sales_simulator",
 ]
 
 #: The reference scenario's last event fires at epoch 18, so its
@@ -252,6 +271,144 @@ def multi_tenant_sales_simulator(
         dataset=dataset,
         deployment=sales_deployment(),
         shared_events=shared,
+    )
+    return MultiTenantSimulator(
+        fleet,
+        clock=SimulationClock(n_epochs),
+        attribution=attribution,
+        cache=cache,
+        charge_teardown_egress=charge_teardown_egress,
+    )
+
+
+# Monte Carlo trials vary only the drift seed, so within one process
+# every trial starts from the identical dataset; datasets are immutable
+# (events derive new ones via dataclasses.replace), so sharing one
+# instance is safe and saves O(n_trials) generations per worker.
+@functools.lru_cache(maxsize=4)
+def _cached_sales_dataset(n_rows: int, seed: int, dataset_gb: float):
+    return generate_sales(n_rows=n_rows, seed=seed, target_gb=dataset_gb)
+
+
+def stochastic_sales_simulator(
+    generator: str = "mixed",
+    n_epochs: int = 24,
+    n_rows: int = 60_000,
+    seed: int = 42,
+    drift_seed: "int | None" = None,
+    dataset_gb: float = 10.0,
+    charge_teardown_egress: bool = True,
+    cache: "SubsetEvaluationCache | None" = None,
+) -> LifecycleSimulator:
+    """The Section 6 warehouse under *sampled* drift.
+
+    Same starting world as :func:`drifting_sales_simulator` (10 GB
+    sales dataset, five paper queries, five AWS small instances), but
+    the future is drawn from the named generator preset (see
+    :data:`repro.simulate.stochastic.GENERATOR_PRESETS`) and compiled
+    into a deterministic timeline.  ``seed`` fixes the dataset;
+    ``drift_seed`` (default: ``seed``) fixes the sampled future.
+    """
+    dataset = _cached_sales_dataset(n_rows, seed, dataset_gb)
+    workload = paper_sales_workload(dataset.schema, 5)
+    deployment = sales_deployment()
+    timeline = compile_timeline(
+        generator_preset(generator),
+        seed if drift_seed is None else drift_seed,
+        GeneratorContext(
+            schema=dataset.schema,
+            base_workload=workload,
+            provider=deployment.provider,
+            n_epochs=n_epochs,
+        ),
+    )
+    return LifecycleSimulator(
+        initial=WarehouseState(
+            workload=workload, dataset=dataset, deployment=deployment
+        ),
+        clock=SimulationClock(n_epochs),
+        timeline=timeline,
+        cache=cache,
+        charge_teardown_egress=charge_teardown_egress,
+    )
+
+
+def stochastic_multi_tenant_simulator(
+    n_tenants: int = 3,
+    generator: str = "mixed",
+    n_epochs: int = 24,
+    n_rows: int = 60_000,
+    seed: int = 42,
+    drift_seed: "int | None" = None,
+    dataset_gb: float = 10.0,
+    attribution: str = "proportional",
+    charge_teardown_egress: bool = True,
+    cache: "SubsetEvaluationCache | None" = None,
+) -> MultiTenantSimulator:
+    """*n* tenants, one warehouse, every tenant's future sampled.
+
+    Tenants start from the same size/intensity mix as
+    :func:`multi_tenant_sales_simulator`.  The generator preset is
+    split by scope: each tenant gets its own workload-scoped streams
+    (churn, seasonal waves) drawn from a per-tenant child seed, and the
+    warehouse-scoped streams (growth, spot-price walk) run once, on
+    the shared world — so tenants drift independently over a common
+    market backdrop.
+    """
+    if n_tenants < 1:
+        raise SimulationError(
+            f"the fleet needs at least one tenant, got {n_tenants}"
+        )
+    dataset = _cached_sales_dataset(n_rows, seed, dataset_gb)
+    schema = dataset.schema
+    deployment = sales_deployment()
+    base_seed = seed if drift_seed is None else drift_seed
+    workload_gens, warehouse_gens = split_by_scope(
+        generator_preset(generator)
+    )
+
+    sizes = (3, 5, 4)
+    intensities = (1.0, 2.0, 0.5)
+    tenants = []
+    for i in range(n_tenants):
+        base = paper_sales_workload(schema, sizes[i % len(sizes)])
+        intensity = intensities[i % len(intensities)]
+        workload = base.reweighted(
+            {q.name: q.frequency * intensity for q in base}
+        )
+        timeline = compile_timeline(
+            workload_gens,
+            derive_seed(base_seed, f"tenant:{i}"),
+            GeneratorContext(
+                schema=schema,
+                base_workload=workload,
+                provider=deployment.provider,
+                n_epochs=n_epochs,
+            ),
+        )
+        tenants.append(
+            Tenant(
+                name=f"t{i + 1}",
+                workload=workload,
+                events=tuple(timeline),
+            )
+        )
+
+    shared_timeline = compile_timeline(
+        warehouse_gens,
+        derive_seed(base_seed, "shared"),
+        GeneratorContext(
+            schema=schema,
+            base_workload=tenants[0].workload,
+            provider=deployment.provider,
+            n_epochs=n_epochs,
+        ),
+    )
+    fleet = TenantFleet(
+        tenants,
+        dataset=dataset,
+        deployment=deployment,
+        shared_events=tuple(shared_timeline),
     )
     return MultiTenantSimulator(
         fleet,

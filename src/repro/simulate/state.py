@@ -16,7 +16,7 @@ counts re-estimated at the new logical row count).
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Hashable, Tuple
+from typing import Hashable
 
 from ..costmodel.params import DeploymentSpec
 from ..data.generator import Dataset

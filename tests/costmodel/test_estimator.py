@@ -10,7 +10,6 @@ from repro.costmodel import (
     PlanningEstimator,
 )
 from repro.cube import CuboidLattice, candidates_from_workload
-from repro.data import generate_sales
 from repro.errors import CostModelError
 from repro.pricing import BillingGranularity, aws_2012
 from repro.workload import paper_sales_workload

@@ -6,7 +6,7 @@ import pytest
 
 from repro.cube import CuboidLattice, candidates_from_grains, hru_select
 from repro.errors import OptimizationError
-from repro.schema import ALL, sales_schema
+from repro.schema import sales_schema
 from repro.workload import paper_sales_workload
 
 

@@ -10,7 +10,6 @@ from hypothesis import strategies as st
 from repro.data.table import GrainTable, HierarchyIndex
 from repro.errors import EngineError, SchemaError
 from repro.schema import ALL, sales_schema
-from repro.schema.hierarchy import Dimension, Hierarchy
 
 
 @pytest.fixture(scope="module")

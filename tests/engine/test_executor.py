@@ -10,7 +10,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.data import GrainTable, generate_sales
-from repro.data.table import HierarchyIndex
 from repro.engine import Executor
 from repro.errors import EngineError
 from repro.schema import ALL, sales_schema

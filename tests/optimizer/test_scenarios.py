@@ -4,12 +4,11 @@ from __future__ import annotations
 
 import pytest
 
-from repro.costmodel import StorageTimeline, WorkloadPlan
 from repro.costmodel.computing import view_computing_cost
 from repro.costmodel.total import CostBreakdown
 from repro.errors import OptimizationError
 from repro.money import Money
-from repro.optimizer import BudgetLimit, TimeLimit, Tradeoff, mv1, mv2, mv3
+from repro.optimizer import Tradeoff, mv1, mv2, mv3
 from repro.optimizer.problem import SelectionOutcome
 from repro.pricing import aws_2012
 

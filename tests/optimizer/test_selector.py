@@ -8,9 +8,7 @@ from repro.errors import InfeasibleProblemError, OptimizationError
 from repro.money import Money
 from repro.optimizer import (
     SelectionProblem,
-    Tradeoff,
     exhaustive_select,
-    greedy_select,
     mv1,
     mv2,
     mv3,

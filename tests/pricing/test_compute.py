@@ -7,7 +7,7 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.errors import PricingError
-from repro.money import Money, dollars
+from repro.money import Money
 from repro.pricing.compute import BillingGranularity, ComputePricing, InstanceType
 from repro.pricing.providers import aws_2012
 

@@ -7,7 +7,7 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.errors import PricingError
-from repro.money import Money, dollars
+from repro.money import Money
 from repro.pricing.providers import archive_cloud, aws_2012, flat_cloud
 from repro.pricing.storage import StoragePricing
 from repro.pricing.tiers import TierSchedule

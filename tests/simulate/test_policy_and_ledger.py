@@ -89,6 +89,7 @@ class TestPolicies:
         assert isinstance(make_policy("never"), NeverReselect)
         assert make_policy("periodic", period=7).period == 7
         assert make_policy("regret", threshold=0.2).threshold == 0.2
+        assert make_policy("regret", hysteresis=3).hysteresis == 3
         with pytest.raises(SimulationError, match="unknown policy"):
             make_policy("sometimes")
 
@@ -97,6 +98,68 @@ class TestPolicies:
             PeriodicReselect(period=0)
         with pytest.raises(SimulationError):
             RegretTriggered(threshold=-0.1)
+        with pytest.raises(SimulationError):
+            RegretTriggered(hysteresis=0)
+
+
+class TestHysteresis:
+    def test_regret_must_persist_before_churning(self, problem):
+        """With hysteresis=3, two over-threshold epochs hold; the
+        third adopts the optimum."""
+        policy = RegretTriggered(threshold=0.01, hysteresis=3)
+        optimum = policy.decide(0, problem, None).subset
+        assert optimum
+        bad = frozenset()  # holding nothing is regretful in this world
+        first = policy.decide(1, problem, bad)
+        assert first.regret > 0.01 and not first.reoptimized
+        assert first.subset == bad
+        second = policy.decide(2, problem, bad)
+        assert second.regret > 0.01 and not second.reoptimized
+        third = policy.decide(3, problem, bad)
+        assert third.reoptimized
+        assert third.subset == optimum
+
+    def test_quiet_epoch_resets_the_streak(self, problem):
+        policy = RegretTriggered(threshold=0.01, hysteresis=2)
+        optimum = policy.decide(0, problem, None).subset
+        bad = frozenset()
+        assert not policy.decide(1, problem, bad).reoptimized
+        # An epoch spent at the optimum clears the streak...
+        calm = policy.decide(2, problem, optimum)
+        assert not calm.reoptimized
+        assert calm.regret == pytest.approx(0.0)
+        # ...so the next regretful epoch starts counting from one.
+        assert not policy.decide(3, problem, bad).reoptimized
+        assert policy.decide(4, problem, bad).reoptimized
+
+    def test_first_epoch_resets_state_between_runs(self, problem):
+        """One policy instance serves several runs: a streak built in
+        run A must not leak into run B."""
+        policy = RegretTriggered(threshold=0.01, hysteresis=2)
+        policy.decide(0, problem, None)
+        policy.decide(1, problem, frozenset())  # streak = 1
+        policy.decide(0, problem, None)  # new run
+        assert not policy.decide(1, problem, frozenset()).reoptimized
+
+    def test_infeasible_holding_bypasses_hysteresis(self, problem):
+        from repro.optimizer import TimeLimit
+
+        baseline_hours = problem.baseline().processing_hours
+        everything = problem.evaluate(frozenset(problem.candidate_names))
+        limit = (everything.processing_hours + baseline_hours) / 2
+        policy = RegretTriggered(
+            threshold=10.0, scenario=TimeLimit(limit), hysteresis=5
+        )
+        decision = policy.decide(1, problem, frozenset())
+        assert decision.reoptimized
+        assert decision.regret == float("inf")
+
+    def test_describe_shows_the_hold(self):
+        assert RegretTriggered().describe() == "regret(>0.05)"
+        assert (
+            RegretTriggered(hysteresis=3).describe()
+            == "regret(>0.05, hold 3)"
+        )
 
 
 def _record(epoch: int, **overrides) -> EpochRecord:

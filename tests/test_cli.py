@@ -176,6 +176,118 @@ class TestSimulate:
         assert code == 1
         assert "--tenants" in capsys.readouterr().err
 
+    def test_stochastic_generator_single_run(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--generator", "spot",
+                "--rows", "4000",
+                "--epochs", "6",
+                "--policy", "regret",
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        assert "regret" in capsys.readouterr().out
+
+    def test_unknown_generator_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--generator", "chaos"])
+
+    def test_monte_carlo_summary_and_csv(self, tmp_path, capsys):
+        csv_path = tmp_path / "summary.csv"
+        argv = [
+            "simulate",
+            "--trials", "2",
+            "--rows", "4000",
+            "--epochs", "6",
+            "--seed", "7",
+            "--quiet",
+            "--summary-csv", str(csv_path),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "2 trials" in out
+        assert "clairvoyant" in out
+        first = csv_path.read_bytes()
+        assert first.startswith(b"policy,metric,n,mean")
+        # Re-running with the same seed must reproduce the CSV bytes.
+        assert main(argv) == 0
+        assert csv_path.read_bytes() == first
+
+    def test_monte_carlo_multi_tenant(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--trials", "2",
+                "--tenants", "2",
+                "--rows", "4000",
+                "--epochs", "6",
+                "--policy", "never",
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        assert "tenants=2" in capsys.readouterr().out
+
+    def test_monte_carlo_flags_without_trials_error_cleanly(self, capsys):
+        code = main(["simulate", "--jobs", "4", "--rows", "4000", "--quiet"])
+        assert code == 1
+        assert "--trials" in capsys.readouterr().err
+        code = main(
+            [
+                "simulate",
+                "--summary-csv", "out.csv",
+                "--rows", "4000",
+                "--quiet",
+            ]
+        )
+        assert code == 1
+        assert "--trials" in capsys.readouterr().err
+
+    def test_monte_carlo_attribution_without_tenants_errors(self, capsys):
+        """--attribution must not be silently swallowed by a
+        single-warehouse Monte Carlo run."""
+        code = main(
+            [
+                "simulate",
+                "--trials", "2",
+                "--attribution", "even",
+                "--rows", "4000",
+                "--quiet",
+            ]
+        )
+        assert code == 1
+        assert "--tenants" in capsys.readouterr().err
+
+    def test_monte_carlo_rejects_fair_slack(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--trials", "2",
+                "--tenants", "2",
+                "--fair-slack", "0.5",
+                "--rows", "4000",
+                "--quiet",
+            ]
+        )
+        assert code == 1
+        assert "--fair-slack" in capsys.readouterr().err
+
+    def test_hysteresis_flag_reaches_the_policy(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--rows", "4000",
+                "--epochs", "20",
+                "--policy", "regret",
+                "--hysteresis", "3",
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        assert "hold 3" in capsys.readouterr().out
+
     def test_too_many_tenants_for_horizon_errors_cleanly(self, capsys):
         code = main(
             [
