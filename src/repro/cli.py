@@ -8,6 +8,7 @@ Usage::
     repro-experiments simulate --epochs 24 --policy all
     repro-experiments simulate --tenants 3 [--attribution even]
     repro-experiments simulate --generator spot
+    repro-experiments simulate --arbitrage --generator spot
     repro-experiments simulate --trials 32 --seed 7 --jobs 4
 
 (or ``python -m repro ...`` / ``python -m repro.cli ...``).
@@ -20,6 +21,13 @@ re-selection policies and prints each policy's cost ledger.  With
 workloads share the warehouse, each epoch's bill is attributed into
 per-tenant ledgers, and ``--fair-slack`` adds a soft fairness
 preference to the selection itself.
+
+``--arbitrage`` quotes a multi-provider market and wraps every policy
+in the migration layer (:mod:`repro.simulate.arbitrage`): each epoch
+the holdings are priced on every quoted book, and the warehouse
+migrates — paying dataset + view egress and re-materialization — when
+the amortized savings over ``--migration-horizon`` epochs beat the
+switch cost for ``--migration-hold`` consecutive epochs.
 
 ``--generator NAME`` swaps the hand-written drift for sampled drift
 (:mod:`repro.simulate.stochastic`), and ``--trials N`` evaluates the
@@ -39,6 +47,7 @@ from typing import List, Optional
 from .errors import ReproError, SimulationError
 from .experiments.context import ExperimentConfig, ExperimentContext
 from .experiments.runner import EXPERIMENTS, run_all, run_experiment
+from .simulate.arbitrage import ArbitrageAware
 from .simulate.attribution import ATTRIBUTION_MODES
 from .simulate.montecarlo import (
     MonteCarloConfig,
@@ -48,6 +57,7 @@ from .simulate.montecarlo import (
 from .simulate.policy import POLICY_NAMES, make_policy
 from .simulate.presets import (
     DRIFT_MIN_EPOCHS,
+    default_market,
     drifting_sales_simulator,
     multi_tenant_sales_simulator,
     stochastic_multi_tenant_simulator,
@@ -56,6 +66,13 @@ from .simulate.presets import (
 from .simulate.stochastic import GENERATOR_PRESETS
 
 __all__ = ["main", "build_parser"]
+
+#: CLI defaults for the arbitrage knobs; the flags use a ``None``
+#: sentinel so "typed the default value" and "never typed the flag"
+#: stay distinguishable (a typed knob without --arbitrage is an
+#: error, whatever its value).
+MIGRATION_HORIZON_DEFAULT = 6
+MIGRATION_HOLD_DEFAULT = 2
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -176,6 +193,38 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     simulate.add_argument(
+        "--arbitrage",
+        action="store_true",
+        help=(
+            "quote a multi-provider market (AWS + flat-rate + archive "
+            "books) and wrap every policy in the arbitrage layer: "
+            "migrate providers when amortized savings beat the switch "
+            "cost (dataset + view egress, re-materialization)"
+        ),
+    )
+    simulate.add_argument(
+        "--migration-horizon",
+        type=int,
+        default=None,
+        metavar="H",
+        help=(
+            "epochs the per-epoch savings are amortized over before "
+            "being compared with the switch cost (needs --arbitrage; "
+            f"default {MIGRATION_HORIZON_DEFAULT})"
+        ),
+    )
+    simulate.add_argument(
+        "--migration-hold",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "consecutive epochs a candidate provider must stay "
+            "worthwhile before the arbitrage layer migrates (needs "
+            f"--arbitrage; default {MIGRATION_HOLD_DEFAULT})"
+        ),
+    )
+    simulate.add_argument(
         "--generator",
         choices=sorted(GENERATOR_PRESETS),
         default=None,
@@ -248,9 +297,41 @@ def _context(args: argparse.Namespace) -> ExperimentContext:
     )
 
 
+def _migration_knobs(args: argparse.Namespace):
+    """Resolve the arbitrage knobs as ``(horizon, hold)``.
+
+    A knob typed without ``--arbitrage`` — whatever its value — is an
+    error rather than a silent no-op; untyped knobs resolve to the
+    module defaults.
+    """
+    typed = (
+        args.migration_horizon is not None
+        or args.migration_hold is not None
+    )
+    if not args.arbitrage:
+        if typed:
+            raise SimulationError(
+                "--migration-horizon and --migration-hold apply to "
+                "arbitrage runs; add --arbitrage"
+            )
+        return None, None
+    horizon = (
+        MIGRATION_HORIZON_DEFAULT
+        if args.migration_horizon is None
+        else args.migration_horizon
+    )
+    hold = (
+        MIGRATION_HOLD_DEFAULT
+        if args.migration_hold is None
+        else args.migration_hold
+    )
+    return horizon, hold
+
+
 def _simulate_policies(args: argparse.Namespace, scenario_factory=None):
+    horizon, hold = _migration_knobs(args)
     names = POLICY_NAMES if args.policy == "all" else (args.policy,)
-    return [
+    policies = [
         make_policy(
             name,
             algorithm=args.algorithm,
@@ -261,6 +342,17 @@ def _simulate_policies(args: argparse.Namespace, scenario_factory=None):
         )
         for name in names
     ]
+    if args.arbitrage:
+        policies = [
+            ArbitrageAware(policy, horizon=horizon, hysteresis=hold)
+            for policy in policies
+        ]
+    return policies
+
+
+def _simulate_market(args: argparse.Namespace):
+    """The provider market the run quotes (None = single provider)."""
+    return default_market() if args.arbitrage else None
 
 
 def _print_cache_stats(builder) -> None:
@@ -292,16 +384,19 @@ def _run_simulate(args: argparse.Namespace) -> int:
             "--attribution and --fair-slack apply to multi-tenant runs; "
             "add --tenants N"
         )
+    market = _simulate_market(args)
     if args.generator is not None:
         simulator = stochastic_sales_simulator(
             generator=args.generator,
             n_epochs=args.epochs,
             n_rows=args.rows,
             seed=args.seed,
+            market=market,
         )
     else:
         simulator = drifting_sales_simulator(
-            n_epochs=args.epochs, n_rows=args.rows, seed=args.seed
+            n_epochs=args.epochs, n_rows=args.rows, seed=args.seed,
+            market=market,
         )
     ledgers = simulator.compare(_simulate_policies(args))
     for ledger in ledgers.values():
@@ -325,6 +420,16 @@ def _run_simulate_montecarlo(args: argparse.Namespace) -> int:
         raise SimulationError(
             "--attribution applies to multi-tenant runs; add --tenants N"
         )
+    horizon, hold = _migration_knobs(args)
+    arbitrage_knobs = (
+        {
+            "arbitrage": True,
+            "migration_horizon": horizon,
+            "migration_hold": hold,
+        }
+        if args.arbitrage
+        else {}
+    )
     names = POLICY_NAMES if args.policy == "all" else (args.policy,)
     config = MonteCarloConfig(
         generator=args.generator or "mixed",
@@ -341,6 +446,7 @@ def _run_simulate_montecarlo(args: argparse.Namespace) -> int:
                 period=args.period,
                 threshold=args.threshold,
                 hysteresis=args.hysteresis,
+                **arbitrage_knobs,
             )
             for name in names
         ),
@@ -358,6 +464,7 @@ def _run_simulate_montecarlo(args: argparse.Namespace) -> int:
 
 
 def _run_simulate_tenants(args: argparse.Namespace) -> int:
+    market = _simulate_market(args)
     if args.generator is not None:
         simulator = stochastic_multi_tenant_simulator(
             n_tenants=args.tenants,
@@ -366,6 +473,7 @@ def _run_simulate_tenants(args: argparse.Namespace) -> int:
             n_rows=args.rows,
             seed=args.seed,
             attribution=args.attribution or "proportional",
+            market=market,
         )
     else:
         simulator = multi_tenant_sales_simulator(
@@ -374,6 +482,7 @@ def _run_simulate_tenants(args: argparse.Namespace) -> int:
             n_rows=args.rows,
             seed=args.seed,
             attribution=args.attribution or "proportional",
+            market=market,
         )
     factory = None
     if args.fair_slack is not None:

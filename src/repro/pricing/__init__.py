@@ -6,6 +6,11 @@ the engine with *rates* produced here.
 """
 
 from .compute import BillingGranularity, ComputePricing, InstanceType
+from .migration import (
+    MigrationEstimate,
+    migration_transfer_cost,
+    migration_volume_gb,
+)
 from .providers import (
     Provider,
     all_providers,
@@ -22,6 +27,7 @@ __all__ = [
     "BillingGranularity",
     "ComputePricing",
     "InstanceType",
+    "MigrationEstimate",
     "Provider",
     "StoragePricing",
     "Tier",
@@ -33,4 +39,6 @@ __all__ = [
     "aws_2012",
     "aws_2012_marginal",
     "flat_cloud",
+    "migration_transfer_cost",
+    "migration_volume_gb",
 ]

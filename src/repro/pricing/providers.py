@@ -39,7 +39,23 @@ __all__ = [
 
 @dataclass(frozen=True)
 class Provider:
-    """A complete price book: compute + storage + transfer."""
+    """A complete price book: compute + storage + transfer.
+
+    Parameters
+    ----------
+    name:
+        Display identifier used in ledgers and deployment summaries.
+        Spot-repriced variants append ``~x{multiplier}`` to the base
+        name; everything before that suffix is the provider *family*
+        (see :func:`repro.simulate.state.provider_family`).
+    compute:
+        Instance catalogue and billing granularity (the paper's
+        Table 2).
+    storage:
+        Tiered GB-month schedule (Table 4).
+    transfer:
+        Tiered in/out bandwidth schedules (Table 3).
+    """
 
     name: str
     compute: ComputePricing
@@ -53,6 +69,12 @@ class Provider:
         and billing rule agrees — the name alone is not trusted, so
         ``aws_2012(PER_HOUR)`` and ``aws_2012(PER_SECOND)`` (same name,
         different compute billing) never share cached pricings.
+
+        Returns
+        -------
+        tuple
+            ``(name, compute, storage, transfer)`` fingerprints,
+            usable as a cache key.
         """
         return (
             self.name,
@@ -138,6 +160,17 @@ def aws_2012(
 
     Hourly round-up compute (Example 2), marginal bandwidth with free
     first GB (Example 1), slab storage (Example 3).
+
+    Parameters
+    ----------
+    granularity:
+        Compute billing rounding; the paper's examples round up to
+        the hour, the lifecycle simulations bill per second.
+
+    Returns
+    -------
+    Provider
+        The ``aws-2012`` price book (Tables 2–4).
     """
     return Provider(
         name="aws-2012",
@@ -154,6 +187,16 @@ def aws_2012_marginal(
 
     This is how AWS actually metered; the difference against
     :func:`aws_2012` is the subject of the tier-semantics ablation.
+
+    Parameters
+    ----------
+    granularity:
+        Compute billing rounding, as in :func:`aws_2012`.
+
+    Returns
+    -------
+    Provider
+        The ``aws-2012-marginal`` price book.
     """
     return Provider(
         name="aws-2012-marginal",
@@ -170,6 +213,11 @@ def flat_cloud() -> Provider:
     the AWS structure.  Compute is slightly cheaper per ECU, storage
     slightly more expensive per GB-month, so the view-selection
     tradeoff lands differently than on :func:`aws_2012`.
+
+    Returns
+    -------
+    Provider
+        The ``flat-cloud`` price book.
     """
     return Provider(
         name="flat-cloud",
@@ -191,7 +239,14 @@ def archive_cloud() -> Provider:
     Storage this cheap makes materializing *every* candidate view
     attractive; egress this dear makes large query results dominate the
     bill.  Exercises the opposite corner of the cost space from
-    :func:`flat_cloud`.
+    :func:`flat_cloud` — and, for migration policies, the corner where
+    *leaving* is expensive: a warehouse that moves in pays the dear
+    egress on the way out.
+
+    Returns
+    -------
+    Provider
+        The ``archive-cloud`` price book.
     """
     return Provider(
         name="archive-cloud",
@@ -224,5 +279,12 @@ def archive_cloud() -> Provider:
 
 
 def all_providers() -> "list[Provider]":
-    """Every built-in provider preset (for comparison sweeps)."""
+    """Every built-in provider preset (for comparison sweeps).
+
+    Returns
+    -------
+    list of Provider
+        ``aws-2012``, ``aws-2012-marginal``, ``flat-cloud`` and
+        ``archive-cloud``, in that order.
+    """
     return [aws_2012(), aws_2012_marginal(), flat_cloud(), archive_cloud()]

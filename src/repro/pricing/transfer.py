@@ -55,7 +55,14 @@ class TransferPricing:
         return self._inbound is None
 
     def fingerprint(self) -> tuple:
-        """Hashable value identity: equal fingerprints bill identically."""
+        """Hashable value identity: equal fingerprints bill identically.
+
+        Returns
+        -------
+        tuple
+            The outbound schedule's fingerprint plus the inbound's
+            (``None`` when ingress is free), usable as a cache key.
+        """
         return (
             self._outbound.fingerprint(),
             self._inbound.fingerprint() if self._inbound else None,
@@ -63,6 +70,20 @@ class TransferPricing:
 
     def outbound_cost(self, volume_gb: float) -> Money:
         """Cost of sending ``volume_gb`` out of the cloud.
+
+        Prices query results, view decommission exports and the
+        egress leg of a provider migration
+        (:mod:`repro.pricing.migration`).
+
+        Parameters
+        ----------
+        volume_gb:
+            Gigabytes leaving the cloud; must be non-negative.
+
+        Returns
+        -------
+        Money
+            The tiered egress charge.
 
         Examples
         --------
@@ -77,7 +98,20 @@ class TransferPricing:
         return self._outbound.cost(volume_gb)
 
     def inbound_cost(self, volume_gb: float) -> Money:
-        """Cost of sending ``volume_gb`` into the cloud (often zero)."""
+        """Cost of sending ``volume_gb`` into the cloud (often zero).
+
+        Parameters
+        ----------
+        volume_gb:
+            Gigabytes entering the cloud; must be non-negative.
+
+        Returns
+        -------
+        Money
+            The tiered ingress charge — exactly zero when the
+            provider's inbound schedule is ``None`` (the AWS model of
+            the paper).
+        """
         if volume_gb < 0:
             raise PricingError(f"volume cannot be negative: {volume_gb}")
         if self._inbound is None:

@@ -27,6 +27,17 @@ optional fairness-aware selection mode
 (:class:`~repro.optimizer.fairness.FairShareScenario`) capping each
 tenant's attributed cost.
 
+Online pricing arbitrage makes the provider itself a decision (see
+:mod:`repro.simulate.arbitrage` and :mod:`repro.pricing.migration`):
+a :class:`WarehouseState` can quote a *market* of candidate price
+books, and an :class:`ArbitrageAware` policy wrapper prices the
+holdings + workload against every quoted book each epoch (cheap —
+counterfactual problems flow through the shared evaluation cache),
+migrating via a billed :class:`ProviderMigration` (dataset + view
+egress, re-materialization on the target) when the amortized savings
+over ``--migration-horizon`` epochs beat the switch cost, with
+hold-N hysteresis against spot-price thrash.
+
 Stochastic drift and Monte Carlo evaluation close the loop (see
 :mod:`repro.simulate.stochastic` and
 :mod:`repro.simulate.montecarlo`): seeded generators — Poisson query
@@ -54,6 +65,12 @@ Quick start (see ``examples/lifecycle_simulation.py``,
     print(fleet_ledger.summary())   # fleet line + one line per tenant
 """
 
+from .arbitrage import (
+    ArbitrageAware,
+    MigrationAssessment,
+    assess_migration,
+    operating_cost,
+)
 from .attribution import (
     ATTRIBUTION_MODES,
     SharedCostAttributor,
@@ -67,7 +84,9 @@ from .events import (
     EventTimeline,
     FleetChange,
     GrowFactTable,
+    MarketReprice,
     PriceChange,
+    ProviderMigration,
     ReweightQueries,
     SimulationEvent,
 )
@@ -100,6 +119,7 @@ from .policy import (
 )
 from .presets import (
     DRIFT_MIN_EPOCHS,
+    default_market,
     drifting_sales_simulator,
     multi_tenant_min_epochs,
     multi_tenant_sales_simulator,
@@ -107,9 +127,9 @@ from .presets import (
     stochastic_multi_tenant_simulator,
     stochastic_sales_simulator,
 )
-from .problems import EpochProblemBuilder
+from .problems import EpochContext, EpochProblemBuilder
 from .simulator import EpochObserver, LifecycleSimulator, full_catalogue
-from .state import WarehouseState
+from .state import WarehouseState, provider_family
 from .stochastic import (
     GENERATOR_PRESETS,
     DriftGenerator,
@@ -129,12 +149,14 @@ from .tenants import MultiTenantSimulator, Tenant, TenantFleet, qualify
 __all__ = [
     "ATTRIBUTION_MODES",
     "AddQueries",
+    "ArbitrageAware",
     "CLAIRVOYANT",
     "DRIFT_MIN_EPOCHS",
     "DistributionSummary",
     "DriftGenerator",
     "DropQueries",
     "Epoch",
+    "EpochContext",
     "EpochObserver",
     "EpochProblemBuilder",
     "EpochRecord",
@@ -146,6 +168,8 @@ __all__ = [
     "GeometricGrowth",
     "GrowFactTable",
     "LifecycleSimulator",
+    "MarketReprice",
+    "MigrationAssessment",
     "MonteCarloConfig",
     "MonteCarloResult",
     "MultiTenantSimulator",
@@ -156,6 +180,7 @@ __all__ = [
     "PolicyDecision",
     "PolicySpec",
     "PriceChange",
+    "ProviderMigration",
     "RegretTriggered",
     "ReselectionPolicy",
     "ReweightQueries",
@@ -173,7 +198,9 @@ __all__ = [
     "TrialOutcome",
     "WarehouseState",
     "allocate_exactly",
+    "assess_migration",
     "compile_timeline",
+    "default_market",
     "derive_seed",
     "drifting_sales_simulator",
     "full_catalogue",
@@ -181,6 +208,8 @@ __all__ = [
     "make_policy",
     "multi_tenant_min_epochs",
     "multi_tenant_sales_simulator",
+    "operating_cost",
+    "provider_family",
     "qualify",
     "run_monte_carlo",
     "run_trial",

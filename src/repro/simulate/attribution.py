@@ -17,9 +17,11 @@ Cost components and how they are split:
 * **view maintenance**, **view storage**, **view builds** — shared by
   the tenants whose queries the view answers this epoch, split by the
   attribution *mode* (below);
-* **base-dataset storage** and **teardown egress** — fleet
-  infrastructure with no per-view user set, split by the
-  infrastructure rule (proportional to use, or evenly).
+* **base-dataset storage**, **teardown egress** and **migration
+  transfer** (the legs of a provider switch — the "which tenant pays
+  for a migration?" charge) — fleet infrastructure with no per-view
+  user set, split by the infrastructure rule (proportional to use, or
+  evenly).
 
 Two attribution modes (:data:`ATTRIBUTION_MODES`):
 
@@ -254,15 +256,16 @@ class SharedCostAttributor:
         built: FrozenSet[str],
         breakdown: CostBreakdown,
         teardown_cost: Money,
+        migration_cost: Money = ZERO,
     ) -> Tuple[Dict[str, Dict[str, Money]], Dict[str, float]]:
         """Split every component of one epoch's breakdown.
 
         Returns ``(shares, hours)``: ``shares`` maps component name
         (``processing``, ``transfer``, ``maintenance``, ``storage``,
-        ``build``, ``teardown``) to per-tenant shares summing exactly
-        to the fleet amount; ``hours`` is each tenant's own
-        frequency-weighted processing hours (the processing weights,
-        reused so the hours reported on a
+        ``build``, ``teardown``, ``migration``) to per-tenant shares
+        summing exactly to the fleet amount; ``hours`` is each
+        tenant's own frequency-weighted processing hours (the
+        processing weights, reused so the hours reported on a
         :class:`~repro.simulate.ledger.TenantEpochRecord` can never
         drift from the weights its processing cost was split by).
         """
@@ -322,6 +325,9 @@ class SharedCostAttributor:
             "teardown": allocate_exactly(
                 teardown_cost, infrastructure, tenants
             ),
+            "migration": allocate_exactly(
+                migration_cost, infrastructure, tenants
+            ),
         }
         return shares, processing
 
@@ -340,7 +346,8 @@ class SharedCostAttributor:
         subset = frozenset(record.subset)
         built = frozenset(record.views_built)
         shares, hours = self._component_shares(
-            problem, subset, built, breakdown, record.teardown_cost
+            problem, subset, built, breakdown, record.teardown_cost,
+            record.migration_cost,
         )
         return {
             name: TenantEpochRecord(
@@ -353,6 +360,7 @@ class SharedCostAttributor:
                 build_cost=shares["build"][name],
                 teardown_cost=shares["teardown"][name],
                 processing_hours=hours[name],
+                migration_cost=shares["migration"][name],
             )
             for name in self._tenants
         }

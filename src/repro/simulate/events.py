@@ -7,7 +7,12 @@ their epoch, before that epoch's selection decision) and transforms a
 * workload drift — :class:`AddQueries`, :class:`DropQueries`,
   :class:`ReweightQueries`;
 * data dynamics — :class:`GrowFactTable` (logical growth or purge);
-* market dynamics — :class:`PriceChange` (a new provider price book);
+* market dynamics — :class:`PriceChange` (the warehouse is forced onto
+  a new price book), :class:`MarketReprice` (a book's quote moves; the
+  warehouse follows only if it is on that book's family), and
+  :class:`ProviderMigration` (a deliberate provider switch the
+  simulator bills: dataset + view egress, plus re-materialization on
+  the target);
 * capacity dynamics — :class:`FleetChange` (scale out/in, node loss).
 
 An :class:`EventTimeline` holds a simulation's full schedule and hands
@@ -32,6 +37,8 @@ __all__ = [
     "ReweightQueries",
     "GrowFactTable",
     "PriceChange",
+    "MarketReprice",
+    "ProviderMigration",
     "FleetChange",
     "EventTimeline",
 ]
@@ -39,7 +46,17 @@ __all__ = [
 
 @dataclass(frozen=True)
 class SimulationEvent:
-    """Base event: fires at the start of ``epoch``."""
+    """Base event: fires at the start of ``epoch``.
+
+    Parameters
+    ----------
+    epoch:
+        Zero-based epoch index the event fires at, *before* that
+        epoch's selection decision.
+
+    Subclasses implement :meth:`apply` (the state transform) and
+    :meth:`describe` (the ledger display form).
+    """
 
     epoch: int
 
@@ -50,17 +67,41 @@ class SimulationEvent:
             )
 
     def apply(self, state: WarehouseState) -> WarehouseState:
-        """The state after this event."""
+        """The state after this event.
+
+        Parameters
+        ----------
+        state:
+            The warehouse state as it stands when the event fires.
+
+        Returns
+        -------
+        WarehouseState
+            A new state; the input is never mutated.
+        """
         raise NotImplementedError
 
     def describe(self) -> str:
-        """Short human-readable form for ledgers and logs."""
+        """Short human-readable form for ledgers and logs.
+
+        Returns
+        -------
+        str
+            A compact one-token summary (e.g. ``data x1.3``).
+        """
         raise NotImplementedError
 
 
 @dataclass(frozen=True)
 class AddQueries(SimulationEvent):
-    """New queries join the workload."""
+    """New queries join the workload.
+
+    Parameters
+    ----------
+    queries:
+        The arriving :class:`~repro.workload.query.AggregateQuery`
+        objects; at least one, with names not already in the workload.
+    """
 
     queries: Tuple[AggregateQuery, ...] = ()
 
@@ -88,7 +129,14 @@ class AddQueries(SimulationEvent):
 
 @dataclass(frozen=True)
 class DropQueries(SimulationEvent):
-    """Queries leave the workload."""
+    """Queries leave the workload.
+
+    Parameters
+    ----------
+    names:
+        Names of the departing queries; each must exist in the
+        workload when the event fires.
+    """
 
     names: Tuple[str, ...] = ()
 
@@ -113,7 +161,15 @@ class DropQueries(SimulationEvent):
 
 @dataclass(frozen=True)
 class ReweightQueries(SimulationEvent):
-    """Query frequencies shift (hot queries get hotter, cold colder)."""
+    """Query frequencies shift (hot queries get hotter, cold colder).
+
+    Parameters
+    ----------
+    frequencies:
+        ``(query name, new frequency)`` pairs; each name must exist
+        and may appear only once (a duplicate would silently shadow
+        the earlier weight).
+    """
 
     frequencies: Tuple[Tuple[str, float], ...] = ()
 
@@ -149,7 +205,14 @@ class ReweightQueries(SimulationEvent):
 
 @dataclass(frozen=True)
 class GrowFactTable(SimulationEvent):
-    """The fact table grows (or shrinks) by a logical factor."""
+    """The fact table grows (or shrinks) by a logical factor.
+
+    Parameters
+    ----------
+    factor:
+        Multiplier on the logical row count; ``> 1`` models data
+        landing, ``< 1`` a retention purge.  Must be positive.
+    """
 
     factor: float = 1.0
 
@@ -171,17 +234,39 @@ class GrowFactTable(SimulationEvent):
 
 @dataclass(frozen=True)
 class PriceChange(SimulationEvent):
-    """The warehouse moves to (or is repriced under) a new price book."""
+    """The warehouse moves to (or is repriced under) a new price book.
+
+    Unconditional: the active deployment adopts ``provider`` whatever
+    book the warehouse was on — a forced repricing (contract change,
+    acquisition, mandated move).  For a quote that should only follow
+    the warehouse onto its own provider's family, use
+    :class:`MarketReprice`; for a *billed* deliberate switch, use
+    :class:`ProviderMigration`.
+
+    Parameters
+    ----------
+    provider:
+        The price book the warehouse is billed under from this epoch.
+    """
 
     provider: Provider = None  # type: ignore[assignment]
 
     def __post_init__(self) -> None:
         super().__post_init__()
         if self.provider is None:
-            raise SimulationError("PriceChange needs a provider")
+            raise SimulationError(
+                f"{type(self).__name__} needs a provider"
+            )
 
     def apply(self, state: WarehouseState) -> WarehouseState:
-        """The state billed under the new provider's price book."""
+        """The state billed under the new provider's price book.
+
+        Returns
+        -------
+        WarehouseState
+            The state with the active deployment on ``provider`` (and
+            the market's matching family quote synchronized).
+        """
         return state.with_provider(self.provider)
 
     def describe(self) -> str:
@@ -190,8 +275,66 @@ class PriceChange(SimulationEvent):
 
 
 @dataclass(frozen=True)
+class MarketReprice(PriceChange):
+    """A provider's quote moves; the warehouse follows only its own book.
+
+    Spot walks emit these: the *market price* of one provider family
+    changes.  If the warehouse is on that family, its bill moves with
+    the quote (exactly the old :class:`PriceChange` behaviour); if it
+    migrated elsewhere, only the market entry updates — the quote
+    stays visible to migration policies without yanking the warehouse
+    back onto a book it deliberately left.
+
+    Parameters
+    ----------
+    provider:
+        The family's new quote (e.g. a spot-repriced book named
+        ``aws-2012~x1.250``).
+    """
+
+    def apply(self, state: WarehouseState) -> WarehouseState:
+        """The state with the quote landed (family-gated; see class docs)."""
+        return state.repriced(self.provider)
+
+    def describe(self) -> str:
+        """``market:provider`` with the moved quote's name."""
+        return f"market:{self.provider.name}"
+
+
+@dataclass(frozen=True)
+class ProviderMigration(PriceChange):
+    """The warehouse deliberately switches provider — and pays for it.
+
+    The state transform is the same as :class:`PriceChange` (the
+    active deployment adopts the target book), but the simulator
+    bills the switch: the dataset and every held view are egressed on
+    the *source* book and ingressed on the *target* book
+    (:func:`repro.pricing.migration.migration_transfer_cost`), and
+    every view kept through the move is re-materialized at the
+    target's compute rates.  Emitted by the arbitrage policy
+    (:class:`repro.simulate.arbitrage.ArbitrageAware`) when switching
+    pays, or scheduled directly for a forced migration.
+
+    Parameters
+    ----------
+    provider:
+        The target price book.
+    """
+
+    def describe(self) -> str:
+        """``migrate->provider`` with the target book's name."""
+        return f"migrate->{self.provider.name}"
+
+
+@dataclass(frozen=True)
 class FleetChange(SimulationEvent):
-    """The instance fleet is resized (scale event or node failure)."""
+    """The instance fleet is resized (scale event or node failure).
+
+    Parameters
+    ----------
+    n_instances:
+        The new fleet size; at least one instance.
+    """
 
     n_instances: int = 0
 

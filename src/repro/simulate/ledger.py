@@ -10,10 +10,15 @@ way an operator would read it:
   epoch (carried views are *not* re-charged — that is the difference
   between a lifecycle ledger and the paper's single-shot bill);
 * ``teardown_cost`` — egress of dropped views (the view is exported /
-  archived out of the warehouse on decommission).
+  archived out of the warehouse on decommission);
+* ``migration_cost`` — both transfer legs of a provider switch
+  (dataset + held views out of the source, into the target), charged
+  only on epochs where a migration fired (``migrated_to`` names the
+  target book).
 
 A :class:`SimulationLedger` accumulates the records for one policy and
-answers the comparison questions (total cost, hours, churn).
+answers the comparison questions (total cost, hours, churn,
+migrations).
 
 Multi-tenant runs add a second layer: each epoch's fleet record is
 split by a :class:`~repro.simulate.attribution.SharedCostAttributor`
@@ -27,7 +32,7 @@ ledgers sum *exactly* to the fleet ledger, epoch by epoch.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Mapping, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 
 from ..errors import SimulationError
 from ..money import Money, ZERO
@@ -56,11 +61,22 @@ class EpochRecord:
     reoptimized: bool
     regret: float
     events: Tuple[str, ...]
+    #: Transfer legs of a provider switch fired this epoch (zero on
+    #: ordinary epochs); the re-materialization side of a migration
+    #: lands in ``build_cost`` at the target's rates.
+    migration_cost: Money = ZERO
+    #: Name of the book migrated to this epoch, if any.
+    migrated_to: Optional[str] = None
 
     @property
     def total_cost(self) -> Money:
-        """Everything this epoch cost: operating + build + teardown."""
-        return self.operating_cost + self.build_cost + self.teardown_cost
+        """Everything this epoch cost: operating + build + teardown + migration."""
+        return (
+            self.operating_cost
+            + self.build_cost
+            + self.teardown_cost
+            + self.migration_cost
+        )
 
     @property
     def churn(self) -> int:
@@ -75,6 +91,8 @@ class EpochRecord:
             marks.append("+" + ",".join(self.views_built))
         if self.views_dropped:
             marks.append("-" + ",".join(self.views_dropped))
+        if self.migrated_to is not None:
+            marks.append(f">>{self.migrated_to}")
         change = " ".join(marks) if marks else ""
         events = "; ".join(self.events) if self.events else ""
         return (
@@ -141,6 +159,16 @@ class SimulationLedger:
         return sum((r.teardown_cost for r in self._records), ZERO)
 
     @property
+    def total_migration_cost(self) -> Money:
+        """Lifetime provider-switch transfer charges."""
+        return sum((r.migration_cost for r in self._records), ZERO)
+
+    @property
+    def migration_count(self) -> int:
+        """How many epochs fired a provider migration."""
+        return sum(1 for r in self._records if r.migrated_to is not None)
+
+    @property
     def total_hours(self) -> float:
         """Lifetime workload processing hours (response-time metric)."""
         return sum(r.processing_hours for r in self._records)
@@ -169,12 +197,18 @@ class SimulationLedger:
 
     def summary(self) -> str:
         """One comparison line: the acceptance metrics."""
+        migrations = (
+            f"  migrations={self.migration_count}"
+            if self.migration_count
+            else ""
+        )
         return (
             f"{self._policy:<18} total={self.total_cost}  "
             f"hours={self.total_hours:.2f}  "
             f"rebuilds={self.rebuild_count}  "
             f"teardowns={self.teardown_count}  "
             f"reoptimizations={self.reoptimization_count}"
+            + migrations
         )
 
     def render(self) -> str:
@@ -212,6 +246,10 @@ class TenantEpochRecord:
     teardown_cost: Money
     #: The tenant's own frequency-weighted processing hours this epoch.
     processing_hours: float
+    #: The tenant's share of a provider switch fired this epoch (zero
+    #: on ordinary epochs) — the answer to "which tenant pays for a
+    #: migration?".
+    migration_cost: Money = ZERO
 
     @property
     def operating_cost(self) -> Money:
@@ -226,15 +264,24 @@ class TenantEpochRecord:
     @property
     def total_cost(self) -> Money:
         """Everything attributed to the tenant this epoch."""
-        return self.operating_cost + self.build_cost + self.teardown_cost
+        return (
+            self.operating_cost
+            + self.build_cost
+            + self.teardown_cost
+            + self.migration_cost
+        )
 
     def describe(self) -> str:
         """One invoice line."""
+        migration = (
+            f", move={self.migration_cost}" if self.migration_cost else ""
+        )
         return (
             f"e{self.epoch:>3}  C={self.total_cost}  "
             f"(proc={self.processing_cost}, maint={self.maintenance_cost}, "
             f"stor={self.storage_cost}, xfer={self.transfer_cost}, "
-            f"build={self.build_cost}, drop={self.teardown_cost})  "
+            f"build={self.build_cost}, drop={self.teardown_cost}"
+            f"{migration})  "
             f"T={self.processing_hours:.3f}h"
         )
 
@@ -305,6 +352,11 @@ class TenantLedger:
     def total_teardown_cost(self) -> Money:
         """Lifetime attributed decommission charges."""
         return sum((r.teardown_cost for r in self._records), ZERO)
+
+    @property
+    def total_migration_cost(self) -> Money:
+        """Lifetime attributed provider-switch charges."""
+        return sum((r.migration_cost for r in self._records), ZERO)
 
     @property
     def total_hours(self) -> float:
@@ -404,6 +456,8 @@ class FleetLedger:
                  sum((s.build_cost for s in shares), ZERO)),
                 ("teardown", record.teardown_cost,
                  sum((s.teardown_cost for s in shares), ZERO)),
+                ("migration", record.migration_cost,
+                 sum((s.migration_cost for s in shares), ZERO)),
             )
             for component, fleet_amount, tenant_sum in checks:
                 if fleet_amount != tenant_sum:

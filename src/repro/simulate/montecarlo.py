@@ -34,9 +34,11 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import SimulationError
 from ..money import Money
+from .arbitrage import ArbitrageAware
 from .ledger import SimulationLedger
 from .policy import POLICY_NAMES, ReselectionPolicy, make_policy
 from .presets import (
+    default_market,
     stochastic_multi_tenant_simulator,
     stochastic_sales_simulator,
 )
@@ -64,6 +66,12 @@ class PolicySpec:
     Worker processes cannot receive live policy objects (policies may
     close over scenario factories), so the harness ships the recipe
     and builds the policy inside each trial.
+
+    ``arbitrage=True`` wraps the policy in
+    :class:`~repro.simulate.arbitrage.ArbitrageAware` (with
+    ``migration_horizon`` / ``migration_hold``), and makes every trial
+    of the config quote the multi-provider market — so an arbitrage
+    spec and its stay-put twin compare over identical worlds.
     """
 
     name: str
@@ -71,22 +79,40 @@ class PolicySpec:
     period: int = 4
     threshold: float = 0.05
     hysteresis: int = 1
+    arbitrage: bool = False
+    migration_horizon: int = 6
+    migration_hold: int = 2
 
     def __post_init__(self) -> None:
         if self.name not in POLICY_NAMES:
             raise SimulationError(
                 f"unknown policy {self.name!r}; choose from {POLICY_NAMES}"
             )
+        if self.migration_horizon < 1:
+            raise SimulationError(
+                f"migration_horizon must be >= 1, got {self.migration_horizon}"
+            )
+        if self.migration_hold < 1:
+            raise SimulationError(
+                f"migration_hold must be >= 1, got {self.migration_hold}"
+            )
 
     def build(self) -> ReselectionPolicy:
         """A fresh policy instance for one trial."""
-        return make_policy(
+        policy = make_policy(
             self.name,
             algorithm=self.algorithm,
             period=self.period,
             threshold=self.threshold,
             hysteresis=self.hysteresis,
         )
+        if self.arbitrage:
+            return ArbitrageAware(
+                policy,
+                horizon=self.migration_horizon,
+                hysteresis=self.migration_hold,
+            )
+        return policy
 
     def label(self) -> str:
         """The result-row label (the built policy's describe())."""
@@ -148,6 +174,17 @@ class MonteCarloConfig:
                 f"{CLAIRVOYANT!r} names the built-in baseline row"
             )
 
+    @property
+    def quotes_market(self) -> bool:
+        """Whether trials quote the multi-provider market.
+
+        True as soon as any policy spec is arbitrage-aware.  The
+        market is quoted for *every* policy of the config (it is inert
+        to non-arbitrage policies), so stay-put and arbitrage rows
+        describe the same sampled worlds.
+        """
+        return any(spec.arbitrage for spec in self.policies)
+
     def labels(self) -> Tuple[str, ...]:
         """Result-row labels: the policies, then the baseline."""
         return tuple(s.label() for s in self.policies) + (CLAIRVOYANT,)
@@ -175,6 +212,10 @@ class TrialOutcome:
     regret: float
     #: Attributed per-tenant lifetime totals (multi-tenant runs only).
     tenant_costs: Tuple[Tuple[str, Money], ...] = ()
+    #: Provider switches fired over the lifetime (arbitrage runs).
+    migrations: int = 0
+    #: Lifetime migration transfer charges.
+    migration_cost: Money = Money(0)
 
 
 def _outcome(
@@ -200,6 +241,8 @@ def _outcome(
         reoptimizations=ledger.reoptimization_count,
         regret=regret,
         tenant_costs=tenant_costs,
+        migrations=ledger.migration_count,
+        migration_cost=ledger.total_migration_cost,
     )
 
 
@@ -216,6 +259,7 @@ def run_trial(config: MonteCarloConfig, trial: int) -> Tuple[TrialOutcome, ...]:
             f"trial index {trial} outside [0, {config.n_trials})"
         )
     drift_seed = config.trial_seed(trial)
+    market = default_market() if config.quotes_market else None
     if config.n_tenants:
         simulator = stochastic_multi_tenant_simulator(
             n_tenants=config.n_tenants,
@@ -227,6 +271,7 @@ def run_trial(config: MonteCarloConfig, trial: int) -> Tuple[TrialOutcome, ...]:
             dataset_gb=config.dataset_gb,
             attribution=config.attribution,
             charge_teardown_egress=config.charge_teardown_egress,
+            market=market,
         )
 
         def run(policy):
@@ -245,6 +290,7 @@ def run_trial(config: MonteCarloConfig, trial: int) -> Tuple[TrialOutcome, ...]:
             drift_seed=drift_seed,
             dataset_gb=config.dataset_gb,
             charge_teardown_egress=config.charge_teardown_egress,
+            market=market,
         )
 
         def run(policy):
@@ -342,6 +388,8 @@ _METRICS: Tuple[Tuple[str, Callable[[TrialOutcome], float]], ...] = (
     ("teardowns", lambda o: float(o.teardowns)),
     ("reoptimizations", lambda o: float(o.reoptimizations)),
     ("regret", lambda o: o.regret),
+    ("migrations", lambda o: float(o.migrations)),
+    ("migration_cost", lambda o: o.migration_cost.to_float()),
 )
 
 
@@ -475,11 +523,16 @@ class MonteCarloResult:
             cost = self.metric(policy, "total_cost")
             regret = self.metric(policy, "regret")
             churn = self.metric(policy, "rebuilds")
+            migrations = ""
+            if self._config.quotes_market:
+                moved = self.metric(policy, "migrations")
+                migrations = f"  migrations {moved.mean:.1f}"
             lines.append(
                 f"{policy:<22} cost ${cost.mean:,.2f}±{cost.stdev:,.2f} "
                 f"[p10 ${cost.p10:,.2f} p90 ${cost.p90:,.2f}]  "
                 f"regret {regret.mean:+.2%} (p90 {regret.p90:+.2%})  "
                 f"rebuilds {churn.mean:.1f}"
+                + migrations
             )
         return "\n".join(lines)
 

@@ -21,12 +21,16 @@ build/teardown consequences of their decisions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, FrozenSet, Optional
+from typing import TYPE_CHECKING, Callable, FrozenSet, Optional
 
 from ..errors import SimulationError
 from ..optimizer.problem import SelectionProblem
 from ..optimizer.scenarios import Scenario, Tradeoff
 from ..optimizer.selector import select_views
+
+if TYPE_CHECKING:  # pragma: no cover — annotations only, no cycle at runtime
+    from .events import ProviderMigration
+    from .problems import EpochContext
 
 #: Builds the epoch's scenario from the epoch's problem.  Used when the
 #: objective depends on the epoch's world — e.g. fairness constraints
@@ -78,6 +82,12 @@ class PolicyDecision:
     #: Relative regret measured *before* the decision (regret policy
     #: only; 0.0 where not computed).
     regret: float = 0.0
+    #: A provider switch decided alongside the subset (arbitrage
+    #: policies only).  The simulator applies it *before* accounting
+    #: the epoch — ``subset`` must already be the set to hold on the
+    #: migration's target book — and bills the switch (egress,
+    #: ingress, full re-materialization).
+    migration: Optional["ProviderMigration"] = None
 
 
 class ReselectionPolicy:
@@ -131,6 +141,15 @@ class ReselectionPolicy:
             problem, self._scenario_for(problem), self._algorithm
         ).outcome.subset
 
+    def optimum(self, problem: SelectionProblem) -> FrozenSet[str]:
+        """This policy's optimal subset for ``problem``.
+
+        Public for wrapper policies (the arbitrage wrapper re-selects
+        under a migration target's book with the *inner* policy's
+        scenario and algorithm).
+        """
+        return self._optimum(problem)
+
     def decide(
         self,
         epoch_index: int,
@@ -144,6 +163,26 @@ class ReselectionPolicy:
         optimizing).
         """
         raise NotImplementedError
+
+    def decide_in_context(
+        self,
+        epoch_index: int,
+        problem: SelectionProblem,
+        current: Optional[FrozenSet[str]],
+        context: "EpochContext",
+    ) -> PolicyDecision:
+        """:meth:`decide`, with the epoch's context on the table.
+
+        The simulator always calls this entry point.  ``context``
+        carries the epoch's post-event state and a counterfactual
+        pricer (see :class:`~repro.simulate.problems.EpochContext`);
+        the base implementation ignores it and delegates to
+        :meth:`decide`, so ordinary policies stay context-free.
+        Context-aware wrappers (:class:`~repro.simulate.arbitrage.
+        ArbitrageAware`) override this to price other providers' books
+        and attach a migration to the decision.
+        """
+        return self.decide(epoch_index, problem, current)
 
     def describe(self) -> str:
         """Display name with parameters."""

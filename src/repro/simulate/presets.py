@@ -45,7 +45,12 @@ from ..errors import SimulationError
 from ..engine.timing import ClusterTimingModel
 from ..optimizer.problem import SubsetEvaluationCache
 from ..pricing.compute import BillingGranularity
-from ..pricing.providers import aws_2012, flat_cloud
+from ..pricing.providers import (
+    Provider,
+    archive_cloud,
+    aws_2012,
+    flat_cloud,
+)
 from ..workload.query import AggregateQuery
 from ..workload.workload import paper_sales_workload
 from .clock import SimulationClock
@@ -70,6 +75,7 @@ from .tenants import MultiTenantSimulator, Tenant, TenantFleet
 
 __all__ = [
     "DRIFT_MIN_EPOCHS",
+    "default_market",
     "drifting_sales_simulator",
     "multi_tenant_min_epochs",
     "multi_tenant_sales_simulator",
@@ -81,6 +87,26 @@ __all__ = [
 #: The reference scenario's last event fires at epoch 18, so its
 #: clock needs at least this many epochs.
 DRIFT_MIN_EPOCHS = 19
+
+
+def default_market() -> "tuple[Provider, ...]":
+    """The multi-provider market the arbitrage presets quote.
+
+    Three deliberately different price structures (see
+    :mod:`repro.pricing.providers`): the paper's AWS book at the
+    simulations' per-second billing — the family spot walks reprice —
+    plus the flat-rate and cold-storage counterpoints.  Seeding a
+    simulation's initial :class:`~repro.simulate.state.WarehouseState`
+    with this market is what turns ``PriceChange`` from an event into
+    a decision: an :class:`~repro.simulate.arbitrage.ArbitrageAware`
+    policy prices every quoted book each epoch and migrates when
+    switching pays.
+    """
+    return (
+        aws_2012(BillingGranularity.PER_SECOND),
+        flat_cloud(),
+        archive_cloud(),
+    )
 
 
 def sales_deployment(n_instances: int = 5) -> DeploymentSpec:
@@ -105,12 +131,15 @@ def drifting_sales_simulator(
     dataset_gb: float = 10.0,
     charge_teardown_egress: bool = True,
     cache: "SubsetEvaluationCache | None" = None,
+    market: "tuple[Provider, ...] | None" = None,
 ) -> LifecycleSimulator:
     """The reference drifting-warehouse scenario (see module docs).
 
     ``n_epochs`` must leave room for the scheduled drift
     (>= ``DRIFT_MIN_EPOCHS``); the default is 24 epochs = two years of
-    monthly billing periods.
+    monthly billing periods.  ``market`` (e.g. :func:`default_market`)
+    quotes candidate provider books to migration-aware policies;
+    ``None`` keeps the classic single-provider world.
     """
     if n_epochs < DRIFT_MIN_EPOCHS:
         raise SimulationError(
@@ -127,6 +156,7 @@ def drifting_sales_simulator(
         workload=workload,
         dataset=dataset,
         deployment=sales_deployment(),
+        market=market if market is not None else (),
     )
 
     def day_query(name: str, geo_level: str, frequency: float) -> AggregateQuery:
@@ -191,6 +221,7 @@ def multi_tenant_sales_simulator(
     attribution: str = "proportional",
     charge_teardown_egress: bool = True,
     cache: "SubsetEvaluationCache | None" = None,
+    market: "tuple[Provider, ...] | None" = None,
 ) -> MultiTenantSimulator:
     """The reference multi-tenant scenario: *n* tenants, one warehouse.
 
@@ -271,6 +302,7 @@ def multi_tenant_sales_simulator(
         dataset=dataset,
         deployment=sales_deployment(),
         shared_events=shared,
+        market=market if market is not None else (),
     )
     return MultiTenantSimulator(
         fleet,
@@ -299,6 +331,7 @@ def stochastic_sales_simulator(
     dataset_gb: float = 10.0,
     charge_teardown_egress: bool = True,
     cache: "SubsetEvaluationCache | None" = None,
+    market: "tuple[Provider, ...] | None" = None,
 ) -> LifecycleSimulator:
     """The Section 6 warehouse under *sampled* drift.
 
@@ -308,6 +341,9 @@ def stochastic_sales_simulator(
     :data:`repro.simulate.stochastic.GENERATOR_PRESETS`) and compiled
     into a deterministic timeline.  ``seed`` fixes the dataset;
     ``drift_seed`` (default: ``seed``) fixes the sampled future.
+    ``market`` (e.g. :func:`default_market`) quotes candidate books to
+    migration-aware policies; the spot walk's repricings then move the
+    AWS quote without yanking a migrated warehouse back onto it.
     """
     dataset = _cached_sales_dataset(n_rows, seed, dataset_gb)
     workload = paper_sales_workload(dataset.schema, 5)
@@ -324,7 +360,10 @@ def stochastic_sales_simulator(
     )
     return LifecycleSimulator(
         initial=WarehouseState(
-            workload=workload, dataset=dataset, deployment=deployment
+            workload=workload,
+            dataset=dataset,
+            deployment=deployment,
+            market=market if market is not None else (),
         ),
         clock=SimulationClock(n_epochs),
         timeline=timeline,
@@ -344,6 +383,7 @@ def stochastic_multi_tenant_simulator(
     attribution: str = "proportional",
     charge_teardown_egress: bool = True,
     cache: "SubsetEvaluationCache | None" = None,
+    market: "tuple[Provider, ...] | None" = None,
 ) -> MultiTenantSimulator:
     """*n* tenants, one warehouse, every tenant's future sampled.
 
@@ -409,6 +449,7 @@ def stochastic_multi_tenant_simulator(
         dataset=dataset,
         deployment=deployment,
         shared_events=tuple(shared_timeline),
+        market=market if market is not None else (),
     )
     return MultiTenantSimulator(
         fleet,

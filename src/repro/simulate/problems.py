@@ -26,6 +26,7 @@ circuits.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, Hashable, Optional, Sequence, Tuple
 
 from ..costmodel.estimator import PlanningEstimator, PlanningInputs, QueryPricing
@@ -35,10 +36,11 @@ from ..optimizer.problem import (
     SelectionProblem,
     SubsetEvaluationCache,
 )
+from ..pricing.providers import Provider
 from ..workload.workload import Workload
 from .state import WarehouseState
 
-__all__ = ["EpochProblemBuilder"]
+__all__ = ["EpochContext", "EpochProblemBuilder"]
 
 #: A query's pricing identity: everything but name and frequency.
 _QuerySig = Tuple[Tuple[str, ...], tuple]
@@ -80,6 +82,33 @@ class _PricedWorld:
             workload, self._catalogue, self._view_stats, memoized
         )
         return inputs, fresh
+
+
+@dataclass(frozen=True)
+class EpochContext:
+    """What one epoch's policy decision may consult beyond its problem.
+
+    Handed to :meth:`~repro.simulate.policy.ReselectionPolicy.
+    decide_in_context` by the simulator.  ``state`` is the epoch's
+    post-event warehouse state (its :meth:`~repro.simulate.state.
+    WarehouseState.candidate_books` are the migration targets on the
+    table); :meth:`counterfactual` prices the same world under another
+    provider's book through the shared builder, so repeated
+    counterfactuals over unchanged epochs are answered from cache.
+    """
+
+    state: WarehouseState
+    builder: "EpochProblemBuilder"
+
+    def counterfactual(self, provider: Provider) -> SelectionProblem:
+        """This epoch's world billed under ``provider`` instead.
+
+        Built through the shared :class:`EpochProblemBuilder`, so the
+        counterfactual problem memoizes subset pricings exactly like
+        the real one — an arbitrage policy pricing K providers over an
+        unchanged epoch re-prices nothing.
+        """
+        return self.builder.problem_for(self.state.with_provider(provider))
 
 
 class EpochProblemBuilder:

@@ -12,7 +12,13 @@ the epoch's subset is priced through the existing cost model, then the
 materialization charge is narrowed to the views actually (re)built
 this epoch — a carried view was paid for when it was built, and only
 its maintenance recurs.  Dropped views are charged one decommission
-egress of their size.  With ``cascade_materialization`` enabled,
+egress of their size.  A provider migration (scheduled
+:class:`~repro.simulate.events.ProviderMigration` event, or one
+attached to a policy decision) bills both transfer legs — dataset +
+held views egressed on the source book, ingressed on the target's —
+as the epoch's ``migration_cost``, and re-materializes every kept
+view at the target's rates (the whole subset counts as built that
+epoch).  With ``cascade_materialization`` enabled,
 carried views are zeroed out of the cascade's build plan, which
 slightly overstates a rebuild that could have cascaded off a carried
 view — the conservative direction.
@@ -28,13 +34,15 @@ from ..cube.candidates import enumerate_candidates
 from ..cube.lattice import CuboidLattice
 from ..cube.views import CandidateView
 from ..errors import SimulationError
-from ..money import ZERO
+from ..money import Money, ZERO
 from ..optimizer.problem import SelectionProblem, SubsetEvaluationCache
+from ..pricing.migration import migration_transfer_cost, migration_volume_gb
+from ..pricing.providers import Provider
 from .clock import SimulationClock
-from .events import EventTimeline, SimulationEvent
+from .events import EventTimeline, ProviderMigration, SimulationEvent
 from .ledger import EpochRecord, SimulationLedger
 from .policy import ReselectionPolicy
-from .problems import EpochProblemBuilder
+from .problems import EpochContext, EpochProblemBuilder
 from .state import WarehouseState
 
 __all__ = ["EpochObserver", "LifecycleSimulator", "full_catalogue"]
@@ -155,22 +163,84 @@ class LifecycleSimulator:
         current: Optional[FrozenSet[str]] = None
         for epoch in self._clock:
             fired = self._timeline.at(epoch.index)
+            # Each migration hop is billed from the book it actually
+            # leaves — captured at apply time, because earlier events
+            # in the same epoch (a forced PriceChange, another hop)
+            # may already have moved the warehouse.
+            hops = []
             for event in fired:
-                state = event.apply(state)
+                if isinstance(event, ProviderMigration):
+                    source = state.deployment.provider
+                    state = event.apply(state)
+                    hops.append((source, state.deployment.provider))
+                else:
+                    state = event.apply(state)
             problem = self._builder.problem_for(state)
-            decision = policy.decide(epoch.index, problem, current)
+            context = EpochContext(state=state, builder=self._builder)
+            decision = policy.decide_in_context(
+                epoch.index, problem, current, context
+            )
+            described = [e.describe() for e in fired]
+            if decision.migration is not None:
+                # A policy-decided switch: the state follows the
+                # decision, and the epoch is accounted on the target.
+                source = state.deployment.provider
+                state = decision.migration.apply(state)
+                hops.append((source, state.deployment.provider))
+                problem = self._builder.problem_for(state)
+                described.append(decision.migration.describe())
             held = current if current is not None else frozenset()
-            built = decision.subset - held
             dropped = held - decision.subset
+            if hops:
+                # Views are not portable between providers: everything
+                # kept through the move is re-materialized (and billed)
+                # on the target, and the warehouse as it stood —
+                # dataset plus held views — is shipped across, once
+                # per hop.
+                built = frozenset(decision.subset)
+                migration_cost = ZERO
+                for source, target in hops:
+                    migration_cost = migration_cost + self._migration_cost(
+                        source, target, problem, held
+                    )
+                migrated_to = state.deployment.provider.name
+            else:
+                built = decision.subset - held
+                migration_cost = ZERO
+                migrated_to = None
             record, breakdown = self._account(
                 epoch.index, problem, decision.subset, built, dropped,
-                decision.reoptimized, decision.regret, fired,
+                decision.reoptimized, decision.regret, tuple(described),
+                migration_cost, migrated_to,
             )
             ledger.append(record)
             if observer is not None:
                 observer(record, problem, breakdown)
             current = decision.subset
         return ledger
+
+    @staticmethod
+    def _migration_cost(
+        source: Provider,
+        target: Provider,
+        problem: SelectionProblem,
+        held: FrozenSet[str],
+    ) -> Money:
+        """Both transfer legs of a provider switch.
+
+        The shipped volume is the dataset plus the views held going
+        into the epoch (what physically exists to move); egress is
+        billed on the source book, ingress on the target's.  View
+        sizes are provider-independent, so the post-migration
+        problem's statistics price them correctly.
+        """
+        inputs = problem.inputs
+        volume = migration_volume_gb(
+            inputs.dataset_gb,
+            {name: inputs.view_stats[name].size_gb for name in sorted(held)},
+        )
+        egress, ingress = migration_transfer_cost(source, target, volume)
+        return egress + ingress
 
     def compare(
         self, policies: Iterable[ReselectionPolicy]
@@ -189,7 +259,9 @@ class LifecycleSimulator:
         dropped: FrozenSet[str],
         reoptimized: bool,
         regret: float,
-        fired: Tuple[SimulationEvent, ...],
+        events: Tuple[str, ...],
+        migration_cost: Money = ZERO,
+        migrated_to: "Optional[str]" = None,
     ) -> Tuple[EpochRecord, CostBreakdown]:
         inputs = problem.inputs
         plan = inputs.plan_for(subset)
@@ -226,6 +298,8 @@ class LifecycleSimulator:
             views_dropped=tuple(sorted(dropped)),
             reoptimized=reoptimized,
             regret=regret,
-            events=tuple(e.describe() for e in fired),
+            events=events,
+            migration_cost=migration_cost,
+            migrated_to=migrated_to,
         )
         return record, breakdown

@@ -16,7 +16,7 @@ counts re-estimated at the new logical row count).
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Hashable
+from typing import Hashable, Tuple
 
 from ..costmodel.params import DeploymentSpec
 from ..data.generator import Dataset
@@ -24,7 +24,20 @@ from ..errors import SimulationError
 from ..pricing.providers import Provider
 from ..workload.workload import Workload
 
-__all__ = ["WarehouseState"]
+__all__ = ["WarehouseState", "provider_family"]
+
+
+def provider_family(name: str) -> str:
+    """The provider name with any spot-reprice suffix stripped.
+
+    Spot-repriced books are named ``{base}~x{multiplier}`` (see
+    :func:`repro.simulate.stochastic.spot_repriced`); ``aws-2012`` and
+    ``aws-2012~x1.250`` are the same *family* — the same provider at a
+    different market price.  Market quotes replace the matching family
+    in a state's market, and a quote moves the active deployment only
+    when the warehouse is on that family.
+    """
+    return name.split("~x", 1)[0]
 
 
 @dataclass(frozen=True)
@@ -34,16 +47,31 @@ class WarehouseState:
     ``growth_factor`` is the cumulative logical data growth relative to
     the seed dataset; it is part of the state key, so grown epochs are
     priced in their own world.
+
+    ``market`` lists the provider price books currently quoted to this
+    warehouse (the active book's family included): the candidate
+    targets a migration policy may price the world against.  An empty
+    market means single-provider operation — exactly the paper's
+    regime.  The market is *not* part of the state key: it informs
+    migration decisions but never changes what the active deployment
+    bills, so two states differing only in quotes share every cached
+    pricing.
     """
 
     workload: Workload
     dataset: Dataset
     deployment: DeploymentSpec
     growth_factor: float = 1.0
+    market: Tuple[Provider, ...] = ()
 
     def __post_init__(self) -> None:
         if self.growth_factor <= 0:
             raise SimulationError("growth_factor must be positive")
+        families = [provider_family(p.name) for p in self.market]
+        if len(set(families)) != len(families):
+            raise SimulationError(
+                f"the market quotes a provider family twice: {families}"
+            )
 
     def key(self) -> Hashable:
         """A hashable identity: equal keys mean identical pricing worlds.
@@ -109,9 +137,55 @@ class WarehouseState:
         )
 
     def with_provider(self, provider: Provider) -> "WarehouseState":
-        """The same warehouse billed under a different price book."""
+        """The same warehouse billed under a different price book.
+
+        If the market quotes the new book's family, the quote is
+        synchronized to the book actually adopted, so market and
+        deployment never disagree about the family the warehouse is on.
+        """
         return replace(
-            self, deployment=replace(self.deployment, provider=provider)
+            self,
+            deployment=replace(self.deployment, provider=provider),
+            market=self._market_with(provider),
+        )
+
+    def with_market(self, market: "tuple[Provider, ...]") -> "WarehouseState":
+        """The same warehouse with a different set of quoted books."""
+        return replace(self, market=tuple(market))
+
+    def _market_with(self, book: Provider) -> Tuple[Provider, ...]:
+        """The market with ``book`` replacing its family's quote (if any)."""
+        family = provider_family(book.name)
+        return tuple(
+            book if provider_family(p.name) == family else p
+            for p in self.market
+        )
+
+    def repriced(self, book: Provider) -> "WarehouseState":
+        """A market quote lands: ``book``'s family is now priced as ``book``.
+
+        The quote replaces the matching family in the market, and the
+        active deployment follows it *only when the warehouse is on
+        that family* — a spot walk on the provider you left keeps
+        quoting (so a migration policy can still price the move back)
+        without silently moving you back onto it.  With an empty
+        market and a matching family this reduces to
+        :meth:`with_provider`, the single-provider behaviour.
+        """
+        family = provider_family(book.name)
+        if provider_family(self.deployment.provider.name) == family:
+            return self.with_provider(book)
+        return replace(self, market=self._market_with(book))
+
+    def candidate_books(self) -> Tuple[Provider, ...]:
+        """The quoted books a migration could move to (other families).
+
+        Market order is preserved so ties between equally priced
+        candidates break deterministically.
+        """
+        active = provider_family(self.deployment.provider.name)
+        return tuple(
+            p for p in self.market if provider_family(p.name) != active
         )
 
     def with_fleet(self, n_instances: int) -> "WarehouseState":

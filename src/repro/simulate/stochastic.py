@@ -45,7 +45,7 @@ from .events import (
     DropQueries,
     EventTimeline,
     GrowFactTable,
-    PriceChange,
+    MarketReprice,
     ReweightQueries,
     SimulationEvent,
 )
@@ -377,8 +377,11 @@ class SpotPriceWalk(DriftGenerator):
     The walk multiplies the *base* provider's instance-hour rates by a
     multiplier that moves ``exp(N(0, volatility))`` per epoch, clamped
     to ``[floor, ceiling]`` — a spot-market price process.  Every step
-    emits a :class:`PriceChange` carrying the repriced book (see
-    :func:`spot_repriced`).
+    emits a :class:`MarketReprice` carrying the repriced book (see
+    :func:`spot_repriced`): the quote moves the warehouse only while
+    it is on the walked provider's family, so a warehouse that
+    migrated away keeps seeing the quote in its market without being
+    yanked back.
     """
 
     volatility: float = 0.08
@@ -397,7 +400,7 @@ class SpotPriceWalk(DriftGenerator):
     def events(
         self, rng: random.Random, context: GeneratorContext
     ) -> List[SimulationEvent]:
-        """The walk, one ``PriceChange`` per moved epoch."""
+        """The walk, one ``MarketReprice`` per moved epoch."""
         multiplier = 1.0
         events: List[SimulationEvent] = []
         for epoch in range(1, context.n_epochs):
@@ -407,7 +410,7 @@ class SpotPriceWalk(DriftGenerator):
                 continue
             multiplier = moved
             events.append(
-                PriceChange(
+                MarketReprice(
                     epoch=epoch,
                     provider=spot_repriced(context.provider, multiplier),
                 )

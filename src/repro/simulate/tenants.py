@@ -37,6 +37,7 @@ from ..money import Money
 from ..optimizer.fairness import FairShareScenario
 from ..optimizer.problem import SelectionProblem, SubsetEvaluationCache
 from ..optimizer.scenarios import Scenario
+from ..pricing.providers import Provider
 from ..workload.workload import Workload
 from .attribution import TENANT_SEPARATOR, SharedCostAttributor
 from .clock import SimulationClock
@@ -174,6 +175,7 @@ class TenantFleet:
         dataset: Dataset,
         deployment: DeploymentSpec,
         shared_events: Sequence[SimulationEvent] = (),
+        market: "Tuple[Provider, ...]" = (),
     ) -> None:
         if not tenants:
             raise SimulationError("a fleet needs at least one tenant")
@@ -201,6 +203,7 @@ class TenantFleet:
         self._dataset = dataset
         self._deployment = deployment
         self._shared: Tuple[SimulationEvent, ...] = tuple(shared_events)
+        self._market: Tuple[Provider, ...] = tuple(market)
 
     @property
     def tenants(self) -> Tuple[Tenant, ...]:
@@ -216,6 +219,11 @@ class TenantFleet:
     def shared_events(self) -> Tuple[SimulationEvent, ...]:
         """The fleet-level (non-workload) events."""
         return self._shared
+
+    @property
+    def market(self) -> Tuple[Provider, ...]:
+        """Candidate provider books quoted to migration-aware policies."""
+        return self._market
 
     def budget_shares(self) -> Dict[str, float]:
         """Each tenant's normalized fraction of a fleet budget.
@@ -261,6 +269,7 @@ class TenantFleet:
             workload=Workload(self._dataset.schema, merged),
             dataset=self._dataset,
             deployment=self._deployment,
+            market=self._market,
         )
 
     def events(self) -> Tuple[SimulationEvent, ...]:

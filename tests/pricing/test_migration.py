@@ -1,0 +1,88 @@
+"""Migration costing: transfer legs, volumes, estimate arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PricingError
+from repro.money import Money, ZERO
+from repro.pricing.migration import (
+    MigrationEstimate,
+    migration_transfer_cost,
+    migration_volume_gb,
+)
+from repro.pricing.providers import archive_cloud, aws_2012, flat_cloud
+
+
+class TestVolume:
+    def test_dataset_plus_views(self):
+        assert migration_volume_gb(10.0, {"a": 2.0, "b": 0.5}) == 12.5
+
+    def test_dataset_alone(self):
+        assert migration_volume_gb(10.0, {}) == 10.0
+
+    def test_negative_sizes_rejected(self):
+        with pytest.raises(PricingError):
+            migration_volume_gb(-1.0, {})
+        with pytest.raises(PricingError):
+            migration_volume_gb(1.0, {"v": -0.1})
+
+
+class TestTransferLegs:
+    def test_egress_on_source_ingress_on_target(self):
+        # Leaving AWS (Example 1 tiering: first GB free, then $0.12)
+        # for flat-cloud (free ingress): only the source egress bills.
+        egress, ingress = migration_transfer_cost(
+            aws_2012(), flat_cloud(), 10.0
+        )
+        assert egress == Money("1.08")
+        assert ingress == ZERO
+
+    def test_symmetric_books_bill_both_legs(self):
+        # flat-cloud has no inbound schedule either; archive-cloud's
+        # egress is the dear leg ($0.25/GB past the free first GB).
+        egress, ingress = migration_transfer_cost(
+            archive_cloud(), aws_2012(), 11.0
+        )
+        assert egress == Money("0.25") * 10
+        assert ingress == ZERO
+
+    def test_negative_volume_rejected(self):
+        with pytest.raises(PricingError):
+            migration_transfer_cost(aws_2012(), flat_cloud(), -1.0)
+
+
+class TestEstimate:
+    def test_between_sums_exactly(self):
+        estimate = MigrationEstimate.between(
+            aws_2012(),
+            flat_cloud(),
+            10.0,
+            {"v": 2.0},
+            rebuild_cost=Money("3.50"),
+        )
+        assert estimate.volume_gb == 12.0
+        assert estimate.source == "aws-2012"
+        assert estimate.target == "flat-cloud"
+        assert estimate.transfer_cost == (
+            estimate.egress_cost + estimate.ingress_cost
+        )
+        assert estimate.total == estimate.transfer_cost + Money("3.50")
+
+    def test_describe_names_the_route(self):
+        estimate = MigrationEstimate.between(
+            aws_2012(), archive_cloud(), 5.0, {}
+        )
+        text = estimate.describe()
+        assert "aws-2012 -> archive-cloud" in text
+        assert "5.0 GB" in text
+
+    def test_negative_volume_rejected(self):
+        with pytest.raises(PricingError):
+            MigrationEstimate(
+                source="a",
+                target="b",
+                volume_gb=-1.0,
+                egress_cost=ZERO,
+                ingress_cost=ZERO,
+            )
