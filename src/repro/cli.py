@@ -29,6 +29,13 @@ migrates — paying dataset + view egress and re-materialization — when
 the amortized savings over ``--migration-horizon`` epochs beat the
 switch cost for ``--migration-hold`` consecutive epochs.
 
+``--build-slots`` / ``--build-discipline`` turn on asynchronous
+builds (:mod:`repro.simulate.builds`): decided views enter a build
+queue, land only after their materialization hours have elapsed on
+the wall clock, and are billed by partial-period proration from the
+landing instant; ``--sync`` names today's default instant-build
+regime explicitly.
+
 ``--generator NAME`` swaps the hand-written drift for sampled drift
 (:mod:`repro.simulate.stochastic`), and ``--trials N`` evaluates the
 policies over *N* sampled futures at once — the Monte Carlo harness
@@ -54,6 +61,7 @@ from .simulate.montecarlo import (
     PolicySpec,
     run_monte_carlo,
 )
+from .simulate.builds import BUILD_DISCIPLINES, BuildConfig
 from .simulate.policy import POLICY_NAMES, make_policy
 from .simulate.presets import (
     DRIFT_MIN_EPOCHS,
@@ -73,6 +81,11 @@ __all__ = ["main", "build_parser"]
 #: error, whatever its value).
 MIGRATION_HORIZON_DEFAULT = 6
 MIGRATION_HOLD_DEFAULT = 2
+
+#: CLI defaults for the build-queue knobs (same ``None``-sentinel
+#: convention: typing a knob alongside --sync is an error).
+BUILD_SLOTS_DEFAULT = 1
+BUILD_DISCIPLINE_DEFAULT = "fifo"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -106,7 +119,10 @@ def build_parser() -> argparse.ArgumentParser:
             "epoch's bill is attributed across per-tenant ledgers."
         ),
     )
-    simulate.add_argument(
+    lifecycle = simulate.add_argument_group(
+        "lifecycle", "the epoch grid, the world, and the policies"
+    )
+    lifecycle.add_argument(
         "--epochs",
         type=int,
         default=24,
@@ -115,25 +131,25 @@ def build_parser() -> argparse.ArgumentParser:
             f">= {DRIFT_MIN_EPOCHS} (default %(default)s)"
         ),
     )
-    simulate.add_argument(
+    lifecycle.add_argument(
         "--policy",
         choices=(*POLICY_NAMES, "all"),
         default="all",
         help="re-selection policy to run (default %(default)s)",
     )
-    simulate.add_argument(
+    lifecycle.add_argument(
         "--period",
         type=int,
         default=4,
         help="epochs between periodic re-selections (default %(default)s)",
     )
-    simulate.add_argument(
+    lifecycle.add_argument(
         "--threshold",
         type=float,
         default=0.05,
         help="relative regret that triggers re-selection (default %(default)s)",
     )
-    simulate.add_argument(
+    lifecycle.add_argument(
         "--hysteresis",
         type=int,
         default=1,
@@ -143,25 +159,34 @@ def build_parser() -> argparse.ArgumentParser:
             "the regret policy churns (default %(default)s)"
         ),
     )
-    simulate.add_argument(
+    lifecycle.add_argument(
         "--algorithm",
         choices=("knapsack", "greedy", "exhaustive"),
         default="greedy",
         help="selection algorithm used by every policy (default %(default)s)",
     )
-    simulate.add_argument(
+    lifecycle.add_argument(
         "--rows",
         type=int,
         default=60_000,
         help="physical fact rows to generate (default %(default)s)",
     )
-    simulate.add_argument(
+    lifecycle.add_argument(
         "--seed",
         type=int,
         default=42,
         help="dataset RNG seed (default %(default)s)",
     )
-    simulate.add_argument(
+    lifecycle.add_argument(
+        "--quiet",
+        action="store_true",
+        help="print only the per-policy summary lines",
+    )
+
+    tenant_group = simulate.add_argument_group(
+        "tenants", "multi-tenant sharing and cost attribution"
+    )
+    tenant_group.add_argument(
         "--tenants",
         type=int,
         default=0,
@@ -172,7 +197,7 @@ def build_parser() -> argparse.ArgumentParser:
             "workload, no attribution)"
         ),
     )
-    simulate.add_argument(
+    tenant_group.add_argument(
         "--attribution",
         choices=ATTRIBUTION_MODES,
         default=None,
@@ -181,7 +206,7 @@ def build_parser() -> argparse.ArgumentParser:
             "(default proportional; needs --tenants)"
         ),
     )
-    simulate.add_argument(
+    tenant_group.add_argument(
         "--fair-slack",
         type=float,
         default=None,
@@ -192,39 +217,11 @@ def build_parser() -> argparse.ArgumentParser:
             "split before minimizing cost (needs --tenants)"
         ),
     )
-    simulate.add_argument(
-        "--arbitrage",
-        action="store_true",
-        help=(
-            "quote a multi-provider market (AWS + flat-rate + archive "
-            "books) and wrap every policy in the arbitrage layer: "
-            "migrate providers when amortized savings beat the switch "
-            "cost (dataset + view egress, re-materialization)"
-        ),
+
+    stochastic = simulate.add_argument_group(
+        "stochastic", "sampled drift and Monte Carlo evaluation"
     )
-    simulate.add_argument(
-        "--migration-horizon",
-        type=int,
-        default=None,
-        metavar="H",
-        help=(
-            "epochs the per-epoch savings are amortized over before "
-            "being compared with the switch cost (needs --arbitrage; "
-            f"default {MIGRATION_HORIZON_DEFAULT})"
-        ),
-    )
-    simulate.add_argument(
-        "--migration-hold",
-        type=int,
-        default=None,
-        metavar="N",
-        help=(
-            "consecutive epochs a candidate provider must stay "
-            "worthwhile before the arbitrage layer migrates (needs "
-            f"--arbitrage; default {MIGRATION_HOLD_DEFAULT})"
-        ),
-    )
-    simulate.add_argument(
+    stochastic.add_argument(
         "--generator",
         choices=sorted(GENERATOR_PRESETS),
         default=None,
@@ -233,7 +230,7 @@ def build_parser() -> argparse.ArgumentParser:
             "bundle instead of the hand-written scenario"
         ),
     )
-    simulate.add_argument(
+    stochastic.add_argument(
         "--trials",
         type=int,
         default=0,
@@ -245,7 +242,7 @@ def build_parser() -> argparse.ArgumentParser:
             "deterministic run)"
         ),
     )
-    simulate.add_argument(
+    stochastic.add_argument(
         "--jobs",
         type=int,
         default=1,
@@ -255,7 +252,7 @@ def build_parser() -> argparse.ArgumentParser:
             "(default %(default)s)"
         ),
     )
-    simulate.add_argument(
+    stochastic.add_argument(
         "--summary-csv",
         default=None,
         metavar="PATH",
@@ -264,10 +261,77 @@ def build_parser() -> argparse.ArgumentParser:
             "(needs --trials); byte-identical for identical --seed"
         ),
     )
-    simulate.add_argument(
-        "--quiet",
+
+    arbitrage = simulate.add_argument_group(
+        "arbitrage", "multi-provider markets and billed migrations"
+    )
+    arbitrage.add_argument(
+        "--arbitrage",
         action="store_true",
-        help="print only the per-policy summary lines",
+        help=(
+            "quote a multi-provider market (AWS + flat-rate + archive "
+            "books) and wrap every policy in the arbitrage layer: "
+            "migrate providers when amortized savings beat the switch "
+            "cost (dataset + view egress, re-materialization)"
+        ),
+    )
+    arbitrage.add_argument(
+        "--migration-horizon",
+        type=int,
+        default=None,
+        metavar="H",
+        help=(
+            "epochs the per-epoch savings are amortized over before "
+            "being compared with the switch cost (needs --arbitrage; "
+            f"default {MIGRATION_HORIZON_DEFAULT})"
+        ),
+    )
+    arbitrage.add_argument(
+        "--migration-hold",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "consecutive epochs a candidate provider must stay "
+            "worthwhile before the arbitrage layer migrates (needs "
+            f"--arbitrage; default {MIGRATION_HOLD_DEFAULT})"
+        ),
+    )
+
+    builds = simulate.add_argument_group(
+        "builds", "asynchronous builds: wall-clock latency and proration"
+    )
+    builds.add_argument(
+        "--build-slots",
+        type=int,
+        default=None,
+        metavar="K",
+        help=(
+            "run builds asynchronously on K concurrent slots: a "
+            "decided view enters the build queue, lands after its "
+            "materialization hours have elapsed on the wall clock, "
+            "and is billed by partial-period proration from the "
+            f"landing (default {BUILD_SLOTS_DEFAULT} once any build "
+            "flag is typed)"
+        ),
+    )
+    builds.add_argument(
+        "--build-discipline",
+        choices=BUILD_DISCIPLINES,
+        default=None,
+        help=(
+            "scheduling discipline for queued builds (implies "
+            f"asynchronous execution; default {BUILD_DISCIPLINE_DEFAULT})"
+        ),
+    )
+    builds.add_argument(
+        "--sync",
+        action="store_true",
+        help=(
+            "force the classic synchronous regime (views live the "
+            "instant they are decided) — the default; contradicts the "
+            "other build flags"
+        ),
     )
 
     return parser
@@ -328,6 +392,39 @@ def _migration_knobs(args: argparse.Namespace):
     return horizon, hold
 
 
+def _build_config(args: argparse.Namespace):
+    """Resolve the build flags to a ``BuildConfig`` (``None`` = sync).
+
+    Asynchronous execution turns on as soon as any build knob is
+    typed; ``--sync`` states the default regime explicitly, so typing
+    it *alongside* a build knob is a contradiction, not a tiebreak.
+    """
+    typed = (
+        args.build_slots is not None or args.build_discipline is not None
+    )
+    if args.sync:
+        if typed:
+            raise SimulationError(
+                "--sync contradicts --build-slots/--build-discipline; "
+                "drop one side"
+            )
+        return None
+    if not typed:
+        return None
+    return BuildConfig(
+        slots=(
+            BUILD_SLOTS_DEFAULT
+            if args.build_slots is None
+            else args.build_slots
+        ),
+        discipline=(
+            BUILD_DISCIPLINE_DEFAULT
+            if args.build_discipline is None
+            else args.build_discipline
+        ),
+    )
+
+
 def _simulate_policies(args: argparse.Namespace, scenario_factory=None):
     horizon, hold = _migration_knobs(args)
     names = POLICY_NAMES if args.policy == "all" else (args.policy,)
@@ -385,6 +482,7 @@ def _run_simulate(args: argparse.Namespace) -> int:
             "add --tenants N"
         )
     market = _simulate_market(args)
+    builds = _build_config(args)
     if args.generator is not None:
         simulator = stochastic_sales_simulator(
             generator=args.generator,
@@ -392,11 +490,13 @@ def _run_simulate(args: argparse.Namespace) -> int:
             n_rows=args.rows,
             seed=args.seed,
             market=market,
+            builds=builds,
         )
     else:
         simulator = drifting_sales_simulator(
             n_epochs=args.epochs, n_rows=args.rows, seed=args.seed,
             market=market,
+            builds=builds,
         )
     ledgers = simulator.compare(_simulate_policies(args))
     for ledger in ledgers.values():
@@ -421,6 +521,7 @@ def _run_simulate_montecarlo(args: argparse.Namespace) -> int:
             "--attribution applies to multi-tenant runs; add --tenants N"
         )
     horizon, hold = _migration_knobs(args)
+    builds = _build_config(args)
     arbitrage_knobs = (
         {
             "arbitrage": True,
@@ -439,6 +540,8 @@ def _run_simulate_montecarlo(args: argparse.Namespace) -> int:
         seed=args.seed,
         n_tenants=args.tenants,
         attribution=args.attribution or "proportional",
+        build_slots=0 if builds is None else builds.slots,
+        build_discipline="fifo" if builds is None else builds.discipline,
         policies=tuple(
             PolicySpec(
                 name,
@@ -465,6 +568,7 @@ def _run_simulate_montecarlo(args: argparse.Namespace) -> int:
 
 def _run_simulate_tenants(args: argparse.Namespace) -> int:
     market = _simulate_market(args)
+    builds = _build_config(args)
     if args.generator is not None:
         simulator = stochastic_multi_tenant_simulator(
             n_tenants=args.tenants,
@@ -474,6 +578,7 @@ def _run_simulate_tenants(args: argparse.Namespace) -> int:
             seed=args.seed,
             attribution=args.attribution or "proportional",
             market=market,
+            builds=builds,
         )
     else:
         simulator = multi_tenant_sales_simulator(
@@ -483,6 +588,7 @@ def _run_simulate_tenants(args: argparse.Namespace) -> int:
             seed=args.seed,
             attribution=args.attribution or "proportional",
             market=market,
+            builds=builds,
         )
     factory = None
     if args.fair_slack is not None:

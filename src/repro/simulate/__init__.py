@@ -38,6 +38,17 @@ egress, re-materialization on the target) when the amortized savings
 over ``--migration-horizon`` epochs beat the switch cost, with
 hold-N hysteresis against spot-price thrash.
 
+Asynchronous epoch execution (see :mod:`repro.simulate.builds`) stops
+pretending builds are free in time: a :class:`BuildQueue` with
+bounded ``build_slots`` and a FIFO / shortest-build-first discipline
+admits :class:`BuildJob`\\ s whose durations come from the cost
+model's ``materialization_hours``, so a rebuild decided in epoch *k*
+lands **mid-epoch** — queries are answered from the previous holdings
+until the view lands, epochs split into prorated
+:class:`EpochSegment`\\ s at the landing instants, an abandoned build
+bills only its sunk compute, and zero-latency builds (or the CLI's
+``--sync``) reproduce the synchronous ledgers byte-identically.
+
 Stochastic drift and Monte Carlo evaluation close the loop (see
 :mod:`repro.simulate.stochastic` and
 :mod:`repro.simulate.montecarlo`): seeded generators — Poisson query
@@ -65,6 +76,16 @@ Quick start (see ``examples/lifecycle_simulation.py``,
     print(fleet_ledger.summary())   # fleet line + one line per tenant
 """
 
+from .builds import (
+    BUILD_DISCIPLINES,
+    BuildCancellation,
+    BuildCompletion,
+    BuildConfig,
+    BuildJob,
+    BuildQueue,
+    prorate,
+    tile_fractions,
+)
 from .arbitrage import (
     ArbitrageAware,
     MigrationAssessment,
@@ -80,6 +101,9 @@ from .attribution import (
 from .clock import Epoch, SimulationClock
 from .events import (
     AddQueries,
+    BuildCancelled,
+    BuildCompleted,
+    BuildStarted,
     DropQueries,
     EventTimeline,
     FleetChange,
@@ -92,6 +116,7 @@ from .events import (
 )
 from .ledger import (
     EpochRecord,
+    EpochSegment,
     FleetLedger,
     SimulationLedger,
     TenantEpochRecord,
@@ -119,6 +144,7 @@ from .policy import (
 )
 from .presets import (
     DRIFT_MIN_EPOCHS,
+    async_sales_simulator,
     default_market,
     drifting_sales_simulator,
     multi_tenant_min_epochs,
@@ -129,7 +155,7 @@ from .presets import (
 )
 from .problems import EpochContext, EpochProblemBuilder
 from .simulator import EpochObserver, LifecycleSimulator, full_catalogue
-from .state import WarehouseState, provider_family
+from .state import Holdings, WarehouseState, provider_family
 from .stochastic import (
     GENERATOR_PRESETS,
     DriftGenerator,
@@ -150,6 +176,15 @@ __all__ = [
     "ATTRIBUTION_MODES",
     "AddQueries",
     "ArbitrageAware",
+    "BUILD_DISCIPLINES",
+    "BuildCancellation",
+    "BuildCancelled",
+    "BuildCompleted",
+    "BuildCompletion",
+    "BuildConfig",
+    "BuildJob",
+    "BuildQueue",
+    "BuildStarted",
     "CLAIRVOYANT",
     "DRIFT_MIN_EPOCHS",
     "DistributionSummary",
@@ -160,6 +195,7 @@ __all__ = [
     "EpochObserver",
     "EpochProblemBuilder",
     "EpochRecord",
+    "EpochSegment",
     "EventTimeline",
     "FleetChange",
     "FleetLedger",
@@ -167,6 +203,7 @@ __all__ = [
     "GeneratorContext",
     "GeometricGrowth",
     "GrowFactTable",
+    "Holdings",
     "LifecycleSimulator",
     "MarketReprice",
     "MigrationAssessment",
@@ -199,6 +236,7 @@ __all__ = [
     "WarehouseState",
     "allocate_exactly",
     "assess_migration",
+    "async_sales_simulator",
     "compile_timeline",
     "default_market",
     "derive_seed",
@@ -209,6 +247,7 @@ __all__ = [
     "multi_tenant_min_epochs",
     "multi_tenant_sales_simulator",
     "operating_cost",
+    "prorate",
     "provider_family",
     "qualify",
     "run_monte_carlo",
@@ -219,4 +258,5 @@ __all__ = [
     "stochastic_multi_tenant_simulator",
     "stochastic_sales_simulator",
     "tenant_of_query",
+    "tile_fractions",
 ]

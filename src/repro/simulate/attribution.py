@@ -17,11 +17,21 @@ Cost components and how they are split:
 * **view maintenance**, **view storage**, **view builds** — shared by
   the tenants whose queries the view answers this epoch, split by the
   attribution *mode* (below);
-* **base-dataset storage**, **teardown egress** and **migration
+* **base-dataset storage**, **teardown egress**, **migration
   transfer** (the legs of a provider switch — the "which tenant pays
-  for a migration?" charge) — fleet infrastructure with no per-view
-  user set, split by the infrastructure rule (proportional to use, or
-  evenly).
+  for a migration?" charge) and **cancelled-build sunk compute** —
+  fleet infrastructure with no per-view user set, split by the
+  infrastructure rule (proportional to use, or evenly).
+
+Asynchronous epochs (records carrying
+:class:`~repro.simulate.ledger.EpochSegment`\\ s) are attributed
+segment by segment: each segment's prorated operating components are
+split by the views live *during that segment* — a tenant whose
+dashboard view lands mid-epoch starts paying its view-storage share
+only from the landing — and the per-segment shares sum across
+segments to exactly the epoch's prorated fleet charges, so
+:meth:`~repro.simulate.ledger.FleetLedger.verify_attribution` holds
+unchanged.
 
 Two attribution modes (:data:`ATTRIBUTION_MODES`):
 
@@ -257,12 +267,13 @@ class SharedCostAttributor:
         breakdown: CostBreakdown,
         teardown_cost: Money,
         migration_cost: Money = ZERO,
+        cancelled_cost: Money = ZERO,
     ) -> Tuple[Dict[str, Dict[str, Money]], Dict[str, float]]:
         """Split every component of one epoch's breakdown.
 
         Returns ``(shares, hours)``: ``shares`` maps component name
         (``processing``, ``transfer``, ``maintenance``, ``storage``,
-        ``build``, ``teardown``, ``migration``) to per-tenant shares
+        ``build``, ``teardown``, ``migration``, ``cancelled``) to per-tenant shares
         summing exactly to the fleet amount; ``hours`` is each
         tenant's own frequency-weighted processing hours (the
         processing weights, reused so the hours reported on a
@@ -328,6 +339,9 @@ class SharedCostAttributor:
             "migration": allocate_exactly(
                 migration_cost, infrastructure, tenants
             ),
+            "cancelled": allocate_exactly(
+                cancelled_cost, infrastructure, tenants
+            ),
         }
         return shares, processing
 
@@ -342,12 +356,18 @@ class SharedCostAttributor:
         ``breakdown`` must be the epoch breakdown the record was
         accounted from (materialization narrowed to the views built
         this epoch) — the simulator passes it to its observer.
+        Records carrying segments (asynchronous epochs billed on
+        mid-epoch holdings) take the segment-wise path instead, which
+        re-prices each segment's holdings through the problem's
+        evaluation cache and ignores ``breakdown``.
         """
+        if record.segments:
+            return self._attribute_segments(problem, record)
         subset = frozenset(record.subset)
         built = frozenset(record.views_built)
         shares, hours = self._component_shares(
             problem, subset, built, breakdown, record.teardown_cost,
-            record.migration_cost,
+            record.migration_cost, record.cancelled_cost,
         )
         return {
             name: TenantEpochRecord(
@@ -361,6 +381,133 @@ class SharedCostAttributor:
                 teardown_cost=shares["teardown"][name],
                 processing_hours=hours[name],
                 migration_cost=shares["migration"][name],
+                cancelled_cost=shares["cancelled"][name],
+            )
+            for name in self._tenants
+        }
+
+    def _attribute_segments(
+        self, problem: SelectionProblem, record: EpochRecord
+    ) -> Dict[str, TenantEpochRecord]:
+        """Attribute one asynchronous epoch, segment by segment.
+
+        Each segment's full-period components are scaled by its period
+        fraction and split by the tenants using the views live in
+        *that* segment; per-tenant shares accumulate across segments.
+        Because every per-segment split is exact
+        (:func:`allocate_exactly`) and ``Money`` products distribute
+        exactly at this precision, the accumulated shares sum to the
+        record's prorated fleet charges to the last digit.
+
+        Epoch-level one-offs — builds landing this epoch, teardown
+        egress, migration transfer, cancelled-build sunk compute — are
+        not prorated: builds are split by the landed views' users as
+        of the epoch's end holdings, the rest by the infrastructure
+        rule over time-weighted processing hours.
+        """
+        inputs = problem.inputs
+        tenants = self._tenants
+        operating_components = (
+            "processing", "transfer", "maintenance", "storage",
+        )
+        totals: Dict[str, Dict[str, Money]] = {
+            component: {name: ZERO for name in tenants}
+            for component in operating_components
+        }
+        hours = {name: 0.0 for name in tenants}
+        cycles = inputs.deployment.maintenance_cycles
+        base_storage_full = storage_cost(
+            inputs.deployment.provider.storage, inputs.base_timeline
+        )
+        end_users: Dict[str, Mapping[str, float]] = {}
+        for segment in record.segments:
+            subset = frozenset(segment.subset)
+            bd = problem.evaluate(subset).breakdown
+            processing, egress, users = self._direct_weights(problem, subset)
+            infrastructure = self._infrastructure_weights(processing)
+            end_users = users
+            fraction = segment.fraction
+
+            def scaled(amount: Money) -> Money:
+                return amount if fraction == 1.0 else amount * fraction
+
+            ordered = sorted(subset)
+            maintenance_amounts = {
+                name: inputs.view_stats[name].maintenance_hours_per_cycle
+                * cycles
+                for name in ordered
+            }
+            size_amounts = {
+                name: inputs.view_stats[name].size_gb for name in ordered
+            }
+            base_shares = allocate_exactly(
+                scaled(base_storage_full), infrastructure, tenants
+            )
+            view_storage_shares = allocate_exactly(
+                scaled(bd.storage - base_storage_full),
+                self._view_weights(size_amounts, users, infrastructure),
+                tenants,
+            )
+            segment_shares = {
+                "processing": allocate_exactly(
+                    scaled(bd.computing.processing_cost), processing, tenants
+                ),
+                "transfer": allocate_exactly(
+                    scaled(bd.transfer), egress, tenants
+                ),
+                "maintenance": allocate_exactly(
+                    scaled(bd.computing.maintenance_cost),
+                    self._view_weights(
+                        maintenance_amounts, users, infrastructure
+                    ),
+                    tenants,
+                ),
+                "storage": {
+                    name: base_shares[name] + view_storage_shares[name]
+                    for name in tenants
+                },
+            }
+            for component in operating_components:
+                for name in tenants:
+                    totals[component][name] = (
+                        totals[component][name] + segment_shares[component][name]
+                    )
+            for name in tenants:
+                hours[name] += processing[name] * fraction
+        # Epoch-level one-offs, split once over the whole epoch; the
+        # infrastructure rule runs on time-weighted processing hours.
+        epoch_infrastructure = self._infrastructure_weights(hours)
+        build_amounts = {
+            name: inputs.view_stats[name].materialization_hours
+            for name in record.views_built
+        }
+        build_shares = allocate_exactly(
+            record.build_cost,
+            self._view_weights(build_amounts, end_users, epoch_infrastructure),
+            tenants,
+        )
+        teardown_shares = allocate_exactly(
+            record.teardown_cost, epoch_infrastructure, tenants
+        )
+        migration_shares = allocate_exactly(
+            record.migration_cost, epoch_infrastructure, tenants
+        )
+        cancelled_shares = allocate_exactly(
+            record.cancelled_cost, epoch_infrastructure, tenants
+        )
+        return {
+            name: TenantEpochRecord(
+                epoch=record.epoch,
+                tenant=name,
+                processing_cost=totals["processing"][name],
+                transfer_cost=totals["transfer"][name],
+                maintenance_cost=totals["maintenance"][name],
+                storage_cost=totals["storage"][name],
+                build_cost=build_shares[name],
+                teardown_cost=teardown_shares[name],
+                processing_hours=hours[name],
+                migration_cost=migration_shares[name],
+                cancelled_cost=cancelled_shares[name],
             )
             for name in self._tenants
         }

@@ -7,12 +7,21 @@ period long (one month by default — the granularity every cost formula
 already speaks: storage months, maintenance cycles per period, runs
 per period).  Events fire at epoch boundaries; selection decisions are
 taken once per epoch.
+
+Boundary arithmetic is drift-free by construction: both ends of every
+epoch are computed as ``index * months_per_epoch`` — never by
+cumulative addition — so ``epoch.end_month`` is *exactly* the next
+epoch's ``start_month`` even for fractional epoch lengths like 0.1
+months, where repeated float addition would drift off the grid within
+a handful of epochs.  The build-queue subsystem
+(:mod:`repro.simulate.builds`) leans on this: a build landing "at the
+epoch boundary" must land at one number, not two.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterator, Optional
 
 from ..errors import SimulationError
 
@@ -21,28 +30,60 @@ __all__ = ["Epoch", "SimulationClock"]
 
 @dataclass(frozen=True)
 class Epoch:
-    """One step of simulated time: a billing period with an index."""
+    """One step of simulated time: a billing period with an index.
+
+    Parameters
+    ----------
+    index:
+        Zero-based position of the epoch on the clock's grid.
+    start_month:
+        The month the epoch begins (inclusive).
+    months:
+        The billing period's nominal length in months.
+    end_month:
+        The month the epoch ends (exclusive).  Defaults to
+        ``start_month + months``; the clock passes the exact grid
+        boundary ``(index + 1) * months_per_epoch`` instead, which can
+        differ from the naive sum by a float ulp — and it is the grid
+        boundary that must tile (the next epoch starts exactly there).
+    """
 
     index: int
     start_month: float
     months: float
+    end_month: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.index < 0:
             raise SimulationError("epoch indexes start at 0")
         if self.months <= 0:
             raise SimulationError("an epoch must have positive duration")
-
-    @property
-    def end_month(self) -> float:
-        """The month this epoch ends (exclusive)."""
-        return self.start_month + self.months
+        if self.end_month is None:
+            object.__setattr__(
+                self, "end_month", self.start_month + self.months
+            )
+        if self.end_month <= self.start_month:
+            raise SimulationError(
+                f"epoch {self.index} ends at month {self.end_month}, "
+                f"before it starts ({self.start_month})"
+            )
 
 
 class SimulationClock:
     """Equal-length epochs covering ``[0, n_epochs x months_per_epoch)``."""
 
     def __init__(self, n_epochs: int, months_per_epoch: float = 1.0) -> None:
+        """Lay out the epoch grid.
+
+        Parameters
+        ----------
+        n_epochs:
+            How many billing periods the simulation runs (>= 1).
+        months_per_epoch:
+            Length of one billing period in months (> 0); must match
+            the deployment's ``storage_months`` when driving a
+            simulator.
+        """
         if n_epochs < 1:
             raise SimulationError(
                 f"a simulation needs at least one epoch, got {n_epochs}"
@@ -64,8 +105,29 @@ class SimulationClock:
 
     @property
     def horizon_months(self) -> float:
-        """Total simulated time."""
+        """Total simulated time (``n_epochs * months_per_epoch``)."""
         return self._n_epochs * self._months
+
+    def boundary(self, index: int) -> float:
+        """The exact grid month where epoch ``index`` begins.
+
+        Parameters
+        ----------
+        index:
+            Epoch index in ``[0, n_epochs]`` — ``n_epochs`` itself is
+            the horizon's end boundary.
+
+        Returns
+        -------
+        float
+            ``index * months_per_epoch``, the drift-free boundary both
+            the iterator and the horizon are computed from.
+        """
+        if not 0 <= index <= self._n_epochs:
+            raise SimulationError(
+                f"boundary index {index} outside [0, {self._n_epochs}]"
+            )
+        return index * self._months
 
     def __len__(self) -> int:
         return self._n_epochs
@@ -74,8 +136,9 @@ class SimulationClock:
         for index in range(self._n_epochs):
             yield Epoch(
                 index=index,
-                start_month=index * self._months,
+                start_month=self.boundary(index),
                 months=self._months,
+                end_month=self.boundary(index + 1),
             )
 
     def __repr__(self) -> str:

@@ -14,7 +14,19 @@ way an operator would read it:
 * ``migration_cost`` — both transfer legs of a provider switch
   (dataset + held views out of the source, into the target), charged
   only on epochs where a migration fired (``migrated_to`` names the
-  target book).
+  target book);
+* ``cancelled_cost`` — sunk compute of builds abandoned before
+  landing (asynchronous runs only; a build cancelled while still
+  queued sinks nothing).
+
+Asynchronous runs (:mod:`repro.simulate.builds`) additionally split an
+epoch into :class:`EpochSegment`\\ s at build-completion times: each
+segment names the views that were *live* over a fraction of the
+period, and the epoch's ``operating_cost`` is the sum of every
+segment's full-period charge scaled by its fraction — partial-period
+proration.  An epoch whose holdings equalled the decision's subset
+throughout (every synchronous epoch, and every async epoch without
+in-flight builds) records no segments.
 
 A :class:`SimulationLedger` accumulates the records for one policy and
 answers the comparison questions (total cost, hours, churn,
@@ -39,11 +51,35 @@ from ..money import Money, ZERO
 
 __all__ = [
     "EpochRecord",
+    "EpochSegment",
     "FleetLedger",
     "SimulationLedger",
     "TenantEpochRecord",
     "TenantLedger",
 ]
+
+
+@dataclass(frozen=True)
+class EpochSegment:
+    """A sub-interval of one epoch over which the live views were fixed.
+
+    The asynchronous simulator cuts an epoch at every build-completion
+    instant; each resulting segment bills its ``subset``'s full-period
+    operating charge scaled by ``fraction``.  Fractions across one
+    epoch's segments tile exactly to 1 (the last is computed as the
+    residual), so partial-period billing conserves money by
+    construction.
+    """
+
+    start_month: float
+    months: float
+    fraction: float
+    subset: Tuple[str, ...]
+
+    def describe(self) -> str:
+        """``[views]@frac`` — the segment's holdings and period share."""
+        views = ",".join(self.subset) if self.subset else "-"
+        return f"[{views}]@{self.fraction:.4g}"
 
 
 @dataclass(frozen=True)
@@ -67,15 +103,28 @@ class EpochRecord:
     migration_cost: Money = ZERO
     #: Name of the book migrated to this epoch, if any.
     migrated_to: Optional[str] = None
+    #: Builds abandoned before landing this epoch (async runs only).
+    views_cancelled: Tuple[str, ...] = ()
+    #: Sunk compute of the cancelled builds (zero when they never ran).
+    cancelled_cost: Money = ZERO
+    #: Wall-clock months between submission and landing, summed over
+    #: the views that went live this epoch (0.0 when builds are
+    #: synchronous or instant).
+    build_latency_months: float = 0.0
+    #: Partial-period billing intervals (empty when the decision's
+    #: subset was live for the whole epoch — every synchronous epoch).
+    segments: Tuple[EpochSegment, ...] = ()
 
     @property
     def total_cost(self) -> Money:
-        """Everything this epoch cost: operating + build + teardown + migration."""
+        """Everything this epoch cost (operating + build + teardown +
+        migration + cancelled)."""
         return (
             self.operating_cost
             + self.build_cost
             + self.teardown_cost
             + self.migration_cost
+            + self.cancelled_cost
         )
 
     @property
@@ -91,6 +140,8 @@ class EpochRecord:
             marks.append("+" + ",".join(self.views_built))
         if self.views_dropped:
             marks.append("-" + ",".join(self.views_dropped))
+        if self.views_cancelled:
+            marks.append("x" + ",".join(self.views_cancelled))
         if self.migrated_to is not None:
             marks.append(f">>{self.migrated_to}")
         change = " ".join(marks) if marks else ""
@@ -169,6 +220,22 @@ class SimulationLedger:
         return sum(1 for r in self._records if r.migrated_to is not None)
 
     @property
+    def total_cancelled_cost(self) -> Money:
+        """Lifetime sunk compute of abandoned builds (async runs)."""
+        return sum((r.cancelled_cost for r in self._records), ZERO)
+
+    @property
+    def cancel_count(self) -> int:
+        """Builds abandoned before landing, over the lifetime."""
+        return sum(len(r.views_cancelled) for r in self._records)
+
+    @property
+    def total_build_latency_months(self) -> float:
+        """Lifetime submit-to-landing wall-clock months, summed over
+        every view that went live (0.0 for synchronous runs)."""
+        return sum(r.build_latency_months for r in self._records)
+
+    @property
     def total_hours(self) -> float:
         """Lifetime workload processing hours (response-time metric)."""
         return sum(r.processing_hours for r in self._records)
@@ -196,11 +263,24 @@ class SimulationLedger:
     # -- display --------------------------------------------------------
 
     def summary(self) -> str:
-        """One comparison line: the acceptance metrics."""
+        """One comparison line: the acceptance metrics.
+
+        Async-only columns (build latency, cancelled builds) appear
+        only when nonzero, so synchronous and zero-latency ledgers
+        render byte-identically to the pre-async format.
+        """
         migrations = (
             f"  migrations={self.migration_count}"
             if self.migration_count
             else ""
+        )
+        latency = (
+            f"  build-latency={self.total_build_latency_months:.3f}mo"
+            if self.total_build_latency_months
+            else ""
+        )
+        cancels = (
+            f"  cancels={self.cancel_count}" if self.cancel_count else ""
         )
         return (
             f"{self._policy:<18} total={self.total_cost}  "
@@ -209,6 +289,8 @@ class SimulationLedger:
             f"teardowns={self.teardown_count}  "
             f"reoptimizations={self.reoptimization_count}"
             + migrations
+            + latency
+            + cancels
         )
 
     def render(self) -> str:
@@ -250,6 +332,9 @@ class TenantEpochRecord:
     #: on ordinary epochs) — the answer to "which tenant pays for a
     #: migration?".
     migration_cost: Money = ZERO
+    #: The tenant's share of sunk compute from builds abandoned this
+    #: epoch (async runs only; split by the infrastructure rule).
+    cancelled_cost: Money = ZERO
 
     @property
     def operating_cost(self) -> Money:
@@ -269,6 +354,7 @@ class TenantEpochRecord:
             + self.build_cost
             + self.teardown_cost
             + self.migration_cost
+            + self.cancelled_cost
         )
 
     def describe(self) -> str:
@@ -276,12 +362,15 @@ class TenantEpochRecord:
         migration = (
             f", move={self.migration_cost}" if self.migration_cost else ""
         )
+        cancelled = (
+            f", sunk={self.cancelled_cost}" if self.cancelled_cost else ""
+        )
         return (
             f"e{self.epoch:>3}  C={self.total_cost}  "
             f"(proc={self.processing_cost}, maint={self.maintenance_cost}, "
             f"stor={self.storage_cost}, xfer={self.transfer_cost}, "
             f"build={self.build_cost}, drop={self.teardown_cost}"
-            f"{migration})  "
+            f"{migration}{cancelled})  "
             f"T={self.processing_hours:.3f}h"
         )
 
@@ -357,6 +446,11 @@ class TenantLedger:
     def total_migration_cost(self) -> Money:
         """Lifetime attributed provider-switch charges."""
         return sum((r.migration_cost for r in self._records), ZERO)
+
+    @property
+    def total_cancelled_cost(self) -> Money:
+        """Lifetime attributed sunk compute of abandoned builds."""
+        return sum((r.cancelled_cost for r in self._records), ZERO)
 
     @property
     def total_hours(self) -> float:
@@ -458,6 +552,8 @@ class FleetLedger:
                  sum((s.teardown_cost for s in shares), ZERO)),
                 ("migration", record.migration_cost,
                  sum((s.migration_cost for s in shares), ZERO)),
+                ("cancelled", record.cancelled_cost,
+                 sum((s.cancelled_cost for s in shares), ZERO)),
             )
             for component, fleet_amount, tenant_sum in checks:
                 if fleet_amount != tenant_sum:

@@ -35,6 +35,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from ..errors import SimulationError
 from ..money import Money
 from .arbitrage import ArbitrageAware
+from .builds import BUILD_DISCIPLINES, BuildConfig
 from .ledger import SimulationLedger
 from .policy import POLICY_NAMES, ReselectionPolicy, make_policy
 from .presets import (
@@ -150,9 +151,23 @@ class MonteCarloConfig:
         default_factory=_default_policies
     )
     charge_teardown_egress: bool = True
+    #: Build-queue concurrency for the trials' simulators; 0 keeps the
+    #: classic synchronous execution (a decided view is a live view).
+    build_slots: int = 0
+    #: Scheduling discipline when ``build_slots >= 1``.
+    build_discipline: str = "fifo"
 
     def __post_init__(self) -> None:
         generator_preset(self.generator)  # fail fast on unknown presets
+        if self.build_slots < 0:
+            raise SimulationError(
+                f"build_slots cannot be negative, got {self.build_slots}"
+            )
+        if self.build_discipline not in BUILD_DISCIPLINES:
+            raise SimulationError(
+                f"unknown build discipline {self.build_discipline!r}; "
+                f"choose from {BUILD_DISCIPLINES}"
+            )
         if self.n_trials < 1:
             raise SimulationError(
                 f"a Monte Carlo run needs >= 1 trial, got {self.n_trials}"
@@ -185,6 +200,15 @@ class MonteCarloConfig:
         """
         return any(spec.arbitrage for spec in self.policies)
 
+    @property
+    def builds(self) -> "BuildConfig | None":
+        """The trials' build-queue configuration (``None`` = sync)."""
+        if not self.build_slots:
+            return None
+        return BuildConfig(
+            slots=self.build_slots, discipline=self.build_discipline
+        )
+
     def labels(self) -> Tuple[str, ...]:
         """Result-row labels: the policies, then the baseline."""
         return tuple(s.label() for s in self.policies) + (CLAIRVOYANT,)
@@ -216,6 +240,10 @@ class TrialOutcome:
     migrations: int = 0
     #: Lifetime migration transfer charges.
     migration_cost: Money = Money(0)
+    #: Lifetime sunk compute of cancelled builds (async runs).
+    cancelled_cost: Money = Money(0)
+    #: Lifetime submit-to-landing wall-clock months (async runs).
+    build_latency_months: float = 0.0
 
 
 def _outcome(
@@ -243,6 +271,8 @@ def _outcome(
         tenant_costs=tenant_costs,
         migrations=ledger.migration_count,
         migration_cost=ledger.total_migration_cost,
+        cancelled_cost=ledger.total_cancelled_cost,
+        build_latency_months=ledger.total_build_latency_months,
     )
 
 
@@ -260,6 +290,7 @@ def run_trial(config: MonteCarloConfig, trial: int) -> Tuple[TrialOutcome, ...]:
         )
     drift_seed = config.trial_seed(trial)
     market = default_market() if config.quotes_market else None
+    builds = config.builds
     if config.n_tenants:
         simulator = stochastic_multi_tenant_simulator(
             n_tenants=config.n_tenants,
@@ -272,6 +303,7 @@ def run_trial(config: MonteCarloConfig, trial: int) -> Tuple[TrialOutcome, ...]:
             attribution=config.attribution,
             charge_teardown_egress=config.charge_teardown_egress,
             market=market,
+            builds=builds,
         )
 
         def run(policy):
@@ -291,6 +323,7 @@ def run_trial(config: MonteCarloConfig, trial: int) -> Tuple[TrialOutcome, ...]:
             dataset_gb=config.dataset_gb,
             charge_teardown_egress=config.charge_teardown_egress,
             market=market,
+            builds=builds,
         )
 
         def run(policy):
@@ -390,6 +423,8 @@ _METRICS: Tuple[Tuple[str, Callable[[TrialOutcome], float]], ...] = (
     ("regret", lambda o: o.regret),
     ("migrations", lambda o: float(o.migrations)),
     ("migration_cost", lambda o: o.migration_cost.to_float()),
+    ("cancelled_cost", lambda o: o.cancelled_cost.to_float()),
+    ("build_latency_months", lambda o: o.build_latency_months),
 )
 
 
@@ -516,6 +551,12 @@ class MonteCarloResult:
                 f", tenants={self._config.n_tenants}"
                 f" ({self._config.attribution})"
                 if self._config.n_tenants
+                else ""
+            )
+            + (
+                f", builds={self._config.build_slots}x"
+                f" {self._config.build_discipline}"
+                if self._config.build_slots
                 else ""
             )
         ]

@@ -62,6 +62,7 @@ from .events import (
     PriceChange,
     ReweightQueries,
 )
+from .builds import BuildConfig
 from .simulator import LifecycleSimulator
 from .state import WarehouseState
 from .stochastic import (
@@ -75,6 +76,7 @@ from .tenants import MultiTenantSimulator, Tenant, TenantFleet
 
 __all__ = [
     "DRIFT_MIN_EPOCHS",
+    "async_sales_simulator",
     "default_market",
     "drifting_sales_simulator",
     "multi_tenant_min_epochs",
@@ -132,6 +134,7 @@ def drifting_sales_simulator(
     charge_teardown_egress: bool = True,
     cache: "SubsetEvaluationCache | None" = None,
     market: "tuple[Provider, ...] | None" = None,
+    builds: "BuildConfig | None" = None,
 ) -> LifecycleSimulator:
     """The reference drifting-warehouse scenario (see module docs).
 
@@ -199,6 +202,7 @@ def drifting_sales_simulator(
         events=events,
         cache=cache,
         charge_teardown_egress=charge_teardown_egress,
+        builds=builds,
     )
 
 
@@ -222,6 +226,7 @@ def multi_tenant_sales_simulator(
     charge_teardown_egress: bool = True,
     cache: "SubsetEvaluationCache | None" = None,
     market: "tuple[Provider, ...] | None" = None,
+    builds: "BuildConfig | None" = None,
 ) -> MultiTenantSimulator:
     """The reference multi-tenant scenario: *n* tenants, one warehouse.
 
@@ -310,6 +315,7 @@ def multi_tenant_sales_simulator(
         attribution=attribution,
         cache=cache,
         charge_teardown_egress=charge_teardown_egress,
+        builds=builds,
     )
 
 
@@ -332,6 +338,7 @@ def stochastic_sales_simulator(
     charge_teardown_egress: bool = True,
     cache: "SubsetEvaluationCache | None" = None,
     market: "tuple[Provider, ...] | None" = None,
+    builds: "BuildConfig | None" = None,
 ) -> LifecycleSimulator:
     """The Section 6 warehouse under *sampled* drift.
 
@@ -369,6 +376,7 @@ def stochastic_sales_simulator(
         timeline=timeline,
         cache=cache,
         charge_teardown_egress=charge_teardown_egress,
+        builds=builds,
     )
 
 
@@ -384,6 +392,7 @@ def stochastic_multi_tenant_simulator(
     charge_teardown_egress: bool = True,
     cache: "SubsetEvaluationCache | None" = None,
     market: "tuple[Provider, ...] | None" = None,
+    builds: "BuildConfig | None" = None,
 ) -> MultiTenantSimulator:
     """*n* tenants, one warehouse, every tenant's future sampled.
 
@@ -457,4 +466,53 @@ def stochastic_multi_tenant_simulator(
         attribution=attribution,
         cache=cache,
         charge_teardown_egress=charge_teardown_egress,
+        builds=builds,
+    )
+
+
+def async_sales_simulator(
+    n_epochs: int = 24,
+    n_rows: int = 60_000,
+    seed: int = 42,
+    dataset_gb: float = 10.0,
+    build_slots: int = 1,
+    build_discipline: str = "fifo",
+    hours_per_month: "float | None" = None,
+    charge_teardown_egress: bool = True,
+    cache: "SubsetEvaluationCache | None" = None,
+    market: "tuple[Provider, ...] | None" = None,
+) -> LifecycleSimulator:
+    """The drifting-warehouse scenario with wall-clock builds.
+
+    Exactly :func:`drifting_sales_simulator`, except decided builds
+    enter a :class:`~repro.simulate.builds.BuildQueue` with
+    ``build_slots`` concurrent slots under ``build_discipline``
+    (``fifo`` / ``shortest``), land only after their materialization
+    hours have elapsed on the wall clock, and are billed by
+    partial-period proration from the moment they land.
+
+    ``hours_per_month`` overrides the wall-clock conversion (default
+    :data:`repro.units.HOURS_PER_MONTH`); pass ``float("inf")`` for
+    instant builds, under which this preset reproduces
+    :func:`drifting_sales_simulator`'s ledgers byte-identically — the
+    sync-parity invariant.
+    """
+    config = (
+        BuildConfig(slots=build_slots, discipline=build_discipline)
+        if hours_per_month is None
+        else BuildConfig(
+            slots=build_slots,
+            discipline=build_discipline,
+            hours_per_month=hours_per_month,
+        )
+    )
+    return drifting_sales_simulator(
+        n_epochs=n_epochs,
+        n_rows=n_rows,
+        seed=seed,
+        dataset_gb=dataset_gb,
+        charge_teardown_egress=charge_teardown_egress,
+        cache=cache,
+        market=market,
+        builds=config,
     )

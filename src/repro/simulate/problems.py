@@ -38,7 +38,7 @@ from ..optimizer.problem import (
 )
 from ..pricing.providers import Provider
 from ..workload.workload import Workload
-from .state import WarehouseState
+from .state import Holdings, WarehouseState
 
 __all__ = ["EpochContext", "EpochProblemBuilder"]
 
@@ -92,13 +92,26 @@ class EpochContext:
     decide_in_context` by the simulator.  ``state`` is the epoch's
     post-event warehouse state (its :meth:`~repro.simulate.state.
     WarehouseState.candidate_books` are the migration targets on the
-    table); :meth:`counterfactual` prices the same world under another
+    table, its :attr:`~repro.simulate.state.WarehouseState.holdings`
+    the live/pending view split under asynchronous builds);
+    :meth:`counterfactual` prices the same world under another
     provider's book through the shared builder, so repeated
     counterfactuals over unchanged epochs are answered from cache.
     """
 
     state: WarehouseState
     builder: "EpochProblemBuilder"
+
+    @property
+    def holdings(self) -> Holdings:
+        """The epoch's live/pending view split (empty under sync runs)."""
+        return self.state.holdings
+
+    @property
+    def queue_depth(self) -> int:
+        """Builds in flight when the decision is taken — the knob a
+        queue-aware policy throttles on (0 under synchronous runs)."""
+        return self.state.holdings.queue_depth
 
     def counterfactual(self, provider: Provider) -> SelectionProblem:
         """This epoch's world billed under ``provider`` instead.

@@ -22,6 +22,24 @@ epoch).  With ``cascade_materialization`` enabled,
 carried views are zeroed out of the cascade's build plan, which
 slightly overstates a rebuild that could have cascaded off a carried
 view — the conservative direction.
+
+Asynchronous execution (pass a :class:`~repro.simulate.builds.
+BuildConfig`) decouples the decision from the epoch clock: a decided
+build enters a :class:`~repro.simulate.builds.BuildQueue` and lands
+only after its wall-clock duration (``materialization_hours``
+converted to months).  Until it lands, queries are answered from the
+*previous* holdings; once it lands mid-epoch, the epoch is split into
+:class:`~repro.simulate.ledger.EpochSegment`\\ s at the completion
+instants and each segment bills its holdings' full-period operating
+charge scaled by the period fraction — all through the same
+subset-evaluation cache.  Build compute is billed in the epoch the
+build *completes*; an in-flight build whose view a later decision
+drops is cancelled with only its sunk compute billed
+(``cancelled_cost``), and builds still in flight when the horizon
+ends are likewise closed out at sunk cost.  With instant builds
+(``hours_per_month = inf``) every decision lands at its own epoch's
+start and the async ledger reproduces the synchronous one byte for
+byte — the parity invariant the tests enforce.
 """
 
 from __future__ import annotations
@@ -29,6 +47,7 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Callable, Dict, FrozenSet, Iterable, Optional, Sequence, Tuple
 
+from ..costmodel.computing import view_computing_cost
 from ..costmodel.total import CostBreakdown
 from ..cube.candidates import enumerate_candidates
 from ..cube.lattice import CuboidLattice
@@ -38,12 +57,20 @@ from ..money import Money, ZERO
 from ..optimizer.problem import SelectionProblem, SubsetEvaluationCache
 from ..pricing.migration import migration_transfer_cost, migration_volume_gb
 from ..pricing.providers import Provider
-from .clock import SimulationClock
-from .events import EventTimeline, ProviderMigration, SimulationEvent
-from .ledger import EpochRecord, SimulationLedger
+from .builds import BuildConfig, BuildJob, tile_fractions
+from .clock import Epoch, SimulationClock
+from .events import (
+    BuildCancelled,
+    BuildCompleted,
+    BuildStarted,
+    EventTimeline,
+    ProviderMigration,
+    SimulationEvent,
+)
+from .ledger import EpochRecord, EpochSegment, SimulationLedger
 from .policy import ReselectionPolicy
 from .problems import EpochContext, EpochProblemBuilder
-from .state import WarehouseState
+from .state import Holdings, WarehouseState
 
 __all__ = ["EpochObserver", "LifecycleSimulator", "full_catalogue"]
 
@@ -96,6 +123,7 @@ class LifecycleSimulator:
         catalogue: Optional[Sequence[CandidateView]] = None,
         cache: Optional[SubsetEvaluationCache] = None,
         charge_teardown_egress: bool = True,
+        builds: Optional[BuildConfig] = None,
     ) -> None:
         if timeline is not None and events:
             raise SimulationError(
@@ -123,6 +151,7 @@ class LifecycleSimulator:
             )
         self._builder = EpochProblemBuilder(catalogue, cache)
         self._charge_teardown = charge_teardown_egress
+        self._builds = builds
 
     # -- accessors ------------------------------------------------------
 
@@ -141,6 +170,11 @@ class LifecycleSimulator:
         """The shared problem builder (inspect for cache statistics)."""
         return self._builder
 
+    @property
+    def builds(self) -> Optional[BuildConfig]:
+        """The build-queue configuration (``None`` = synchronous)."""
+        return self._builds
+
     # -- the run --------------------------------------------------------
 
     def run(
@@ -157,7 +191,13 @@ class LifecycleSimulator:
         narrowed to the views built this epoch).  The multi-tenant
         layer uses this hook to attribute each epoch's charges without
         the core loop knowing tenants exist.
+
+        With a build configuration (``builds=...``) the run is
+        asynchronous — see :meth:`_run_async`; without one, this is
+        the classic synchronous loop, bit-for-bit unchanged.
         """
+        if self._builds is not None:
+            return self._run_async(policy, observer)
         ledger = SimulationLedger(policy.describe())
         state = self._initial
         current: Optional[FrozenSet[str]] = None
@@ -219,6 +259,324 @@ class LifecycleSimulator:
             current = decision.subset
         return ledger
 
+    # -- the asynchronous run ------------------------------------------
+
+    def _run_async(
+        self,
+        policy: ReselectionPolicy,
+        observer: Optional[EpochObserver] = None,
+    ) -> SimulationLedger:
+        """Simulate with wall-clock builds through a :class:`BuildQueue`.
+
+        The decision loop is identical to the synchronous run (the
+        policy still sees its previous *decision* as ``current``, so
+        the same policy makes the same choices); what changes is when
+        a decision takes physical effect:
+
+        * decided builds are submitted to the queue and land after
+          their wall-clock duration — possibly epochs later;
+        * queries are answered from the views actually live, so an
+          epoch is split at every landing instant and each segment
+          bills its holdings' prorated operating charge;
+        * build compute is billed in the landing epoch; a build whose
+          view a later decision drops is cancelled at sunk cost;
+        * a provider migration cancels every in-flight build (it
+          targeted the old book) and re-queues the whole subset on
+          the target.
+
+        With instant builds every submission lands at its own epoch's
+        start and this loop reproduces :meth:`run`'s ledger exactly.
+        """
+        ledger = SimulationLedger(policy.describe())
+        state = self._initial
+        queue = self._builds.queue()
+        live: FrozenSet[str] = frozenset()
+        current: Optional[FrozenSet[str]] = None
+        last_index = self._clock.n_epochs - 1
+        for epoch in self._clock:
+            fired = self._timeline.at(epoch.index)
+            hops = []
+            # Sunk compute of builds a migration abandons was burned on
+            # the book being *left*: remember the deployment as it
+            # stood before the first hop, so cancellations bill at the
+            # rates the compute actually ran under.
+            pre_hop_deployment = None
+            for event in fired:
+                if isinstance(event, ProviderMigration):
+                    if pre_hop_deployment is None:
+                        pre_hop_deployment = state.deployment
+                    source = state.deployment.provider
+                    state = event.apply(state)
+                    hops.append((source, state.deployment.provider))
+                else:
+                    state = event.apply(state)
+            state = state.with_holdings(
+                Holdings(live=live, pending=queue.pending_views())
+            )
+            problem = self._builder.problem_for(state)
+            context = EpochContext(state=state, builder=self._builder)
+            decision = policy.decide_in_context(
+                epoch.index, problem, current, context
+            )
+            described = [e.describe() for e in fired]
+            if decision.migration is not None:
+                if pre_hop_deployment is None:
+                    pre_hop_deployment = state.deployment
+                source = state.deployment.provider
+                state = decision.migration.apply(state)
+                hops.append((source, state.deployment.provider))
+                problem = self._builder.problem_for(state)
+                described.append(decision.migration.describe())
+            target = decision.subset
+            live_at_start = live
+            # In-flight builds the decision no longer wants are
+            # abandoned at sunk cost; a migration abandons all of them
+            # (they were building for the book being left).
+            doomed = (
+                queue.pending_views()
+                if hops
+                else queue.pending_views() - target
+            )
+            cancellations = list(queue.cancel(doomed, epoch.start_month))
+            dropped = live - target
+            live = live & target
+            if hops:
+                # Views are not portable between providers: ship the
+                # warehouse as it physically stands, then rebuild the
+                # whole target subset from scratch on the new book.
+                migration_cost = ZERO
+                for source, hop_target in hops:
+                    migration_cost = migration_cost + self._migration_cost(
+                        source, hop_target, problem, live_at_start
+                    )
+                migrated_to = state.deployment.provider.name
+                live = frozenset()
+            else:
+                migration_cost = ZERO
+                migrated_to = None
+            # Submit what the decision wants but the warehouse neither
+            # has nor is already building; durations come from this
+            # epoch's cost model and are frozen into the job.
+            plan = problem.inputs.plan_for(target)
+            hours_by_view = dict(
+                zip(sorted(target), plan.materialization_hours)
+            )
+            for view in sorted(target - live - queue.pending_views()):
+                queue.submit(
+                    BuildJob(
+                        view=view,
+                        hours=hours_by_view[view],
+                        submitted_month=epoch.start_month,
+                    )
+                )
+            completions = list(queue.advance_to(epoch.end_month))
+            if epoch.index == last_index:
+                # The horizon ends with builds in flight: close them
+                # out at sunk cost so no compute silently vanishes.
+                cancellations.extend(
+                    queue.cancel(queue.pending_views(), epoch.end_month)
+                )
+            delayed = queue.drain_delayed_starts()
+            record, breakdown, live = self._account_async(
+                epoch, problem, plan, decision, live, dropped,
+                completions, cancellations, delayed, tuple(described),
+                migration_cost, migrated_to,
+                cancel_deployment=(
+                    pre_hop_deployment
+                    if pre_hop_deployment is not None
+                    else problem.inputs.deployment
+                ),
+            )
+            ledger.append(record)
+            if observer is not None:
+                observer(record, problem, breakdown)
+            current = target
+        return ledger
+
+    def _account_async(
+        self,
+        epoch: Epoch,
+        problem: SelectionProblem,
+        plan,
+        decision,
+        live: FrozenSet[str],
+        dropped: FrozenSet[str],
+        completions,
+        cancellations,
+        delayed_starts,
+        described: Tuple[str, ...],
+        migration_cost: Money,
+        migrated_to: Optional[str],
+        cancel_deployment=None,
+    ) -> Tuple[EpochRecord, CostBreakdown, FrozenSet[str]]:
+        """Price one asynchronous epoch; returns the epoch-end holdings.
+
+        The epoch is cut at every landing instant into segments of
+        constant live holdings.  When the single resulting segment
+        already equals the decision's subset — instant builds, or an
+        epoch with nothing in flight — accounting is delegated to the
+        synchronous :meth:`_account`, which is what makes zero-latency
+        parity exact rather than approximate.
+
+        ``plan`` is the caller's already-computed
+        ``inputs.plan_for(target)`` (reused, not recomputed);
+        ``cancel_deployment`` is the deployment whose rates sunk
+        compute is billed at — the pre-migration book on migration
+        epochs, the epoch's own deployment otherwise.
+        """
+        target = decision.subset
+        # -- segmentation: holdings only grow within an epoch ----------
+        runs = []  # (start_month, end_month, holdings)
+        seg_start = epoch.start_month
+        holdings = live
+        for completion in completions:
+            month = min(completion.completed_month, epoch.end_month)
+            if month > seg_start:
+                runs.append((seg_start, month, holdings))
+                seg_start = month
+            holdings = holdings | {completion.job.view}
+        if seg_start < epoch.end_month or not runs:
+            runs.append((seg_start, epoch.end_month, holdings))
+        live_at_end = holdings
+
+        # -- ledger marks: only the asynchrony is worth narrating ------
+        marks = list(described)
+        marks += [
+            BuildCancelled(
+                epoch=epoch.index, view=c.job.view, month=c.cancelled_month
+            ).describe()
+            for c in cancellations
+        ]
+        marks += [
+            BuildStarted(
+                epoch=epoch.index, view=job.view, month=month
+            ).describe()
+            for job, month in delayed_starts
+        ]
+        marks += [
+            BuildCompleted(
+                epoch=epoch.index, view=c.job.view, month=c.completed_month
+            ).describe()
+            for c in completions
+            if c.completed_month > epoch.start_month
+        ]
+
+        built = frozenset(c.job.view for c in completions)
+        sunk_hours = sum(c.sunk_hours for c in cancellations)
+        cancelled_names = tuple(sorted(c.job.view for c in cancellations))
+        latency = sum(c.latency_months for c in completions)
+
+        single_full = (
+            len(runs) == 1
+            and runs[0][2] == target
+            and not sunk_hours
+            and sum(c.job.hours for c in completions)
+            == sum(
+                hours
+                for name, hours in zip(
+                    sorted(target), plan.materialization_hours
+                )
+                if name in built
+            )
+        )
+        if single_full:
+            # The decision's subset was live for the whole period and
+            # every landing was this epoch's own instant build: the
+            # synchronous accounting applies verbatim (byte parity).
+            record, breakdown = self._account(
+                epoch.index, problem, target, built, dropped,
+                decision.reoptimized, decision.regret, tuple(marks),
+                migration_cost, migrated_to, plan=plan,
+            )
+            if cancelled_names or latency:
+                record = replace(
+                    record,
+                    views_cancelled=cancelled_names,
+                    build_latency_months=latency,
+                )
+            return record, breakdown, live_at_end
+
+        # -- general path: prorated segments + completion billing ------
+        fractions = tile_fractions(
+            [end - start for start, end, _ in runs], epoch.months
+        )
+        operating = ZERO
+        hours = 0.0
+        segments = []
+        breakdown = None
+        for (start, end, held), fraction in zip(runs, fractions):
+            breakdown = problem.evaluate(held).breakdown
+            full = breakdown.total - breakdown.computing.materialization_cost
+            operating = operating + (
+                full if fraction == 1.0 else full * fraction
+            )
+            hours += breakdown.processing_hours * fraction
+            segments.append(
+                EpochSegment(
+                    start_month=start,
+                    months=end - start,
+                    fraction=fraction,
+                    subset=tuple(sorted(held)),
+                )
+            )
+        inputs = problem.inputs
+        build_cost = self._compute_bill(
+            inputs.deployment, sum(c.job.hours for c in completions)
+        )
+        cancelled_cost = self._compute_bill(
+            cancel_deployment if cancel_deployment is not None
+            else inputs.deployment,
+            sunk_hours,
+        )
+        if dropped and self._charge_teardown:
+            dropped_gb = sum(
+                inputs.view_stats[name].size_gb for name in dropped
+            )
+            teardown_cost = (
+                inputs.deployment.provider.transfer.outbound_cost(dropped_gb)
+            )
+        else:
+            teardown_cost = ZERO
+        record = EpochRecord(
+            epoch=epoch.index,
+            subset=tuple(sorted(target)),
+            operating_cost=operating,
+            build_cost=build_cost,
+            teardown_cost=teardown_cost,
+            processing_hours=hours,
+            views_built=tuple(sorted(built)),
+            views_dropped=tuple(sorted(dropped)),
+            reoptimized=decision.reoptimized,
+            regret=decision.regret,
+            events=tuple(marks),
+            migration_cost=migration_cost,
+            migrated_to=migrated_to,
+            views_cancelled=cancelled_names,
+            cancelled_cost=cancelled_cost,
+            build_latency_months=latency,
+            segments=tuple(segments),
+        )
+        return record, breakdown, live_at_end
+
+    @staticmethod
+    def _compute_bill(deployment, hours: float) -> Money:
+        """Materialization compute for ``hours`` at ``deployment``'s rates.
+
+        Billed through the same :func:`~repro.costmodel.computing.
+        view_computing_cost` path the cost model uses, summed and
+        rounded once per epoch — matching how the synchronous
+        accounting rounds the views built together in one epoch.
+        """
+        if not hours:
+            return ZERO
+        return view_computing_cost(
+            deployment.provider.compute,
+            deployment.instance_type,
+            deployment.n_instances,
+            query_hours=(),
+            materialization_hours=(hours,),
+        ).materialization_cost
+
     @staticmethod
     def _migration_cost(
         source: Provider,
@@ -262,9 +620,13 @@ class LifecycleSimulator:
         events: Tuple[str, ...],
         migration_cost: Money = ZERO,
         migrated_to: "Optional[str]" = None,
+        plan=None,
     ) -> Tuple[EpochRecord, CostBreakdown]:
         inputs = problem.inputs
-        plan = inputs.plan_for(subset)
+        # The async path hands down the plan it already computed for
+        # the same (problem, subset); the sync loop computes it here.
+        if plan is None:
+            plan = inputs.plan_for(subset)
         # plan_for orders per-view tuples by sorted view name; charge
         # materialization only for the views built this epoch.
         ordered = sorted(subset)

@@ -11,12 +11,21 @@ fixed while the dataset's :class:`~repro.data.sizing.LogicalSizeModel`
 row scale grows, exactly the substitution the analytic planning mode
 is built on (a 10 GB dataset billed as 13 GB after 30% growth, group
 counts re-estimated at the new logical row count).
+
+With asynchronous builds (:mod:`repro.simulate.builds`) a state also
+carries :class:`Holdings` — the distinction between views that are
+*live* (materialized, answering queries, billed) and views that are
+merely *pending* (decided, queued or mid-build, not yet answering
+anything).  Like the market, holdings inform decisions but never
+change what the active deployment bills for a given subset, so they
+are excluded from the state key and two states differing only in
+holdings share every cached pricing.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Hashable, Tuple
+from dataclasses import dataclass, field, replace
+from typing import FrozenSet, Hashable, Tuple
 
 from ..costmodel.params import DeploymentSpec
 from ..data.generator import Dataset
@@ -24,7 +33,7 @@ from ..errors import SimulationError
 from ..pricing.providers import Provider
 from ..workload.workload import Workload
 
-__all__ = ["WarehouseState", "provider_family"]
+__all__ = ["Holdings", "WarehouseState", "provider_family"]
 
 
 def provider_family(name: str) -> str:
@@ -36,8 +45,64 @@ def provider_family(name: str) -> str:
     different market price.  Market quotes replace the matching family
     in a state's market, and a quote moves the active deployment only
     when the warehouse is on that family.
+
+    Parameters
+    ----------
+    name:
+        A provider (price book) name, possibly spot-suffixed.
+
+    Returns
+    -------
+    str
+        The family name (``name`` up to any ``~x`` suffix).
     """
     return name.split("~x", 1)[0]
+
+
+@dataclass(frozen=True)
+class Holdings:
+    """What the warehouse has versus what it is still building.
+
+    Parameters
+    ----------
+    live:
+        Views that are materialized right now: they answer queries and
+        accrue storage/maintenance charges.
+    pending:
+        Views with a build in flight (queued or running): decided but
+        not yet answering anything, billed only when (and for the
+        period fraction that) they land.
+
+    The two sets are disjoint — a view mid-rebuild after a drop/re-add
+    cycle is pending, not live.
+    """
+
+    live: FrozenSet[str] = frozenset()
+    pending: FrozenSet[str] = frozenset()
+
+    def __post_init__(self) -> None:
+        overlap = self.live & self.pending
+        if overlap:
+            raise SimulationError(
+                f"views cannot be both live and pending: {sorted(overlap)}"
+            )
+
+    @property
+    def all_views(self) -> FrozenSet[str]:
+        """Every view the warehouse has committed to (live + pending)."""
+        return self.live | self.pending
+
+    @property
+    def queue_depth(self) -> int:
+        """How many builds are in flight (the policy-observable depth)."""
+        return len(self.pending)
+
+    def describe(self) -> str:
+        """Short display: ``live=[...] pending=[...]``."""
+        return (
+            f"live=[{','.join(sorted(self.live))}] "
+            f"pending=[{','.join(sorted(self.pending))}]"
+        )
 
 
 @dataclass(frozen=True)
@@ -56,6 +121,13 @@ class WarehouseState:
     migration decisions but never changes what the active deployment
     bills, so two states differing only in quotes share every cached
     pricing.
+
+    ``holdings`` carries the live/pending view distinction maintained
+    by the asynchronous simulator (empty under synchronous execution,
+    where a decided view *is* a live view).  Like the market it is
+    excluded from the state key: it informs policies — queue depth,
+    what physically exists — but a subset's price does not depend on
+    which views happen to be mid-build.
     """
 
     workload: Workload
@@ -63,6 +135,7 @@ class WarehouseState:
     deployment: DeploymentSpec
     growth_factor: float = 1.0
     market: Tuple[Provider, ...] = ()
+    holdings: Holdings = field(default_factory=Holdings)
 
     def __post_init__(self) -> None:
         if self.growth_factor <= 0:
@@ -78,7 +151,14 @@ class WarehouseState:
 
         Note the candidate catalogue is *not* part of the state — the
         :class:`~repro.simulate.problems.EpochProblemBuilder` adds its
-        own catalogue to the cache keys it derives from this.
+        own catalogue to the cache keys it derives from this.  Neither
+        are the market nor the holdings (see the class docstring).
+
+        Returns
+        -------
+        Hashable
+            A nested tuple of the workload, dataset and deployment
+            fingerprints.
         """
         return (
             self.workload.fingerprint(),
@@ -93,6 +173,12 @@ class WarehouseState:
         with the same name and seed but different sizes (or sampling
         densities) estimate different group counts and bill different
         gigabytes, so they must never share cached pricings.
+
+        Returns
+        -------
+        Hashable
+            A tuple of dataset name, seed, physical rows, rounded
+            logical size and rounded cumulative growth.
         """
         return (
             self.dataset.name,
@@ -105,7 +191,19 @@ class WarehouseState:
     # -- transforms (each returns a new state) --------------------------
 
     def with_workload(self, workload: Workload) -> "WarehouseState":
-        """The same warehouse serving a different workload."""
+        """The same warehouse serving a different workload.
+
+        Parameters
+        ----------
+        workload:
+            The replacement workload; must stay on this warehouse's
+            schema (drift rewrites queries, not the star).
+
+        Returns
+        -------
+        WarehouseState
+            A new state; the input is never mutated.
+        """
         if workload.schema is not self.workload.schema:
             raise SimulationError(
                 "a drifted workload must stay on the warehouse's schema"
@@ -118,6 +216,17 @@ class WarehouseState:
         Growth multiplies the size model's row scale: logical rows and
         billable gigabytes scale together, physical sample rows stay
         put (shrinkage, ``factor < 1``, models retention purges).
+
+        Parameters
+        ----------
+        factor:
+            Positive multiplier on the logical row count.
+
+        Returns
+        -------
+        WarehouseState
+            A new state with the scaled dataset and compounded
+            ``growth_factor``.
         """
         if factor <= 0:
             raise SimulationError(
@@ -142,6 +251,16 @@ class WarehouseState:
         If the market quotes the new book's family, the quote is
         synchronized to the book actually adopted, so market and
         deployment never disagree about the family the warehouse is on.
+
+        Parameters
+        ----------
+        provider:
+            The price book the active deployment adopts.
+
+        Returns
+        -------
+        WarehouseState
+            A new state on ``provider`` with the market synchronized.
         """
         return replace(
             self,
@@ -150,8 +269,39 @@ class WarehouseState:
         )
 
     def with_market(self, market: "tuple[Provider, ...]") -> "WarehouseState":
-        """The same warehouse with a different set of quoted books."""
+        """The same warehouse with a different set of quoted books.
+
+        Parameters
+        ----------
+        market:
+            The new quotes (at most one book per provider family).
+
+        Returns
+        -------
+        WarehouseState
+            A new state quoting ``market``.
+        """
         return replace(self, market=tuple(market))
+
+    def with_holdings(self, holdings: Holdings) -> "WarehouseState":
+        """The same warehouse with its live/pending views restated.
+
+        Maintained by the asynchronous simulator each epoch so that
+        policies (via :class:`~repro.simulate.problems.EpochContext`)
+        can observe what physically exists and how deep the build
+        queue is.  Never affects pricing or the state key.
+
+        Parameters
+        ----------
+        holdings:
+            The new live/pending split.
+
+        Returns
+        -------
+        WarehouseState
+            A new state carrying ``holdings``.
+        """
+        return replace(self, holdings=holdings)
 
     def _market_with(self, book: Provider) -> Tuple[Provider, ...]:
         """The market with ``book`` replacing its family's quote (if any)."""
@@ -171,6 +321,17 @@ class WarehouseState:
         without silently moving you back onto it.  With an empty
         market and a matching family this reduces to
         :meth:`with_provider`, the single-provider behaviour.
+
+        Parameters
+        ----------
+        book:
+            The family's new quote.
+
+        Returns
+        -------
+        WarehouseState
+            A new state with the quote landed (and the deployment
+            moved onto it, when the warehouse is on that family).
         """
         family = provider_family(book.name)
         if provider_family(self.deployment.provider.name) == family:
@@ -180,8 +341,12 @@ class WarehouseState:
     def candidate_books(self) -> Tuple[Provider, ...]:
         """The quoted books a migration could move to (other families).
 
-        Market order is preserved so ties between equally priced
-        candidates break deterministically.
+        Returns
+        -------
+        Tuple[Provider, ...]
+            Quotes whose family differs from the active deployment's,
+            in market order — so ties between equally priced
+            candidates break deterministically.
         """
         active = provider_family(self.deployment.provider.name)
         return tuple(
@@ -189,13 +354,30 @@ class WarehouseState:
         )
 
     def with_fleet(self, n_instances: int) -> "WarehouseState":
-        """The same warehouse on a different number of instances."""
+        """The same warehouse on a different number of instances.
+
+        Parameters
+        ----------
+        n_instances:
+            The new fleet size.
+
+        Returns
+        -------
+        WarehouseState
+            A new state with the resized deployment.
+        """
         return replace(
             self, deployment=replace(self.deployment, n_instances=n_instances)
         )
 
     def describe(self) -> str:
-        """One-line display of the state's headline knobs."""
+        """One-line display of the state's headline knobs.
+
+        Returns
+        -------
+        str
+            Queries, billable gigabytes and the instance fleet.
+        """
         dep = self.deployment
         return (
             f"{len(self.workload)} queries, "

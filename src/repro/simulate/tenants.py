@@ -40,6 +40,7 @@ from ..optimizer.scenarios import Scenario
 from ..pricing.providers import Provider
 from ..workload.workload import Workload
 from .attribution import TENANT_SEPARATOR, SharedCostAttributor
+from .builds import BuildConfig
 from .clock import SimulationClock
 from .events import (
     AddQueries,
@@ -301,7 +302,10 @@ class MultiTenantSimulator:
     ordinary :class:`LifecycleSimulator` (same policies, same caches,
     same epoch accounting), and an observer splits each epoch's record
     across tenants.  ``attribution`` picks the sharing rule — see
-    :mod:`repro.simulate.attribution`.
+    :mod:`repro.simulate.attribution`.  ``builds`` (a
+    :class:`~repro.simulate.builds.BuildConfig`) makes the shared
+    warehouse's builds asynchronous; the attributor then splits each
+    epoch segment by segment, and the books still balance exactly.
     """
 
     def __init__(
@@ -312,6 +316,7 @@ class MultiTenantSimulator:
         catalogue: Optional[Sequence[CandidateView]] = None,
         cache: Optional[SubsetEvaluationCache] = None,
         charge_teardown_egress: bool = True,
+        builds: "Optional[BuildConfig]" = None,
     ) -> None:
         self._fleet = fleet
         self._attributor = SharedCostAttributor(
@@ -324,6 +329,7 @@ class MultiTenantSimulator:
             catalogue=catalogue,
             cache=cache,
             charge_teardown_egress=charge_teardown_egress,
+            builds=builds,
         )
 
     # -- accessors ------------------------------------------------------

@@ -1,0 +1,226 @@
+"""The build-queue subsystem: jobs, slots, disciplines, proration."""
+
+import math
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.money import Money
+from repro.simulate.builds import (
+    BUILD_DISCIPLINES,
+    BuildConfig,
+    BuildJob,
+    BuildQueue,
+    prorate,
+    tile_fractions,
+)
+from repro.simulate.state import Holdings
+
+
+def job(view, hours, month=0.0):
+    return BuildJob(view=view, hours=hours, submitted_month=month)
+
+
+class TestBuildJob:
+    def test_rejects_empty_view(self):
+        with pytest.raises(SimulationError, match="view name"):
+            BuildJob(view="", hours=1.0, submitted_month=0.0)
+
+    def test_rejects_negative_hours(self):
+        with pytest.raises(SimulationError, match="negative"):
+            job("V1", -1.0)
+
+    def test_rejects_negative_submission(self):
+        with pytest.raises(SimulationError, match="month >= 0"):
+            BuildJob(view="V1", hours=1.0, submitted_month=-1.0)
+
+
+class TestBuildQueueValidation:
+    def test_needs_a_slot(self):
+        with pytest.raises(SimulationError, match="at least one slot"):
+            BuildQueue(slots=0)
+
+    def test_rejects_unknown_discipline(self):
+        with pytest.raises(SimulationError, match="discipline"):
+            BuildQueue(discipline="lifo")
+
+    def test_rejects_nonpositive_clock(self):
+        with pytest.raises(SimulationError, match="hours_per_month"):
+            BuildQueue(hours_per_month=0.0)
+
+    def test_config_validates_eagerly(self):
+        with pytest.raises(SimulationError, match="discipline"):
+            BuildConfig(discipline="random")
+
+    def test_config_builds_fresh_queues(self):
+        config = BuildConfig(slots=2, discipline="shortest")
+        first, second = config.queue(), config.queue()
+        first.submit(job("V1", 10.0))
+        assert first.depth == 1
+        assert second.depth == 0
+
+    def test_instant_flag(self):
+        assert BuildConfig(hours_per_month=float("inf")).instant
+        assert not BuildConfig().instant
+        assert "instant" in BuildConfig(hours_per_month=math.inf).describe()
+
+
+class TestQueueMechanics:
+    def test_single_job_lands_after_its_duration(self):
+        queue = BuildQueue(hours_per_month=100.0)
+        queue.submit(job("V1", 50.0))
+        assert queue.pending_views() == frozenset({"V1"})
+        assert queue.advance_to(0.4) == ()
+        (done,) = queue.advance_to(1.0)
+        assert done.job.view == "V1"
+        assert done.completed_month == pytest.approx(0.5)
+        assert done.latency_months == pytest.approx(0.5)
+        assert queue.depth == 0
+
+    def test_fifo_runs_in_submission_order_on_one_slot(self):
+        queue = BuildQueue(slots=1, hours_per_month=100.0)
+        queue.submit(job("LONG", 80.0))
+        queue.submit(job("SHORT", 10.0))
+        done = queue.advance_to(2.0)
+        assert [c.job.view for c in done] == ["LONG", "SHORT"]
+        assert done[0].completed_month == pytest.approx(0.8)
+        assert done[1].completed_month == pytest.approx(0.9)
+
+    def test_shortest_jumps_the_queue(self):
+        queue = BuildQueue(
+            slots=1, discipline="shortest", hours_per_month=100.0
+        )
+        # One slot busy with a medium job; the backlog re-orders.
+        queue.submit(job("MEDIUM", 40.0))
+        queue.submit(job("LONG", 80.0))
+        queue.submit(job("SHORT", 10.0))
+        done = queue.advance_to(2.0)
+        assert [c.job.view for c in done] == ["MEDIUM", "SHORT", "LONG"]
+
+    def test_two_slots_run_concurrently(self):
+        queue = BuildQueue(slots=2, hours_per_month=100.0)
+        queue.submit(job("A", 50.0))
+        queue.submit(job("B", 50.0))
+        done = queue.advance_to(1.0)
+        assert {c.job.view for c in done} == {"A", "B"}
+        assert all(c.completed_month == pytest.approx(0.5) for c in done)
+
+    def test_backlogged_start_is_reported_as_delayed(self):
+        queue = BuildQueue(slots=1, hours_per_month=100.0)
+        queue.submit(job("A", 50.0))
+        queue.submit(job("B", 10.0))
+        queue.advance_to(1.0)
+        delayed = queue.drain_delayed_starts()
+        assert [(j.view, m) for j, m in delayed] == [("B", 0.5)]
+        # Draining clears the log.
+        assert queue.drain_delayed_starts() == ()
+
+    def test_zero_duration_chain_lands_instantly_on_one_slot(self):
+        queue = BuildQueue(slots=1, hours_per_month=float("inf"))
+        for name in ("A", "B", "C"):
+            queue.submit(job(name, 123.0, month=3.0))
+        done = queue.advance_to(4.0)
+        assert [c.job.view for c in done] == ["A", "B", "C"]
+        assert all(c.completed_month == 3.0 for c in done)
+        assert all(c.latency_months == 0.0 for c in done)
+        assert queue.drain_delayed_starts() == ()
+
+    def test_duplicate_inflight_view_rejected(self):
+        queue = BuildQueue()
+        queue.submit(job("V1", 10.0))
+        with pytest.raises(SimulationError, match="already in flight"):
+            queue.submit(job("V1", 10.0))
+
+    def test_completion_frees_the_slot_mid_advance(self):
+        queue = BuildQueue(slots=1, hours_per_month=100.0)
+        queue.submit(job("A", 20.0))
+        queue.submit(job("B", 20.0))
+        # Advance partway: A lands at 0.2, B starts at 0.2, lands 0.4.
+        done = queue.advance_to(0.3)
+        assert [c.job.view for c in done] == ["A"]
+        (b,) = queue.advance_to(0.5)
+        assert b.started_month == pytest.approx(0.2)
+        assert b.completed_month == pytest.approx(0.4)
+
+
+class TestCancellation:
+    def test_cancelling_a_queued_job_sinks_nothing(self):
+        queue = BuildQueue(slots=1, hours_per_month=100.0)
+        queue.submit(job("A", 50.0))
+        queue.submit(job("B", 50.0))
+        (cancelled,) = queue.cancel({"B"}, month=0.1)
+        assert cancelled.job.view == "B"
+        assert cancelled.sunk_hours == 0.0
+        assert queue.pending_views() == frozenset({"A"})
+
+    def test_cancelling_a_running_job_sinks_elapsed_compute(self):
+        queue = BuildQueue(slots=1, hours_per_month=100.0)
+        queue.submit(job("A", 50.0))
+        queue.advance_to(0.2)
+        (cancelled,) = queue.cancel({"A"}, month=0.2)
+        assert cancelled.sunk_hours == pytest.approx(20.0)
+        assert queue.depth == 0
+
+    def test_sunk_compute_is_capped_at_the_job(self):
+        queue = BuildQueue(hours_per_month=100.0)
+        queue.submit(job("A", 50.0))
+        # Cancel long past the finish it never got to report.
+        (cancelled,) = queue.cancel({"A"}, month=9.0)
+        assert cancelled.sunk_hours == 50.0
+
+    def test_cancel_frees_the_slot_for_the_backlog(self):
+        queue = BuildQueue(slots=1, hours_per_month=100.0)
+        queue.submit(job("A", 50.0))
+        queue.submit(job("B", 10.0))
+        queue.cancel({"A"}, month=0.0)
+        (done,) = queue.advance_to(1.0)
+        assert done.job.view == "B"
+        assert done.started_month == 0.0
+
+    def test_cancel_is_idempotent_for_unknown_views(self):
+        queue = BuildQueue()
+        assert queue.cancel({"GHOST"}, month=1.0) == ()
+        assert queue.cancel((), month=1.0) == ()
+
+
+class TestHoldings:
+    def test_live_and_pending_must_be_disjoint(self):
+        with pytest.raises(SimulationError, match="both live and pending"):
+            Holdings(live=frozenset({"V1"}), pending=frozenset({"V1"}))
+
+    def test_all_views_and_depth(self):
+        holdings = Holdings(
+            live=frozenset({"V1"}), pending=frozenset({"V2", "V3"})
+        )
+        assert holdings.all_views == frozenset({"V1", "V2", "V3"})
+        assert holdings.queue_depth == 2
+        assert "pending=[V2,V3]" in holdings.describe()
+
+
+class TestProration:
+    def test_fractions_tile_exactly_to_one(self):
+        # 0.1-month segments of a 0.7-month epoch: float division
+        # alone would miss 1.0; the residual construction cannot.
+        fractions = tile_fractions([0.1] * 7, 0.7)
+        assert sum(fractions) == 1.0
+
+    def test_prorated_segments_sum_to_the_full_period_charge(self):
+        full = Money("123.456789123456789")
+        fractions = tile_fractions([0.1, 0.37, 0.21, 0.32], 1.0)
+        shares = prorate(full, fractions)
+        assert sum(shares, Money(0)) == full
+
+    def test_single_segment_is_the_identity(self):
+        full = Money("7.77")
+        assert prorate(full, tile_fractions([1.0], 1.0)) == (full,)
+
+    def test_rejects_empty_and_negative(self):
+        with pytest.raises(SimulationError, match="zero segments"):
+            prorate(Money(1), [])
+        with pytest.raises(SimulationError, match="negative"):
+            prorate(Money(1), [0.5, -0.1])
+        with pytest.raises(SimulationError, match="zero segments"):
+            tile_fractions([], 1.0)
+
+    def test_disciplines_registry(self):
+        assert BUILD_DISCIPLINES == ("fifo", "shortest")

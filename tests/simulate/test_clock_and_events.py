@@ -36,6 +36,53 @@ class TestClock:
         with pytest.raises(SimulationError):
             SimulationClock(5, months_per_epoch=0)
 
+    # Fractional-epoch boundary property: boundaries must come from
+    # index * months_per_epoch, never cumulative addition — for float
+    # lengths like 0.1 the two disagree after a handful of epochs.
+    @pytest.mark.parametrize(
+        "n_epochs,months", [(500, 0.1), (300, 0.3), (200, 0.7), (120, 1 / 3)]
+    )
+    def test_fractional_epochs_tile_without_float_drift(
+        self, n_epochs, months
+    ):
+        clock = SimulationClock(n_epochs, months_per_epoch=months)
+        epochs = list(clock)
+        for earlier, later in zip(epochs, epochs[1:]):
+            # Exact equality, not approx: a build landing "at the
+            # boundary" must land at one number, not two.
+            assert earlier.end_month == later.start_month
+        assert epochs[0].start_month == 0.0
+        assert epochs[-1].end_month == clock.horizon_months
+        for epoch in epochs:
+            assert epoch.start_month == epoch.index * months
+            assert epoch.end_month == (epoch.index + 1) * months
+
+    def test_naive_summation_would_drift(self):
+        # Documents why the grid arithmetic matters: cumulative float
+        # addition leaves the 0.1-month grid almost immediately.
+        months = 0.1
+        cumulative, drifted = 0.0, False
+        for index in range(100):
+            cumulative += months
+            drifted = drifted or cumulative != (index + 1) * months
+        assert drifted
+
+    def test_explicit_end_month_still_validated(self):
+        from repro.simulate import Epoch
+
+        with pytest.raises(SimulationError, match="before it starts"):
+            Epoch(index=0, start_month=2.0, months=1.0, end_month=1.5)
+        # Defaulted end falls back to start + months.
+        assert Epoch(index=1, start_month=1.0, months=1.0).end_month == 2.0
+
+    def test_boundary_accessor_bounds_checked(self):
+        clock = SimulationClock(4, months_per_epoch=0.5)
+        assert clock.boundary(4) == clock.horizon_months
+        with pytest.raises(SimulationError, match="outside"):
+            clock.boundary(5)
+        with pytest.raises(SimulationError, match="outside"):
+            clock.boundary(-1)
+
 
 class TestWorkloadDriftEvents:
     def test_add_queries(self, initial_state):
@@ -136,3 +183,33 @@ class TestTimeline:
         timeline.check_within(10)
         with pytest.raises(SimulationError, match="epoch 9"):
             timeline.check_within(9)
+
+
+class TestBuildMarkers:
+    def test_markers_describe_compactly(self):
+        from repro.simulate import BuildCancelled, BuildCompleted, BuildStarted
+
+        assert (
+            BuildStarted(epoch=2, view="V4", month=2.5).describe()
+            == "build:V4 started@2.5"
+        )
+        assert (
+            BuildCompleted(epoch=2, view="V4", month=2.75).describe()
+            == "build:V4 live@2.75"
+        )
+        assert (
+            BuildCancelled(epoch=3, view="V4", month=3.0).describe()
+            == "build:V4 cancelled@3"
+        )
+
+    def test_markers_preserve_state(self, initial_state):
+        from repro.simulate import BuildCompleted
+
+        marker = BuildCompleted(epoch=0, view="V1", month=0.5)
+        assert marker.apply(initial_state) is initial_state
+
+    def test_markers_need_a_view(self):
+        from repro.simulate import BuildStarted
+
+        with pytest.raises(SimulationError, match="view name"):
+            BuildStarted(epoch=0, month=0.5)

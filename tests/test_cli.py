@@ -300,3 +300,88 @@ class TestSimulate:
         )
         assert code == 1
         assert "n_epochs" in capsys.readouterr().err
+
+
+class TestSimulateBuildFlags:
+    def test_async_single_run_end_to_end(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--rows", "5000",
+                "--epochs", "19",
+                "--policy", "regret",
+                "--build-slots", "2",
+                "--build-discipline", "shortest",
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        assert "regret" in capsys.readouterr().out
+
+    def test_sync_flag_is_the_default_and_runs(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--rows", "5000",
+                "--epochs", "19",
+                "--policy", "never",
+                "--sync",
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        assert "never" in capsys.readouterr().out
+
+    def test_sync_contradicts_build_knobs(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--rows", "5000",
+                "--sync",
+                "--build-slots", "2",
+                "--quiet",
+            ]
+        )
+        assert code == 1
+        assert "--sync contradicts" in capsys.readouterr().err
+        code = main(
+            [
+                "simulate",
+                "--rows", "5000",
+                "--sync",
+                "--build-discipline", "fifo",
+                "--quiet",
+            ]
+        )
+        assert code == 1
+        assert "--sync contradicts" in capsys.readouterr().err
+
+    def test_async_monte_carlo_summary_is_deterministic(
+        self, tmp_path, capsys
+    ):
+        args = [
+            "simulate",
+            "--trials", "3",
+            "--epochs", "8",
+            "--rows", "5000",
+            "--seed", "7",
+            "--policy", "regret",
+            "--build-slots", "1",
+            "--quiet",
+        ]
+        first = tmp_path / "first.csv"
+        second = tmp_path / "second.csv"
+        assert main(args + ["--jobs", "1", "--summary-csv", str(first)]) == 0
+        assert main(args + ["--jobs", "2", "--summary-csv", str(second)]) == 0
+        capsys.readouterr()
+        assert first.read_bytes() == second.read_bytes()
+        assert b"build_latency_months" in first.read_bytes()
+
+    def test_help_groups_the_flags(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--help"])
+        out = capsys.readouterr().out
+        for group in (
+            "lifecycle:", "tenants:", "stochastic:", "arbitrage:", "builds:"
+        ):
+            assert group in out
