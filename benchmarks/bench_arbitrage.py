@@ -38,7 +38,7 @@ def _policy():
     return ArbitrageAware(make_policy("regret"), horizon=6, hysteresis=2)
 
 
-def test_arbitrage_sweep_cold(benchmark):
+def test_arbitrage_sweep_cold(benchmark, phase_breakdown):
     """One arbitrage run pricing every epoch against K = 3 books."""
 
     def run():
@@ -50,6 +50,7 @@ def test_arbitrage_sweep_cold(benchmark):
     # The sweep really priced counterfactual worlds, not just the
     # active one: one (dataset, deployment) world per distinct book.
     assert simulator.builder.worlds_built > EPOCHS // 2
+    phase_breakdown(run)
 
 
 def test_arbitrage_repeat_run_is_cached(benchmark):

@@ -41,7 +41,7 @@ def test_sync_reference_run(benchmark):
     assert not any(r.segments for r in ledger)
 
 
-def test_async_run_with_mid_epoch_landings(benchmark):
+def test_async_run_with_mid_epoch_landings(benchmark, phase_breakdown):
     """The same lifecycle with wall-clock builds and split epochs."""
 
     def run():
@@ -51,6 +51,7 @@ def test_async_run_with_mid_epoch_landings(benchmark):
         return simulator.run(make_policy("periodic"))
 
     ledger = benchmark(run)
+    phase_breakdown(run)
     assert len(ledger) == EPOCHS
     # The run really exercised the async machinery.
     assert any(r.segments for r in ledger)

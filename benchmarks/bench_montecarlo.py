@@ -57,10 +57,11 @@ def test_compile_timeline_is_cheap(benchmark):
     assert timeline.last_epoch < 24
 
 
-def test_monte_carlo_smoke_serial(benchmark):
+def test_monte_carlo_smoke_serial(benchmark, phase_breakdown):
     """The per-commit CI unit: a small serial sweep."""
     result = benchmark(lambda: run_monte_carlo(CONFIG, jobs=1))
     assert result.metric("never", "total_cost").n == TRIALS
+    phase_breakdown(lambda: run_monte_carlo(CONFIG, jobs=1))
 
 
 def test_monte_carlo_parallel_matches_serial(benchmark):

@@ -25,7 +25,7 @@ def _policies():
     return [make_policy(name) for name in ALL_POLICIES]
 
 
-def test_three_policy_sweep_cold(benchmark):
+def test_three_policy_sweep_cold(benchmark, phase_breakdown):
     """Cold end-to-end sweep: dataset generation excluded, pricing included."""
 
     def sweep():
@@ -34,6 +34,7 @@ def test_three_policy_sweep_cold(benchmark):
 
     ledgers = benchmark(sweep)
     assert set(ledgers) == {"never", "periodic(every 4)", "regret(>0.05)"}
+    phase_breakdown(sweep)
 
 
 def test_repeat_policy_run_is_cached(benchmark):

@@ -20,6 +20,14 @@ Benchmarks present in the run but absent from the baseline are
 reported and pass (new benchmarks need a baseline refresh, not a red
 build); benchmarks present in the baseline but missing from the run
 fail — a silently dropped benchmark is how perf coverage rots.
+
+Instrumented benchmarks (those using the ``phase_breakdown`` fixture)
+carry a per-phase wall-clock breakdown in their ``extra_info``.  When
+the gate trips, the phase deltas against the baseline's recorded
+breakdown are printed alongside the failure, so the report localizes
+*which phase* regressed (decide vs account vs solve), not just which
+benchmark; ``--phases-out`` additionally writes the run's breakdown
+as a standalone JSON artifact.
 """
 
 from __future__ import annotations
@@ -30,17 +38,61 @@ import sys
 from pathlib import Path
 
 
-def load_means(report_path: Path) -> "dict[str, float]":
-    """``{benchmark fullname: mean seconds}`` from a pytest-benchmark JSON."""
+def load_report(report_path: Path) -> "list[dict]":
+    """The ``benchmarks`` array of a pytest-benchmark JSON report."""
     with open(report_path, encoding="utf-8") as handle:
         report = json.load(handle)
     benchmarks = report.get("benchmarks", [])
     if not benchmarks:
         raise SystemExit(f"error: no benchmarks in {report_path}")
+    return benchmarks
+
+
+def load_means(report_path: Path) -> "dict[str, float]":
+    """``{benchmark fullname: mean seconds}`` from a pytest-benchmark JSON."""
     return {
         bench["fullname"]: float(bench["stats"]["mean"])
-        for bench in benchmarks
+        for bench in load_report(report_path)
     }
+
+
+def load_phases(report_path: Path) -> "dict[str, dict]":
+    """``{fullname: {span: {calls, seconds}}}`` for instrumented benches."""
+    return {
+        bench["fullname"]: bench["extra_info"]["phases"]
+        for bench in load_report(report_path)
+        if bench.get("extra_info", {}).get("phases")
+    }
+
+
+def phase_delta_lines(run_phases: "dict | None", base_phases: "dict | None") -> "list[str]":
+    """Human lines localizing a regression to its phases."""
+    if not run_phases:
+        return ["    (no phase breakdown recorded for this benchmark)"]
+    if not base_phases:
+        return [
+            f"    phase {name}: {entry['seconds'] * 1e3:.2f}ms "
+            f"({entry['calls']} calls; no baseline breakdown)"
+            for name, entry in sorted(run_phases.items())
+        ]
+    lines = []
+    for name in sorted(set(run_phases) | set(base_phases)):
+        observed = run_phases.get(name)
+        reference = base_phases.get(name)
+        if observed is None:
+            lines.append(f"    phase {name}: gone (was in baseline)")
+            continue
+        if reference is None:
+            lines.append(f"    phase {name}: {observed['seconds'] * 1e3:.2f}ms (new)")
+            continue
+        ref_s = float(reference["seconds"])
+        obs_s = float(observed["seconds"])
+        change = obs_s / ref_s - 1.0 if ref_s else float("inf")
+        lines.append(
+            f"    phase {name}: {ref_s * 1e3:.2f}ms -> "
+            f"{obs_s * 1e3:.2f}ms ({change:+.0%})"
+        )
+    return lines
 
 
 def main(argv=None) -> int:
@@ -73,14 +125,36 @@ def main(argv=None) -> int:
         action="store_true",
         help="distill the report into the baseline file and exit",
     )
+    parser.add_argument(
+        "--phases-out",
+        type=Path,
+        default=None,
+        help=(
+            "write the run's per-phase timing breakdown (from the "
+            "instrumented benchmarks' extra_info) as standalone JSON"
+        ),
+    )
     args = parser.parse_args(argv)
 
     means = load_means(args.report)
+    phases = load_phases(args.report)
+
+    if args.phases_out is not None:
+        with open(args.phases_out, "w", encoding="utf-8") as handle:
+            json.dump(phases, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(
+            f"phase breakdown written: {args.phases_out} "
+            f"({len(phases)} instrumented benchmarks)"
+        )
 
     if args.write_baseline:
-        distilled = {
-            name: {"mean": mean} for name, mean in sorted(means.items())
-        }
+        distilled = {}
+        for name, mean in sorted(means.items()):
+            entry: "dict[str, object]" = {"mean": mean}
+            if name in phases:
+                entry["phases"] = phases[name]
+            distilled[name] = entry
         with open(args.baseline, "w", encoding="utf-8") as handle:
             json.dump(distilled, handle, indent=2, sort_keys=True)
             handle.write("\n")
@@ -108,6 +182,7 @@ def main(argv=None) -> int:
                 f"{observed * 1e3:.2f}ms ({change:+.0%} > "
                 f"+{args.max_regression:.0%})"
             )
+            failures.extend(phase_delta_lines(phases.get(name), entry.get("phases")))
         print(
             f"{status:>9}  {name}: {reference * 1e3:.2f}ms -> "
             f"{observed * 1e3:.2f}ms ({change:+.0%})"

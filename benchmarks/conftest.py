@@ -4,6 +4,13 @@ Every benchmark regenerating a paper artifact writes its table to
 ``benchmarks/results/<name>.txt`` (rendered) and ``.csv`` (data), so the
 paper-vs-measured comparison in EXPERIMENTS.md can be re-checked from
 artifacts rather than scrollback.
+
+Benchmarks on the telemetry-instrumented lifecycle stack can also
+record a **per-phase wall-clock breakdown** (``phase_breakdown``): one
+extra run under a live collector, with each span's total seconds
+stored in the report's ``extra_info`` — so when the CI regression gate
+trips, ``check_regression.py`` can say *which phase* slowed down, not
+just which benchmark.
 """
 
 from __future__ import annotations
@@ -13,6 +20,7 @@ from pathlib import Path
 import pytest
 
 from repro.experiments import ExperimentConfig, ExperimentContext
+from repro.telemetry import Telemetry, activate
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -34,6 +42,28 @@ def save_table():
         return table
 
     return _save
+
+
+@pytest.fixture()
+def phase_breakdown(benchmark):
+    """Record a span-level timing breakdown into the benchmark report.
+
+    Runs ``fn`` once more under a live telemetry collector (outside
+    the timed rounds, so the gate's mean is untouched) and stores each
+    span's call count and total seconds under ``extra_info["phases"]``
+    — which pytest-benchmark serializes into the ``BENCH_*.json``
+    artifact.
+    """
+
+    def _record(fn):
+        with activate(Telemetry()) as collector:
+            fn()
+        benchmark.extra_info["phases"] = {
+            name: {"calls": stats.count, "seconds": round(stats.seconds, 6)}
+            for name, stats in sorted(collector.registry.spans.items())
+        }
+
+    return _record
 
 
 def parse_rate(cell: str) -> float:

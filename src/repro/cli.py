@@ -43,6 +43,13 @@ policies over *N* sampled futures at once — the Monte Carlo harness
 processes, printing distribution summaries and optionally writing
 them as CSV (``--summary-csv``).  Identical ``--seed`` means
 identical output, whatever ``--jobs`` is.
+
+``--metrics-out`` / ``--trace-out`` / ``--telemetry-summary`` turn on
+the observability layer (:mod:`repro.telemetry`) for any simulate
+run: counters, gauges and histograms from every subsystem land in a
+deterministic Prometheus text dump, completed spans in a JSON-lines
+trace, and a human rollup on stdout — with zero effect on the
+ledgers and summaries themselves (telemetry is strictly passive).
 """
 
 from __future__ import annotations
@@ -54,6 +61,13 @@ from typing import List, Optional
 from .errors import ReproError, SimulationError
 from .experiments.context import ExperimentConfig, ExperimentContext
 from .experiments.runner import EXPERIMENTS, run_all, run_experiment
+from .telemetry import (
+    Telemetry,
+    activate,
+    prometheus_text,
+    summary_table,
+    write_trace,
+)
 from .simulate.arbitrage import ArbitrageAware
 from .simulate.attribution import ATTRIBUTION_MODES
 from .simulate.montecarlo import (
@@ -334,6 +348,38 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    observability = simulate.add_argument_group(
+        "telemetry", "metrics, span traces, and profiling exports"
+    )
+    observability.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write the run's merged metrics as a Prometheus text-format "
+            "dump; deterministic — byte-identical for identical --seed, "
+            "whatever --jobs is"
+        ),
+    )
+    observability.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write completed spans (epoch stepping, optimizer solves, "
+            "arbitrage assessments, trials) as a JSON-lines trace file "
+            "with wall-clock timings"
+        ),
+    )
+    observability.add_argument(
+        "--telemetry-summary",
+        action="store_true",
+        help=(
+            "print a human-readable rollup of the run's spans, "
+            "counters, gauges, and histograms after the ledgers"
+        ),
+    )
+
     return parser
 
 
@@ -462,7 +508,62 @@ def _print_cache_stats(builder) -> None:
     )
 
 
+def _print_ledger_cache(ledger) -> None:
+    """The per-epoch cache traffic a ledger's records now carry."""
+    per_epoch = " ".join(
+        f"{r.cache_hits}/{r.subsets_priced}" for r in ledger.records
+    )
+    print(f"cache hits/priced per epoch: {per_epoch}")
+    print(
+        f"cache totals: {ledger.total_cache_hits} hits, "
+        f"{ledger.total_subsets_priced} priced "
+        f"({ledger.cache_hit_rate:.0%} hit rate)"
+    )
+
+
+def _telemetry_collector(args: argparse.Namespace):
+    """A live collector when any telemetry flag was typed, else None."""
+    wanted = (
+        args.metrics_out is not None
+        or args.trace_out is not None
+        or args.telemetry_summary
+    )
+    if not wanted:
+        return None
+    return Telemetry(trace=args.trace_out is not None)
+
+
+def _export_telemetry(
+    collector: Telemetry, args: argparse.Namespace
+) -> None:
+    if args.telemetry_summary:
+        print()
+        print(summary_table(collector.registry))
+    if args.metrics_out is not None:
+        with open(
+            args.metrics_out, "w", encoding="utf-8", newline="\n"
+        ) as handle:
+            handle.write(prometheus_text(collector.registry))
+        print(f"metrics dump written to {args.metrics_out}")
+    if args.trace_out is not None:
+        with open(
+            args.trace_out, "w", encoding="utf-8", newline="\n"
+        ) as handle:
+            spans = write_trace(collector, handle)
+        print(f"{spans} trace spans written to {args.trace_out}")
+
+
 def _run_simulate(args: argparse.Namespace) -> int:
+    collector = _telemetry_collector(args)
+    if collector is None:
+        return _dispatch_simulate(args)
+    with activate(collector):
+        code = _dispatch_simulate(args)
+    _export_telemetry(collector, args)
+    return code
+
+
+def _dispatch_simulate(args: argparse.Namespace) -> int:
     if args.trials:
         return _run_simulate_montecarlo(args)
     # Monte-Carlo-only flags must not be silently ignored either.
@@ -504,6 +605,7 @@ def _run_simulate(args: argparse.Namespace) -> int:
             print(ledger.summary())
         else:
             print(ledger.render())
+            _print_ledger_cache(ledger)
             print()
     _print_cache_stats(simulator.builder)
     return 0
@@ -605,6 +707,7 @@ def _run_simulate_tenants(args: argparse.Namespace) -> int:
             print(fleet_ledger.summary())
         else:
             print(fleet_ledger.render())
+            _print_ledger_cache(fleet_ledger.fleet)
             print()
     _print_cache_stats(simulator.builder)
     return 0

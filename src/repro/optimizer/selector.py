@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional
 
 from ..errors import InfeasibleProblemError, OptimizationError
+from ..telemetry import current as current_telemetry
 from .exhaustive import exhaustive_select
 from .fairness import FairShareScenario
 from .greedy import greedy_select
@@ -267,12 +268,19 @@ def select_views(
         raise OptimizationError(
             f"unknown algorithm {algorithm!r}; choose from {ALGORITHMS}"
         )
-    if algorithm == "knapsack":
-        outcome = _knapsack_select(problem, scenario)
-    elif algorithm == "greedy":
-        outcome = greedy_select(problem, scenario)
-    else:
-        outcome = exhaustive_select(problem, scenario)
+    telemetry = current_telemetry()
+    with telemetry.span("optimizer.solve", algorithm=algorithm):
+        if algorithm == "knapsack":
+            outcome = _knapsack_select(problem, scenario)
+        elif algorithm == "greedy":
+            outcome = greedy_select(problem, scenario)
+        else:
+            outcome = exhaustive_select(problem, scenario)
+    if telemetry.enabled:
+        telemetry.inc("optimizer.solves", algorithm=algorithm)
+        telemetry.observe(
+            "optimizer.selected_views", len(outcome.subset)
+        )
     return SelectionResult(
         scenario=scenario,
         algorithm=algorithm,

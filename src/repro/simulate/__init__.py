@@ -154,7 +154,12 @@ from .presets import (
     stochastic_sales_simulator,
 )
 from .problems import EpochContext, EpochProblemBuilder
-from .simulator import EpochObserver, LifecycleSimulator, full_catalogue
+from .simulator import (
+    EpochObserver,
+    LifecycleSimulator,
+    compose_observers,
+    full_catalogue,
+)
 from .state import Holdings, WarehouseState, provider_family
 from .stochastic import (
     GENERATOR_PRESETS,
@@ -238,6 +243,7 @@ __all__ = [
     "assess_migration",
     "async_sales_simulator",
     "compile_timeline",
+    "compose_observers",
     "default_market",
     "derive_seed",
     "drifting_sales_simulator",

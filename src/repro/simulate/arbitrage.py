@@ -39,6 +39,7 @@ from ..money import Money
 from ..optimizer.problem import SelectionProblem
 from ..pricing.migration import MigrationEstimate
 from ..pricing.providers import Provider
+from ..telemetry import current as current_telemetry
 from .events import ProviderMigration
 from .policy import PolicyDecision, ReselectionPolicy
 from .problems import EpochContext
@@ -284,20 +285,26 @@ class ArbitrageAware(ReselectionPolicy):
         candidates = context.state.candidate_books()
         if not candidates:
             return decision
+        telemetry = current_telemetry()
         best: Optional[MigrationAssessment] = None
-        for book in candidates:
-            assessment = assess_migration(
-                problem,
-                context.counterfactual(book),
-                book,
-                decision.subset,
-                current,
-                self._horizon,
-            )
-            if not assessment.worthwhile:
-                continue
-            if best is None or assessment.net_savings > best.net_savings:
-                best = assessment
+        with telemetry.span("arbitrage.assess", epoch=epoch_index):
+            for book in candidates:
+                assessment = assess_migration(
+                    problem,
+                    context.counterfactual(book),
+                    book,
+                    decision.subset,
+                    current,
+                    self._horizon,
+                )
+                if telemetry.enabled:
+                    telemetry.inc("arbitrage.quotes")
+                    if assessment.worthwhile:
+                        telemetry.inc("arbitrage.worthwhile")
+                if not assessment.worthwhile:
+                    continue
+                if best is None or assessment.net_savings > best.net_savings:
+                    best = assessment
         if best is None:
             self._reset()
             return decision
@@ -310,6 +317,11 @@ class ArbitrageAware(ReselectionPolicy):
         if self._streak < self._hysteresis:
             return decision
         self._reset()
+        if telemetry.enabled:
+            telemetry.inc("arbitrage.migrations")
+            telemetry.observe(
+                "arbitrage.net_savings", best.net_savings
+            )
         # Everything re-materializes on the target anyway, so there is
         # no carry benefit: re-select under the target's book.
         subset = self._inner.optimum(context.counterfactual(best.target))

@@ -38,6 +38,7 @@ from typing import FrozenSet, Iterable, List, Sequence, Tuple
 
 from ..errors import SimulationError
 from ..money import Money, ZERO
+from ..telemetry import current as current_telemetry
 from ..units import HOURS_PER_MONTH
 
 __all__ = [
@@ -174,6 +175,10 @@ class BuildQueue:
         self._seq = 0
         self._now = 0.0
         self._delayed_starts: List[Tuple[BuildJob, float]] = []
+        # Queues are created per run, inside whatever telemetry scope
+        # the run executes under: capture the ambient handle once so
+        # the per-job hot paths never take a global lookup.
+        self._telemetry = current_telemetry()
 
     # -- accessors ------------------------------------------------------
 
@@ -230,6 +235,9 @@ class BuildQueue:
         self._queued.append((self._seq, job))
         self._seq += 1
         self._start_idle(self._now)
+        if self._telemetry.enabled:
+            self._telemetry.inc("builds.submitted")
+            self._telemetry.gauge_max("builds.queue_depth", self.depth)
 
     def _pick_next(self) -> int:
         """Index into ``_queued`` of the next job to start."""
@@ -280,6 +288,12 @@ class BuildQueue:
             self._now = max(self._now, first.finish_month)
             self._start_idle(first.finish_month)
         self._now = max(self._now, month)
+        if completions and self._telemetry.enabled:
+            self._telemetry.inc("builds.completed", len(completions))
+            for completion in completions:
+                self._telemetry.observe(
+                    "builds.latency_months", completion.latency_months
+                )
         return tuple(completions)
 
     def cancel(
@@ -322,6 +336,12 @@ class BuildQueue:
         self._running = kept_running
         self._start_idle(month)
         cancelled.sort(key=lambda pair: pair[0])
+        if cancelled and self._telemetry.enabled:
+            self._telemetry.inc("builds.cancelled", len(cancelled))
+            for _, entry in cancelled:
+                self._telemetry.observe(
+                    "builds.sunk_hours", entry.sunk_hours
+                )
         return tuple(entry for _, entry in cancelled)
 
     def drain_delayed_starts(self) -> Tuple[Tuple[BuildJob, float], ...]:

@@ -114,6 +114,27 @@ class EpochRecord:
     #: Partial-period billing intervals (empty when the decision's
     #: subset was live for the whole epoch — every synchronous epoch).
     segments: Tuple[EpochSegment, ...] = ()
+    #: Subset-pricing cache hits this epoch contributed (local + shared
+    #: layers of the evaluation cache) — the per-epoch delta of the
+    #: builder's :class:`~repro.optimizer.problem.EvaluationStats`,
+    #: which was previously reachable only through the observer's
+    #: problem object.
+    cache_hits: int = 0
+    #: Subsets actually priced through the cost model this epoch (the
+    #: evaluate() traffic the caches did *not* absorb).
+    subsets_priced: int = 0
+
+    @property
+    def evaluate_calls(self) -> int:
+        """Subset evaluations this epoch asked for (hits + pricings)."""
+        return self.cache_hits + self.subsets_priced
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of this epoch's evaluations answered from cache
+        (0.0 when the epoch evaluated nothing)."""
+        calls = self.evaluate_calls
+        return self.cache_hits / calls if calls else 0.0
 
     @property
     def total_cost(self) -> Money:
@@ -239,6 +260,22 @@ class SimulationLedger:
     def total_hours(self) -> float:
         """Lifetime workload processing hours (response-time metric)."""
         return sum(r.processing_hours for r in self._records)
+
+    @property
+    def total_cache_hits(self) -> int:
+        """Lifetime subset-pricing cache hits across all epochs."""
+        return sum(r.cache_hits for r in self._records)
+
+    @property
+    def total_subsets_priced(self) -> int:
+        """Lifetime subsets priced through the cost model."""
+        return sum(r.subsets_priced for r in self._records)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Lifetime fraction of evaluations answered from cache."""
+        calls = self.total_cache_hits + self.total_subsets_priced
+        return self.total_cache_hits / calls if calls else 0.0
 
     @property
     def rebuild_count(self) -> int:

@@ -34,6 +34,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import SimulationError
 from ..money import Money
+from ..telemetry import Telemetry, activate, current as current_telemetry
 from .arbitrage import ArbitrageAware
 from .builds import BUILD_DISCIPLINES, BuildConfig
 from .ledger import SimulationLedger
@@ -349,6 +350,30 @@ def run_trial(config: MonteCarloConfig, trial: int) -> Tuple[TrialOutcome, ...]:
     return tuple(outcomes)
 
 
+def _trial_with_snapshot(config: MonteCarloConfig, trial: int, collect: bool):
+    """Run one trial, optionally under a fresh telemetry collector.
+
+    Returns ``(outcomes, snapshot)`` where ``snapshot`` is the trial's
+    own registry snapshot (``None`` when ``collect`` is false).  Every
+    trial — serial or pooled — records into a *fresh* registry whose
+    snapshot the parent merges in trial order, so the merged telemetry
+    is byte-identical for any ``jobs``: the serial path must not write
+    straight into the parent registry, or its fold order would differ
+    from the pooled path's.  ``collect`` travels as an argument rather
+    than being read ambiently so spawn-start pools (whose workers
+    reset the ambient telemetry to the no-op singleton) behave exactly
+    like fork-start ones.
+    """
+    if not collect:
+        return run_trial(config, trial), None
+    with activate(Telemetry()) as telemetry:
+        with telemetry.span("montecarlo.trial", trial=trial):
+            outcomes = run_trial(config, trial)
+        telemetry.inc("montecarlo.trials")
+        telemetry.inc("montecarlo.outcomes", len(outcomes))
+        return outcomes, telemetry.registry.snapshot()
+
+
 # ---------------------------------------------------------------------------
 # Aggregation
 # ---------------------------------------------------------------------------
@@ -606,17 +631,26 @@ def run_monte_carlo(
     """
     if jobs < 1:
         raise SimulationError(f"jobs must be >= 1, got {jobs}")
+    telemetry = current_telemetry()
+    collect = telemetry.enabled
     trials = range(config.n_trials)
     if jobs == 1 or config.n_trials == 1:
-        per_trial = []
+        bundles = []
         for trial in trials:
-            per_trial.append(run_trial(config, trial))
+            bundles.append(_trial_with_snapshot(config, trial, collect))
             if progress is not None:
                 progress(trial + 1, config.n_trials)
     else:
         with _pool_context().Pool(min(jobs, config.n_trials)) as pool:
-            per_trial = pool.starmap(
-                run_trial, [(config, trial) for trial in trials]
+            bundles = pool.starmap(
+                _trial_with_snapshot,
+                [(config, trial, collect) for trial in trials],
             )
-    flat = [outcome for bundle in per_trial for outcome in bundle]
+    if collect:
+        # Fold the per-trial registries in trial order — the one order
+        # both execution paths share — so the merged telemetry is
+        # byte-identical whatever the worker count.
+        for _, snapshot in bundles:
+            telemetry.registry.merge(snapshot)
+    flat = [outcome for outcomes, _ in bundles for outcome in outcomes]
     return MonteCarloResult(config, flat)

@@ -45,7 +45,16 @@ byte — the parity invariant the tests enforce.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Callable, Dict, FrozenSet, Iterable, Optional, Sequence, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    runtime_checkable,
+)
 
 from ..costmodel.computing import view_computing_cost
 from ..costmodel.total import CostBreakdown
@@ -57,6 +66,7 @@ from ..money import Money, ZERO
 from ..optimizer.problem import SelectionProblem, SubsetEvaluationCache
 from ..pricing.migration import migration_transfer_cost, migration_volume_gb
 from ..pricing.providers import Provider
+from ..telemetry import current as current_telemetry
 from .builds import BuildConfig, BuildJob, tile_fractions
 from .clock import Epoch, SimulationClock
 from .events import (
@@ -72,11 +82,80 @@ from .policy import ReselectionPolicy
 from .problems import EpochContext, EpochProblemBuilder
 from .state import Holdings, WarehouseState
 
-__all__ = ["EpochObserver", "LifecycleSimulator", "full_catalogue"]
+__all__ = [
+    "EpochObserver",
+    "LifecycleSimulator",
+    "compose_observers",
+    "full_catalogue",
+]
 
-#: Per-epoch callback: ``(record, problem, breakdown)``, invoked by
-#: :meth:`LifecycleSimulator.run` after each epoch is accounted.
-EpochObserver = Callable[[EpochRecord, SelectionProblem, CostBreakdown], None]
+
+@runtime_checkable
+class EpochObserver(Protocol):
+    """The per-epoch callback contract — THE one place it is defined.
+
+    :meth:`LifecycleSimulator.run` invokes the observer exactly once
+    per epoch, *after* the epoch is fully accounted and appended to
+    the ledger, with:
+
+    ``record``
+        The finished :class:`~repro.simulate.ledger.EpochRecord` —
+        immutable; observers read it, they never amend it.
+    ``problem``
+        The epoch's :class:`~repro.optimizer.problem.SelectionProblem`
+        (post-migration on migration epochs), through which observers
+        reach planning inputs, per-query hours, and evaluation
+        statistics.
+    ``breakdown``
+        The epoch's priced :class:`~repro.costmodel.total.
+        CostBreakdown` with materialization narrowed to the views
+        built this epoch — the exact numbers the record's charges came
+        from.  On segmented async epochs it is the *last* segment's
+        breakdown (the epoch-end holdings).
+
+    Observers must not raise (an exception aborts the run) and must
+    not mutate simulator state.  Any callable with this shape
+    satisfies the protocol — plain functions and closures included;
+    tenant attribution (:class:`~repro.simulate.tenants.
+    MultiTenantSimulator`) and telemetry observers are both written
+    against it and compose via :func:`compose_observers`.
+    """
+
+    def __call__(
+        self,
+        record: EpochRecord,
+        problem: SelectionProblem,
+        breakdown: CostBreakdown,
+    ) -> None:
+        """Consume one accounted epoch."""
+        ...
+
+
+def compose_observers(
+    *observers: Optional[EpochObserver],
+) -> Optional[EpochObserver]:
+    """Fan one epoch out to several observers, in argument order.
+
+    ``None`` entries are skipped (so optional observers compose
+    without conditionals at the call site); with zero or one live
+    observer the result is ``None`` / that observer itself — no
+    wrapper is interposed.
+    """
+    live = [obs for obs in observers if obs is not None]
+    if not live:
+        return None
+    if len(live) == 1:
+        return live[0]
+
+    def fan_out(
+        record: EpochRecord,
+        problem: SelectionProblem,
+        breakdown: CostBreakdown,
+    ) -> None:
+        for observe in live:
+            observe(record, problem, breakdown)
+
+    return fan_out
 
 
 def compare_policies(run, policies):
@@ -198,9 +277,11 @@ class LifecycleSimulator:
         """
         if self._builds is not None:
             return self._run_async(policy, observer)
+        telemetry = current_telemetry()
         ledger = SimulationLedger(policy.describe())
         state = self._initial
         current: Optional[FrozenSet[str]] = None
+        stats_before = self._builder.evaluation_stats()
         for epoch in self._clock:
             fired = self._timeline.at(epoch.index)
             # Each migration hop is billed from the book it actually
@@ -217,9 +298,12 @@ class LifecycleSimulator:
                     state = event.apply(state)
             problem = self._builder.problem_for(state)
             context = EpochContext(state=state, builder=self._builder)
-            decision = policy.decide_in_context(
-                epoch.index, problem, current, context
-            )
+            with telemetry.span(
+                "epoch.decide", epoch=epoch.index, policy=ledger.policy_name
+            ):
+                decision = policy.decide_in_context(
+                    epoch.index, problem, current, context
+                )
             described = [e.describe() for e in fired]
             if decision.migration is not None:
                 # A policy-decided switch: the state follows the
@@ -248,16 +332,45 @@ class LifecycleSimulator:
                 built = decision.subset - held
                 migration_cost = ZERO
                 migrated_to = None
-            record, breakdown = self._account(
-                epoch.index, problem, decision.subset, built, dropped,
-                decision.reoptimized, decision.regret, tuple(described),
-                migration_cost, migrated_to,
+            with telemetry.span("epoch.account", epoch=epoch.index):
+                record, breakdown = self._account(
+                    epoch.index, problem, decision.subset, built, dropped,
+                    decision.reoptimized, decision.regret, tuple(described),
+                    migration_cost, migrated_to,
+                )
+            record, stats_before = self._finish_epoch(
+                telemetry, record, stats_before
             )
             ledger.append(record)
             if observer is not None:
                 observer(record, problem, breakdown)
             current = decision.subset
         return ledger
+
+    def _finish_epoch(self, telemetry, record, stats_before):
+        """Stamp the epoch's cache deltas on its record; emit metrics.
+
+        Returns the amended record and the new stats baseline.  The
+        cache fields are computed whether or not telemetry is enabled
+        — they are ledger data, and both execution paths derive them
+        the same way, so sync/instant-async record equality is kept.
+        """
+        stats_after = self._builder.evaluation_stats()
+        record = replace(
+            record,
+            cache_hits=stats_after.hits - stats_before.hits,
+            subsets_priced=stats_after.priced - stats_before.priced,
+        )
+        if telemetry.enabled:
+            telemetry.inc("simulator.epochs")
+            if record.reoptimized:
+                telemetry.inc("simulator.reoptimizations")
+            if record.migrated_to is not None:
+                telemetry.inc("simulator.migrations")
+            telemetry.inc("cache.hits", record.cache_hits)
+            telemetry.inc("cache.subsets_priced", record.subsets_priced)
+            telemetry.observe("simulator.epoch_cost", record.total_cost)
+        return record, stats_after
 
     # -- the asynchronous run ------------------------------------------
 
@@ -287,12 +400,14 @@ class LifecycleSimulator:
         With instant builds every submission lands at its own epoch's
         start and this loop reproduces :meth:`run`'s ledger exactly.
         """
+        telemetry = current_telemetry()
         ledger = SimulationLedger(policy.describe())
         state = self._initial
         queue = self._builds.queue()
         live: FrozenSet[str] = frozenset()
         current: Optional[FrozenSet[str]] = None
         last_index = self._clock.n_epochs - 1
+        stats_before = self._builder.evaluation_stats()
         for epoch in self._clock:
             fired = self._timeline.at(epoch.index)
             hops = []
@@ -315,9 +430,12 @@ class LifecycleSimulator:
             )
             problem = self._builder.problem_for(state)
             context = EpochContext(state=state, builder=self._builder)
-            decision = policy.decide_in_context(
-                epoch.index, problem, current, context
-            )
+            with telemetry.span(
+                "epoch.decide", epoch=epoch.index, policy=ledger.policy_name
+            ):
+                decision = policy.decide_in_context(
+                    epoch.index, problem, current, context
+                )
             described = [e.describe() for e in fired]
             if decision.migration is not None:
                 if pre_hop_deployment is None:
@@ -377,15 +495,19 @@ class LifecycleSimulator:
                     queue.cancel(queue.pending_views(), epoch.end_month)
                 )
             delayed = queue.drain_delayed_starts()
-            record, breakdown, live = self._account_async(
-                epoch, problem, plan, decision, live, dropped,
-                completions, cancellations, delayed, tuple(described),
-                migration_cost, migrated_to,
-                cancel_deployment=(
-                    pre_hop_deployment
-                    if pre_hop_deployment is not None
-                    else problem.inputs.deployment
-                ),
+            with telemetry.span("epoch.account", epoch=epoch.index):
+                record, breakdown, live = self._account_async(
+                    epoch, problem, plan, decision, live, dropped,
+                    completions, cancellations, delayed, tuple(described),
+                    migration_cost, migrated_to,
+                    cancel_deployment=(
+                        pre_hop_deployment
+                        if pre_hop_deployment is not None
+                        else problem.inputs.deployment
+                    ),
+                )
+            record, stats_before = self._finish_epoch(
+                telemetry, record, stats_before
             )
             ledger.append(record)
             if observer is not None:

@@ -51,7 +51,12 @@ from .events import (
 from .ledger import FleetLedger, TenantLedger
 from .policy import ReselectionPolicy
 from .problems import EpochProblemBuilder
-from .simulator import LifecycleSimulator, compare_policies
+from .simulator import (
+    EpochObserver,
+    LifecycleSimulator,
+    compare_policies,
+    compose_observers,
+)
 from .state import WarehouseState
 
 __all__ = [
@@ -361,20 +366,34 @@ class MultiTenantSimulator:
 
     # -- runs -----------------------------------------------------------
 
-    def run(self, policy: ReselectionPolicy) -> FleetLedger:
-        """Simulate the fleet under ``policy``; books verified on return."""
+    def run(
+        self,
+        policy: ReselectionPolicy,
+        observer: Optional[EpochObserver] = None,
+    ) -> FleetLedger:
+        """Simulate the fleet under ``policy``; books verified on return.
+
+        ``observer`` (the standard
+        :class:`~repro.simulate.simulator.EpochObserver` contract) is
+        composed *after* the attribution observer via
+        :func:`~repro.simulate.simulator.compose_observers`, so
+        telemetry or logging observers see each epoch without wrapping
+        the attribution machinery by hand.
+        """
         ledgers = {
             name: TenantLedger(name, policy.describe())
             for name in self._fleet.tenant_names
         }
 
-        def observe(record, problem, breakdown) -> None:
+        def attribute(record, problem, breakdown) -> None:
             for name, share in self._attributor.attribute(
                 problem, record, breakdown
             ).items():
                 ledgers[name].append(share)
 
-        fleet_ledger = self._simulator.run(policy, observer=observe)
+        fleet_ledger = self._simulator.run(
+            policy, observer=compose_observers(attribute, observer)
+        )
         result = FleetLedger(fleet_ledger, ledgers)
         result.verify_attribution()
         return result

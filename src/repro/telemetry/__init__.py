@@ -1,0 +1,29 @@
+"""``repro.telemetry`` — zero-dependency in-process observability.
+
+Metrics (counters / high-water gauges / Decimal-exact histograms),
+lightweight span tracing, and deterministic cross-process merging, all
+behind an ambient handle that defaults to a no-op singleton.  See
+``docs/TELEMETRY.md`` for the metric catalog and quickstart, and the
+submodule docstrings for the determinism contracts.
+"""
+
+from .core import NULL, NullTelemetry, Telemetry, activate, current, install
+from .exporters import prometheus_text, summary_table, trace_lines, write_trace
+from .registry import HistogramStats, MetricsRegistry, SpanStats, TelemetryError
+
+__all__ = [
+    "NULL",
+    "NullTelemetry",
+    "Telemetry",
+    "activate",
+    "current",
+    "install",
+    "prometheus_text",
+    "summary_table",
+    "trace_lines",
+    "write_trace",
+    "HistogramStats",
+    "MetricsRegistry",
+    "SpanStats",
+    "TelemetryError",
+]

@@ -1,0 +1,178 @@
+"""Exporters: Prometheus text format, trace JSON-lines, summary table.
+
+Three sinks for one registry, with different determinism contracts:
+
+* :func:`prometheus_text` — the ``--metrics-out`` dump.  **Strictly
+  deterministic**: only counters, high-water gauges, histograms, and
+  span *call counts* appear, all sorted; wall-clock span seconds are
+  excluded.  Two runs with the same seed — or the same run at
+  ``--jobs 1`` and ``--jobs 4`` — must produce byte-identical dumps,
+  which is what the CI determinism job ``cmp``\\ s.
+* :func:`trace_lines` / :func:`write_trace` — the ``--trace-out``
+  JSON-lines file: one completed span per line with start offset,
+  duration, and attributes.  Wall clock by design; never compared.
+* :func:`summary_table` — the ``--telemetry-summary`` human table:
+  spans with timings first (that is what a human is usually after),
+  then counters, gauges, and histograms.
+"""
+
+from __future__ import annotations
+
+import json
+from decimal import Decimal
+from typing import IO, Iterator, List, Union
+
+from .core import Telemetry
+from .registry import MetricKey, MetricsRegistry
+
+__all__ = [
+    "prometheus_text",
+    "summary_table",
+    "trace_lines",
+    "write_trace",
+]
+
+#: Every exported series name is prefixed so dumps can be scraped next
+#: to other exporters without collisions.
+_PREFIX = "repro_"
+
+
+def _metric_name(name: str) -> str:
+    return _PREFIX + name.replace(".", "_").replace("-", "_")
+
+
+def _labels_text(labels: MetricKey) -> str:
+    if not labels:
+        return ""
+    body = ",".join(f'{key}="{value}"' for key, value in labels)
+    return "{" + body + "}"
+
+
+def _value_text(value: Union[int, float, Decimal]) -> str:
+    if isinstance(value, bool):  # bools are ints; be explicit anyway
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, Decimal):
+        return format(value, "f")
+    return repr(value)
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format (sorted).
+
+    Counters are exported as ``<name>_total``, histograms as
+    ``_count`` / ``_sum`` / ``_min`` / ``_max`` series, and span call
+    counts as ``repro_span_calls_total{span="..."}``.  Span seconds
+    are deliberately absent — see the module docstring.
+    """
+    lines: List[str] = []
+
+    counters = registry.counters
+    for key in sorted(counters):
+        name, labels = key
+        metric = _metric_name(name) + "_total"
+        lines.append(
+            f"{metric}{_labels_text(labels)} {_value_text(counters[key])}"
+        )
+
+    gauges = registry.gauges
+    for key in sorted(gauges):
+        name, labels = key
+        lines.append(
+            f"{_metric_name(name)}{_labels_text(labels)}"
+            f" {_value_text(gauges[key])}"
+        )
+
+    histograms = registry.histograms
+    for key in sorted(histograms):
+        name, labels = key
+        hist = histograms[key]
+        metric = _metric_name(name)
+        suffix = _labels_text(labels)
+        lines.append(f"{metric}_count{suffix} {hist.count}")
+        lines.append(f"{metric}_sum{suffix} {_value_text(hist.total)}")
+        if hist.count:
+            lines.append(f"{metric}_min{suffix} {_value_text(hist.minimum)}")
+            lines.append(f"{metric}_max{suffix} {_value_text(hist.maximum)}")
+
+    spans = registry.spans
+    for name in sorted(spans):
+        lines.append(
+            f'{_PREFIX}span_calls_total{{span="{name}"}} {spans[name].count}'
+        )
+
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def trace_lines(telemetry: Telemetry) -> Iterator[str]:
+    """The collector's completed spans as JSON lines (chronological)."""
+    for event in telemetry.trace_events:
+        yield json.dumps(event, sort_keys=True, default=str)
+
+
+def write_trace(telemetry: Telemetry, stream: IO[str]) -> int:
+    """Write the JSON-lines trace to ``stream``; returns lines written."""
+    count = 0
+    for line in trace_lines(telemetry):
+        stream.write(line + "\n")
+        count += 1
+    return count
+
+
+def summary_table(registry: MetricsRegistry) -> str:
+    """A human-readable rollup of everything the registry holds."""
+    lines: List[str] = ["telemetry summary"]
+
+    spans = registry.spans
+    if spans:
+        lines.append("  spans:")
+        width = max(len(name) for name in spans)
+        for name in sorted(spans):
+            stats = spans[name]
+            mean_ms = 1000.0 * stats.seconds / stats.count
+            lines.append(
+                f"    {name:<{width}}  calls={stats.count}"
+                f"  total={stats.seconds:.3f}s  mean={mean_ms:.3f}ms"
+            )
+
+    counters = registry.counters
+    if counters:
+        lines.append("  counters:")
+        for key in sorted(counters):
+            name, labels = key
+            lines.append(
+                f"    {name}{_labels_text(labels)} ="
+                f" {_value_text(counters[key])}"
+            )
+
+    gauges = registry.gauges
+    if gauges:
+        lines.append("  gauges (high water):")
+        for key in sorted(gauges):
+            name, labels = key
+            lines.append(
+                f"    {name}{_labels_text(labels)} ="
+                f" {_value_text(gauges[key])}"
+            )
+
+    histograms = registry.histograms
+    if histograms:
+        lines.append("  histograms:")
+        for key in sorted(histograms):
+            name, labels = key
+            hist = histograms[key]
+            lines.append(
+                f"    {name}{_labels_text(labels)}: n={hist.count}"
+                f" sum={_value_text(hist.total)}"
+                + (
+                    f" min={_value_text(hist.minimum)}"
+                    f" max={_value_text(hist.maximum)}"
+                    if hist.count
+                    else ""
+                )
+            )
+
+    if len(lines) == 1:
+        lines.append("  (no telemetry recorded)")
+    return "\n".join(lines)

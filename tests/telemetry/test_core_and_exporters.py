@@ -1,0 +1,163 @@
+"""Ambient telemetry objects, spans, and the three exporters."""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro import telemetry
+from repro.telemetry import (
+    NULL,
+    MetricsRegistry,
+    Telemetry,
+    activate,
+    current,
+    install,
+    prometheus_text,
+    summary_table,
+    write_trace,
+)
+
+
+class TestAmbient:
+    def test_null_is_the_default(self):
+        assert current() is NULL
+        assert not current().enabled
+
+    def test_activate_scopes_the_collector(self):
+        with activate(Telemetry()) as collector:
+            assert current() is collector
+            assert collector.enabled
+        assert current() is NULL
+
+    def test_activate_without_argument_makes_a_fresh_collector(self):
+        with activate() as collector:
+            collector.inc("x.y")
+            assert collector.registry.counter("x.y") == 1
+        assert current() is NULL
+
+    def test_install_returns_the_previous_object(self):
+        collector = Telemetry()
+        previous = install(collector)
+        try:
+            assert previous is NULL
+            assert current() is collector
+        finally:
+            install(previous)
+        assert current() is NULL
+
+    def test_activate_nests(self):
+        with activate(Telemetry()) as outer:
+            with activate(Telemetry()) as inner:
+                assert current() is inner
+            assert current() is outer
+
+
+class TestNullTelemetry:
+    def test_every_recording_method_is_a_no_op(self):
+        NULL.inc("x.y")
+        NULL.gauge_max("x.y", 3)
+        NULL.observe("x.y", 1.5)
+        with NULL.span("x.y", epoch=3):
+            pass
+        # NullTelemetry has no registry at all: nothing can accumulate.
+        assert not hasattr(NULL, "registry")
+
+    def test_span_returns_a_shared_context_manager(self):
+        assert NULL.span("a") is NULL.span("b")
+
+
+class TestSpans:
+    def test_span_records_count_and_seconds(self):
+        collector = Telemetry()
+        with collector.span("epoch.decide", epoch=0):
+            pass
+        stats = collector.registry.spans["epoch.decide"]
+        assert stats.count == 1
+        assert stats.seconds >= 0.0
+
+    def test_trace_off_by_default(self):
+        collector = Telemetry()
+        with collector.span("epoch.decide"):
+            pass
+        assert collector.trace_events == []
+
+    def test_trace_keeps_attrs_start_and_duration(self):
+        collector = Telemetry(trace=True)
+        with collector.span("epoch.decide", epoch=7, policy="regret"):
+            pass
+        (event,) = collector.trace_events
+        assert event["name"] == "epoch.decide"
+        assert event["epoch"] == 7
+        assert event["policy"] == "regret"
+        assert event["seconds"] >= 0.0
+        assert event["start"] >= 0.0
+
+
+class TestPrometheusText:
+    def test_empty_registry_exports_empty(self):
+        assert prometheus_text(MetricsRegistry()) == ""
+
+    def test_families_and_sorting(self):
+        registry = MetricsRegistry()
+        registry.inc("cache.hits", 613)
+        registry.inc("optimizer.solves", 19, algorithm="greedy")
+        registry.gauge_max("builds.queue_depth", 2)
+        registry.observe("simulator.epoch_cost", 2.5)
+        registry.record_span("epoch.decide", 0.5)
+        text = prometheus_text(registry)
+        assert text.endswith("\n")
+        assert "repro_cache_hits_total 613" in text
+        assert 'repro_optimizer_solves_total{algorithm="greedy"} 19' in text
+        assert "repro_builds_queue_depth 2" in text
+        assert "repro_simulator_epoch_cost_count 1" in text
+        assert "repro_simulator_epoch_cost_sum 2.5" in text
+        assert 'repro_span_calls_total{span="epoch.decide"} 1' in text
+        # Wall-clock span seconds must never reach the deterministic dump.
+        assert "0.5" not in text
+
+    def test_dump_is_reproducible_whatever_insertion_order(self):
+        first, second = MetricsRegistry(), MetricsRegistry()
+        first.inc("a.x")
+        first.inc("b.y")
+        second.inc("b.y")
+        second.inc("a.x")
+        assert prometheus_text(first) == prometheus_text(second)
+
+
+class TestTraceExport:
+    def test_write_trace_emits_one_json_object_per_span(self):
+        collector = Telemetry(trace=True)
+        with collector.span("outer"):
+            with collector.span("inner", epoch=1):
+                pass
+        stream = io.StringIO()
+        assert write_trace(collector, stream) == 2
+        lines = stream.getvalue().splitlines()
+        events = [json.loads(line) for line in lines]
+        # Completion order: the inner span finishes first.
+        assert [e["name"] for e in events] == ["inner", "outer"]
+
+
+class TestSummaryTable:
+    def test_empty_registry_says_so(self):
+        assert "(no telemetry recorded)" in summary_table(MetricsRegistry())
+
+    def test_sections_appear_when_populated(self):
+        registry = MetricsRegistry()
+        registry.inc("cache.hits", 3)
+        registry.gauge_max("builds.queue_depth", 2)
+        registry.observe("simulator.epoch_cost", 1.5)
+        registry.record_span("epoch.decide", 0.002)
+        table = summary_table(registry)
+        for heading in ("spans:", "counters:", "gauges", "histograms:"):
+            assert heading in table
+        assert "cache.hits = 3" in table
+
+
+class TestPackageSurface:
+    def test_the_docstring_quickstart_works(self):
+        """The usage sketch in repro.telemetry.core's docstring."""
+        with telemetry.activate(telemetry.Telemetry()) as t:
+            t.inc("epochs.total")
+            assert t.registry.counter("epochs.total") == 1

@@ -1,0 +1,141 @@
+"""MetricsRegistry: recording, exact sums, deterministic merging."""
+
+from __future__ import annotations
+
+from decimal import Decimal
+
+import pytest
+
+from repro.money import Money
+from repro.telemetry import MetricsRegistry, TelemetryError, prometheus_text
+
+
+class TestCounters:
+    def test_increment_defaults_to_one(self):
+        registry = MetricsRegistry()
+        registry.inc("cache.hits")
+        registry.inc("cache.hits")
+        assert registry.counter("cache.hits") == 2
+
+    def test_increment_by_value(self):
+        registry = MetricsRegistry()
+        registry.inc("cache.hits", 40)
+        registry.inc("cache.hits", 2)
+        assert registry.counter("cache.hits") == 42
+
+    def test_label_order_is_irrelevant(self):
+        """``a=1, b=2`` and ``b=2, a=1`` are the same series."""
+        registry = MetricsRegistry()
+        registry.inc("optimizer.solves", a="1", b="2")
+        registry.inc("optimizer.solves", b="2", a="1")
+        assert registry.counter("optimizer.solves", a="1", b="2") == 2
+        assert len(registry.counters) == 1
+
+    def test_unknown_counter_reads_zero(self):
+        assert MetricsRegistry().counter("never.touched") == 0
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(TelemetryError):
+            MetricsRegistry().inc("")
+
+
+class TestGauges:
+    def test_gauge_keeps_the_high_water_mark(self):
+        registry = MetricsRegistry()
+        for depth in (1, 3, 2):
+            registry.gauge_max("builds.queue_depth", depth)
+        assert registry.gauge("builds.queue_depth") == 3
+
+    def test_unknown_gauge_reads_zero(self):
+        assert MetricsRegistry().gauge("never.touched") == 0.0
+
+
+class TestHistograms:
+    def test_money_observations_sum_exactly(self):
+        """The Decimal-safe property: cents never drift."""
+        registry = MetricsRegistry()
+        registry.observe("simulator.epoch_cost", Money("0.10"))
+        registry.observe("simulator.epoch_cost", Money("0.20"))
+        hist = registry.histogram("simulator.epoch_cost")
+        assert hist.total == Decimal("0.30")  # not 0.30000000000000004
+
+    def test_float_observations_sum_via_repr(self):
+        registry = MetricsRegistry()
+        registry.observe("x.y", 0.1)
+        registry.observe("x.y", 0.2)
+        assert registry.histogram("x.y").total == Decimal("0.3")
+
+    def test_count_min_max_mean(self):
+        registry = MetricsRegistry()
+        for value in (4, 1, 7):
+            registry.observe("builds.latency_months", value)
+        hist = registry.histogram("builds.latency_months")
+        assert hist.count == 3
+        assert hist.minimum == 1.0
+        assert hist.maximum == 7.0
+        assert hist.mean == pytest.approx(4.0)
+
+    def test_empty_histogram_reads_empty(self):
+        hist = MetricsRegistry().histogram("never.touched")
+        assert hist.count == 0
+        assert hist.mean == 0.0
+
+
+class TestSubsystems:
+    def test_leading_segment_names_the_subsystem(self):
+        registry = MetricsRegistry()
+        registry.inc("cache.hits")
+        registry.inc("cache.subsets_priced")
+        registry.gauge_max("builds.queue_depth", 2)
+        registry.observe("simulator.epoch_cost", 1)
+        assert registry.subsystems() == ("builds", "cache", "simulator")
+
+    def test_spans_do_not_count_as_a_subsystem(self):
+        registry = MetricsRegistry()
+        registry.record_span("epoch.decide", 0.01)
+        assert registry.subsystems() == ()
+        assert len(registry) == 1
+
+
+def _worker_registry(trial: int) -> MetricsRegistry:
+    """What one Monte Carlo worker would ship back for ``trial``."""
+    registry = MetricsRegistry()
+    registry.inc("cache.hits", 10 * (trial + 1))
+    registry.gauge_max("builds.queue_depth", trial)
+    registry.observe("simulator.epoch_cost", Money("1.25"))
+    registry.record_span("epoch.decide", 0.001 * trial)
+    return registry
+
+
+class TestMerge:
+    def test_counters_add_gauges_max_histograms_combine(self):
+        parent = MetricsRegistry()
+        for trial in range(3):
+            parent.merge(_worker_registry(trial).snapshot())
+        assert parent.counter("cache.hits") == 60
+        assert parent.gauge("builds.queue_depth") == 2
+        hist = parent.histogram("simulator.epoch_cost")
+        assert hist.count == 3
+        assert hist.total == Decimal("3.75")
+        assert parent.spans["epoch.decide"].count == 3
+
+    def test_merge_order_does_not_matter_for_the_export(self):
+        """The --jobs invariance property at the registry level."""
+        snapshots = [_worker_registry(t).snapshot() for t in range(4)]
+        forward, backward = MetricsRegistry(), MetricsRegistry()
+        for snap in snapshots:
+            forward.merge(snap)
+        for snap in reversed(snapshots):
+            backward.merge(snap)
+        assert prometheus_text(forward) == prometheus_text(backward)
+
+    def test_snapshot_round_trips_through_pickle_types(self):
+        """Snapshots are plain dicts: Decimals travel as strings."""
+        snapshot = _worker_registry(1).snapshot()
+        assert isinstance(snapshot["histograms"], dict)
+        for entry in snapshot["histograms"].values():
+            assert isinstance(entry["total"], str)
+
+    def test_merging_garbage_raises(self):
+        with pytest.raises(TelemetryError):
+            MetricsRegistry().merge({"not": "a snapshot"})

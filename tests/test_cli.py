@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import json
 import os
 import subprocess
 import sys
@@ -382,6 +383,106 @@ class TestSimulateBuildFlags:
             main(["simulate", "--help"])
         out = capsys.readouterr().out
         for group in (
-            "lifecycle:", "tenants:", "stochastic:", "arbitrage:", "builds:"
+            "lifecycle:",
+            "tenants:",
+            "stochastic:",
+            "arbitrage:",
+            "builds:",
+            "telemetry:",
         ):
             assert group in out
+
+
+class TestTelemetryFlags:
+    def test_single_run_prints_cache_hit_line(self, capsys):
+        assert main(["simulate", "--rows", "5000", "--epochs", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "cache hits/priced per epoch:" in out
+        assert "hit rate" in out
+
+    def test_metrics_out_writes_a_prometheus_dump(self, tmp_path, capsys):
+        dump = tmp_path / "metrics.prom"
+        code = main(
+            [
+                "simulate",
+                "--rows", "5000",
+                "--epochs", "20",
+                "--policy", "regret",
+                "--quiet",
+                "--metrics-out", str(dump),
+            ]
+        )
+        assert code == 0
+        assert "metrics dump written to" in capsys.readouterr().out
+        text = dump.read_text()
+        assert "repro_simulator_epochs_total 20" in text
+        assert "repro_cache_hits_total" in text
+        # Wall-clock span seconds never reach the deterministic dump.
+        assert "seconds" not in text
+
+    def test_trace_out_writes_json_lines(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        code = main(
+            [
+                "simulate",
+                "--rows", "5000",
+                "--epochs", "20",
+                "--policy", "regret",
+                "--quiet",
+                "--trace-out", str(trace),
+            ]
+        )
+        assert code == 0
+        assert "trace spans written to" in capsys.readouterr().out
+        events = [
+            json.loads(line)
+            for line in trace.read_text().splitlines()
+        ]
+        assert events
+        assert {"epoch.decide", "optimizer.solve"} <= {
+            e["name"] for e in events
+        }
+
+    def test_telemetry_summary_prints_the_table(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--rows", "5000",
+                "--epochs", "20",
+                "--policy", "regret",
+                "--quiet",
+                "--telemetry-summary",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "telemetry summary" in out
+        assert "epoch.decide" in out
+
+    def test_monte_carlo_metrics_dump_is_jobs_invariant(
+        self, tmp_path, capsys
+    ):
+        args = [
+            "simulate",
+            "--trials", "3",
+            "--epochs", "8",
+            "--rows", "5000",
+            "--seed", "7",
+            "--policy", "regret",
+            "--quiet",
+        ]
+        first = tmp_path / "jobs1.prom"
+        second = tmp_path / "jobs2.prom"
+        assert main(args + ["--jobs", "1", "--metrics-out", str(first)]) == 0
+        assert main(args + ["--jobs", "2", "--metrics-out", str(second)]) == 0
+        capsys.readouterr()
+        assert first.read_bytes() == second.read_bytes()
+        assert b"repro_montecarlo_trials_total 3" in first.read_bytes()
+
+    def test_no_flags_means_no_telemetry_output(self, capsys):
+        assert main(
+            ["simulate", "--rows", "5000", "--epochs", "20", "--quiet"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "telemetry" not in out
+        assert "metrics dump" not in out
