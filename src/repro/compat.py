@@ -1,0 +1,53 @@
+"""Optional-dependency gates.
+
+numpy is the library's only heavyweight dependency, and only two
+layers genuinely need it: the columnar data engine
+(:mod:`repro.data` / :mod:`repro.engine.executor`) and the vectorized
+backend of the evaluation kernel (:mod:`repro.kernel`).  Everything
+else — the cost models, the optimizers, the lifecycle simulator over
+synthetic planning inputs — is pure Python.
+
+Modules that *use* numpy import it through here::
+
+    from ..compat import np, require_numpy
+
+``np`` is the module when importable, ``None`` otherwise; call
+:func:`require_numpy` at the entry points that cannot proceed without
+it so a numpy-less install fails with a clear message instead of an
+``AttributeError`` three frames deep.  The kernel's pure-Python
+fallback (and the CI ``no-numpy`` job that exercises it) relies on
+these gates keeping the import graph clean.
+"""
+
+from __future__ import annotations
+
+from .errors import ReproError
+
+__all__ = ["HAVE_NUMPY", "np", "require_numpy"]
+
+try:  # pragma: no cover - trivially one branch per environment
+    import numpy as np  # type: ignore[no-redef]
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    np = None  # type: ignore[assignment]
+
+#: Whether numpy imported successfully in this environment.
+HAVE_NUMPY = np is not None
+
+
+class MissingDependencyError(ReproError):
+    """A feature needs an optional dependency that is not installed."""
+
+
+def require_numpy(feature: str) -> None:
+    """Raise :class:`MissingDependencyError` unless numpy is available.
+
+    ``feature`` names what the caller was trying to do, so the error
+    reads as an instruction ("install numpy to generate datasets")
+    rather than a bare ImportError.
+    """
+    if np is None:
+        raise MissingDependencyError(
+            f"{feature} requires numpy, which is not installed; "
+            "pip install numpy (the cost models, optimizers and the "
+            "kernel's pure-Python backend work without it)"
+        )

@@ -11,8 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-import numpy as np
-
+from ..compat import np, require_numpy
 from .sizing import LogicalSizeModel
 from .table import GrainTable, HierarchyIndex
 from ..errors import DataGenerationError
@@ -109,6 +108,7 @@ def seasonal_day_codes(
     return np.searchsorted(cdf, u, side="left").astype(np.int64)
 
 
-def make_rng(seed: Optional[int]) -> np.random.Generator:
+def make_rng(seed: Optional[int]) -> "np.random.Generator":
     """The library-wide RNG construction (PCG64, explicit seed)."""
+    require_numpy("synthetic data generation")
     return np.random.default_rng(seed)

@@ -14,8 +14,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-import numpy as np
-
+from ..compat import np, require_numpy
 from .generator import Dataset, make_rng, seasonal_day_codes, skewed_codes
 from .sizing import LogicalSizeModel
 from .table import GrainTable, HierarchyIndex
@@ -27,8 +26,9 @@ from ..schema.star import StarSchema
 __all__ = ["generate_sales", "calendar_time_index"]
 
 #: Month lengths of a 365-day (non-leap) year.
-_MONTH_LENGTHS = np.array(
-    [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31], dtype=np.int64
+_MONTH_LENGTH_DAYS = (31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31)
+_MONTH_LENGTHS = (
+    np.array(_MONTH_LENGTH_DAYS, dtype=np.int64) if np is not None else None
 )
 
 
@@ -38,6 +38,7 @@ def calendar_time_index(time_dim: Dimension) -> HierarchyIndex:
     The time dimension's cardinalities must be (365*y, 12*y, y) for
     some year count ``y``; that is what ``sales_schema`` declares.
     """
+    require_numpy("the sales calendar index")
     n_days = time_dim.cardinality("day")
     n_months = time_dim.cardinality("month")
     n_years = time_dim.cardinality("year")

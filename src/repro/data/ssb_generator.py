@@ -9,8 +9,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-import numpy as np
-
+from ..compat import np
 from .generator import Dataset, make_rng, skewed_codes
 from .sizing import LogicalSizeModel
 from .table import GrainTable, HierarchyIndex

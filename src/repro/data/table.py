@@ -15,8 +15,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Mapping, Sequence
 
-import numpy as np
-
+from ..compat import np, require_numpy
 from ..errors import EngineError, SchemaError
 from ..schema.hierarchy import ALL, Dimension
 from ..schema.star import Grain, StarSchema
@@ -32,7 +31,8 @@ class HierarchyIndex:
     in :class:`~repro.schema.hierarchy.Hierarchy`).
     """
 
-    def __init__(self, dimension: Dimension, parent_maps: Sequence[np.ndarray]) -> None:
+    def __init__(self, dimension: Dimension, parent_maps: Sequence["np.ndarray"]) -> None:
+        require_numpy("columnar hierarchy indexes")
         levels = dimension.hierarchy.levels
         if len(parent_maps) != len(levels) - 1:
             raise SchemaError(
@@ -114,9 +114,10 @@ class GrainTable:
         self,
         schema: StarSchema,
         grain: Sequence[str],
-        dim_codes: Mapping[str, np.ndarray],
-        measures: Mapping[str, np.ndarray],
+        dim_codes: Mapping[str, "np.ndarray"],
+        measures: Mapping[str, "np.ndarray"],
     ) -> None:
+        require_numpy("columnar grain tables")
         self._schema = schema
         self._grain: Grain = schema.validate_grain(grain)
         self._dim_codes: Dict[str, np.ndarray] = {}

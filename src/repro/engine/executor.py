@@ -17,8 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
 
-import numpy as np
-
+from ..compat import np, require_numpy
 from ..data.generator import Dataset
 from ..data.table import GrainTable
 from ..errors import EngineError
@@ -51,6 +50,7 @@ class Executor:
     """Executes roll-up aggregations over a dataset's tables."""
 
     def __init__(self, dataset: Dataset) -> None:
+        require_numpy("columnar query execution")
         self._dataset = dataset
         self._schema = dataset.schema
 

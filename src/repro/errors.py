@@ -21,6 +21,8 @@ __all__ = [
     "InfeasibleProblemError",
     "ExperimentError",
     "SimulationError",
+    "KernelError",
+    "FixedPointOverflow",
 ]
 
 
@@ -80,4 +82,21 @@ class SimulationError(ReproError):
     Raised for empty clocks, events scheduled past the horizon, unknown
     re-selection policies, or event parameters that cannot be applied
     to the warehouse state.
+    """
+
+
+class KernelError(ReproError):
+    """The vectorized evaluation kernel was misused.
+
+    Raised for inputs the kernel cannot represent (rather than
+    silently producing numbers that differ from the Decimal oracle).
+    """
+
+
+class FixedPointOverflow(KernelError):
+    """A Money amount does not fit the kernel's int64 cent grid.
+
+    int64 cents top out at ±$92,233,720,368,547,758.07; amounts beyond
+    that must raise rather than wrap, because a silently wrapped cent
+    count is a wrong bill.
     """

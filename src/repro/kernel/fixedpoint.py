@@ -1,0 +1,114 @@
+"""Checked fixed-point (integer-cent) conversions for the kernel.
+
+The kernel's screening arithmetic and the knapsack's dynamic program
+both discretize dollar amounts onto an int64 cent grid.  int64 cents
+reach ±$92,233,720,368,547,758.07 — far beyond any bill this library
+prices — but an amount past that bound must *raise*, never wrap: a
+silently wrapped cent count is a wrong bill, which is exactly the
+failure mode the oracle harness exists to rule out.
+
+Why the kernel does **not** build its ledger ``Money`` from cents:
+``Decimal`` reprs carry trailing zeros and exponents
+(``Decimal('4.00')`` and ``Decimal('4.0')`` are ``==`` but repr
+differently), so a Money reconstructed from an integer cent count can
+diverge *textually* from one produced by the original Decimal
+arithmetic even when the value matches to the cent.  Ledgers are
+compared byte-for-byte, so the kernel instead memoizes the exact
+Decimal billing operations (see :mod:`repro.kernel.world`) and uses
+this module for the conversions that genuinely live on the grid:
+round-trips proven exact by the property suite, and bulk cent vectors
+for screening and benchmarks.
+"""
+
+from __future__ import annotations
+
+from decimal import Decimal, InvalidOperation, ROUND_HALF_UP
+from typing import Iterable, List, Union
+
+from ..compat import np, require_numpy
+from ..errors import FixedPointOverflow
+from ..money import Money
+
+__all__ = [
+    "CENTS_MAX",
+    "CENTS_MIN",
+    "from_cents",
+    "to_cents",
+    "to_cents_list",
+    "cents_vector",
+]
+
+#: The int64 cent grid's bounds (inclusive).
+CENTS_MAX = 2**63 - 1
+CENTS_MIN = -(2**63)
+
+_CENT = Decimal("0.01")
+_MAX_DOLLARS = Decimal(CENTS_MAX).scaleb(-2)
+_MIN_DOLLARS = Decimal(CENTS_MIN).scaleb(-2)
+
+_Amount = Union[Money, Decimal, int, str]
+
+
+def to_cents(amount: _Amount) -> int:
+    """``amount`` as integer cents (half-up), range-checked.
+
+    The checked counterpart of :meth:`repro.money.Money.to_cents`:
+    identical on every representable amount, but raises
+    :class:`~repro.errors.FixedPointOverflow` where the unchecked
+    conversion would hand back an int that no longer fits int64.
+
+    >>> to_cents(Money("10.005"))
+    1001
+    >>> to_cents(Money(CENTS_MAX) * 100)
+    Traceback (most recent call last):
+        ...
+    repro.errors.FixedPointOverflow: $922337203685477580700.00 does not fit the int64 cent grid
+    """
+    money = amount if isinstance(amount, Money) else Money(amount)
+    try:
+        quantized = money.amount.quantize(_CENT, rounding=ROUND_HALF_UP)
+    except InvalidOperation:
+        raise FixedPointOverflow(
+            f"${money.amount} does not fit the int64 cent grid"
+        ) from None
+    if not _MIN_DOLLARS <= quantized <= _MAX_DOLLARS:
+        raise FixedPointOverflow(
+            f"${quantized} does not fit the int64 cent grid"
+        )
+    return int(quantized.scaleb(2))
+
+
+def from_cents(cents: int) -> Money:
+    """The :class:`Money` amount of an int64 cent count.
+
+    Inverse of :func:`to_cents` on the grid: ``to_cents(from_cents(c))
+    == c`` for every in-range ``c``, and ``from_cents(to_cents(m))``
+    equals ``m`` for every cent-representable ``m``.
+
+    >>> from_cents(1001)
+    Money('10.01')
+    """
+    if not isinstance(cents, int):
+        raise FixedPointOverflow(
+            f"cent counts must be ints, got {type(cents).__name__}"
+        )
+    if not CENTS_MIN <= cents <= CENTS_MAX:
+        raise FixedPointOverflow(
+            f"{cents} cents does not fit the int64 cent grid"
+        )
+    return Money(Decimal(cents).scaleb(-2))
+
+
+def to_cents_list(amounts: Iterable[_Amount]) -> List[int]:
+    """:func:`to_cents` over an iterable (all checked)."""
+    return [to_cents(amount) for amount in amounts]
+
+
+def cents_vector(amounts: Iterable[_Amount]) -> "np.ndarray":
+    """An int64 numpy vector of checked cent counts.
+
+    The bulk form the numpy backend and the benchmarks consume;
+    requires numpy (use :func:`to_cents_list` in its absence).
+    """
+    require_numpy("fixed-point cent vectors")
+    return np.array(to_cents_list(amounts), dtype=np.int64)

@@ -1,0 +1,287 @@
+"""The kernel proper: one numeric world, pre-factored for fast pricing.
+
+A :class:`KernelWorld` is built once per
+:class:`~repro.costmodel.estimator.PlanningInputs` world and then
+prices any candidate subset without touching the estimator again.  The
+build factors the world into what actually varies by subset and what
+does not:
+
+* **varies** — per-query processing hours (a row-min over the subset's
+  view columns, delegated to a :mod:`~repro.kernel.backend`), and the
+  subset's materialization / maintenance / storage totals (vector
+  gathers in sorted-name order, the order ``plan_for`` sums in);
+* **does not** — transfer cost (result sizes are subset-independent),
+  the storage timeline, and the billing book.
+
+**The byte-identity contract.**  The kernel must reproduce the Decimal
+oracle's ledgers *byte for byte*, not merely to the cent.  Two design
+rules follow:
+
+1. Every float it produces is computed by the same IEEE-754 operations
+   in the same order as the original path: mins and elementwise
+   multiplies are order-independent, but sums are not, so every total
+   is accumulated sequentially in the oracle's iteration order (never
+   ``np.sum``, which is pairwise).
+2. Every :class:`~repro.money.Money` it returns comes from the *same*
+   Decimal billing calls (:func:`~repro.pricing.compute.ComputePricing
+   .cost`, :func:`~repro.costmodel.storage.storage_cost_with_views`,
+   :func:`~repro.costmodel.transfer.transfer_cost`) the oracle makes —
+   just memoized by their float inputs, which is sound because Decimal
+   arithmetic is a pure function of its operands.  Rebuilding Money
+   from integer cents would preserve value but not repr (trailing
+   zeros), and ledgers are compared as text.
+
+Worlds the kernel cannot faithfully reproduce — cascade
+materialization (build sharing re-plans per subset), subclassed cost
+models, NaN or negative inputs the oracle rejects with its own errors
+— make :meth:`KernelWorld.build` return ``None`` and the caller falls
+back to the oracle path.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from .. import telemetry
+from ..costmodel.computing import ComputingBreakdown
+from ..costmodel.estimator import PlanningInputs
+from ..costmodel.storage import storage_cost_with_views
+from ..costmodel.total import CloudCostModel, CostBreakdown
+from ..costmodel.transfer import transfer_cost
+from ..money import Money, ZERO
+from .backend import make_backend
+from .fixedpoint import to_cents
+
+__all__ = ["KernelWorld"]
+
+
+def _unusable(value: float) -> bool:
+    """Values the oracle path treats specially (errors or sign traps).
+
+    Negative hours/sizes make the oracle raise ``CostModelError``; NaN
+    breaks min-equivalence; -0.0 would let two subsets share a memo
+    slot (-0.0 == 0.0) while str()-ing differently into Decimal.  All
+    three send the world back to the oracle.
+    """
+    return value < 0 or math.isnan(value) or (value == 0 and math.copysign(1.0, value) < 0)
+
+
+class KernelWorld:
+    """Pre-factored exact pricing of every subset of one world.
+
+    Construct via :meth:`build`; ``None`` means "not representable —
+    use the oracle".  :meth:`evaluate` returns the identical
+    :class:`~repro.costmodel.total.CostBreakdown` the oracle would.
+    """
+
+    def __init__(
+        self,
+        *,
+        backend,
+        freqs: List[float],
+        vindex: Dict[str, int],
+        mat_hours: List[float],
+        maint_hours: List[float],
+        sizes_gb: List[float],
+        runs_per_period: float,
+        model: CloudCostModel,
+        inputs: PlanningInputs,
+        transfer: Money,
+    ) -> None:
+        self._backend = backend
+        self._freqs = freqs
+        self._vindex = vindex
+        self._mat = mat_hours
+        self._maint = maint_hours
+        self._sizes = sizes_gb
+        self._runs = runs_per_period
+        dep = model.deployment
+        self._compute_pricing = dep.provider.compute
+        self._instance_type = dep.instance_type
+        self._n_instances = dep.n_instances
+        self._storage_pricing = dep.provider.storage
+        self._timeline = inputs.base_timeline
+        self._transfer = transfer
+        self._bill_cache: Dict[float, Money] = {}
+        self._storage_cache: Dict[float, Money] = {}
+        self._telemetry = telemetry.current()
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        inputs: PlanningInputs,
+        model: CloudCostModel,
+        prefer_backend: str = "auto",
+    ) -> Optional["KernelWorld"]:
+        """Factor ``inputs`` under ``model``; ``None`` if unsupported."""
+        if type(model) is not CloudCostModel:
+            # A subclass may price plans differently; only the exact
+            # pricing functions this module re-invokes are guaranteed.
+            return None
+        dep = inputs.deployment
+        if dep.cascade_materialization and inputs.candidates:
+            # Cascaded build plans are re-planned per subset; there is
+            # no per-view decomposition to precompute.
+            return None
+        if not dep.runs_per_period > 0:
+            return None
+
+        tel = telemetry.current()
+        with tel.span("kernel.build"):
+            world = cls._factor(inputs, model, prefer_backend)
+        if world is not None:
+            tel.inc("kernel.builds")
+        return world
+
+    @classmethod
+    def _factor(
+        cls,
+        inputs: PlanningInputs,
+        model: CloudCostModel,
+        prefer_backend: str,
+    ) -> Optional["KernelWorld"]:
+        queries = list(inputs.workload)
+        names = [q.name for q in queries]
+        freqs = [q.frequency for q in queries]
+        base = [inputs.base_query_hours[n] for n in names]
+        raw_results = [inputs.result_sizes_gb[n] for n in names]
+        if any(_unusable(v) for seq in (freqs, base, raw_results) for v in seq):
+            return None
+
+        view_names = sorted(c.name for c in inputs.candidates)
+        vindex = {name: i for i, name in enumerate(view_names)}
+        qindex = {name: i for i, name in enumerate(names)}
+        entries: List[List[Tuple[int, float]]] = [[] for _ in names]
+        for (qname, vname), hours in inputs.view_query_hours.items():
+            if _unusable(hours):
+                return None
+            row = qindex.get(qname)
+            col = vindex.get(vname)
+            if row is not None and col is not None:
+                entries[row].append((col, hours))
+
+        cycles = inputs.deployment.maintenance_cycles
+        stats = inputs.view_stats
+        mat = [stats[n].materialization_hours for n in view_names]
+        maint = [stats[n].maintenance_hours_per_cycle * cycles for n in view_names]
+        sizes = [stats[n].size_gb for n in view_names]
+        if any(_unusable(v) for seq in (mat, maint, sizes) for v in seq):
+            return None
+
+        runs = inputs.deployment.runs_per_period
+        # Result egress is subset-independent; price it once, exactly
+        # as the oracle does: (raw * frequency) * runs per query.
+        billed_results = tuple((s * f) * runs for s, f in zip(raw_results, freqs))
+        transfer = transfer_cost(
+            model.deployment.provider.transfer, billed_results
+        )
+        backend = make_backend(base, entries, len(view_names), prefer_backend)
+        return cls(
+            backend=backend,
+            freqs=freqs,
+            vindex=vindex,
+            mat_hours=mat,
+            maint_hours=maint,
+            sizes_gb=sizes,
+            runs_per_period=runs,
+            model=model,
+            inputs=inputs,
+            transfer=transfer,
+        )
+
+    # -- evaluation ----------------------------------------------------
+
+    @property
+    def backend_name(self) -> str:
+        """Which row-min backend this world runs (``numpy``/``python``)."""
+        return self._backend.name
+
+    def _bill(self, hours: float) -> Money:
+        """Memoized Formula 8/10/12 activity bill (ZERO for no hours)."""
+        money = self._bill_cache.get(hours)
+        if money is None:
+            money = (
+                ZERO
+                if hours == 0
+                else self._compute_pricing.cost(
+                    self._instance_type, hours, self._n_instances
+                )
+            )
+            self._bill_cache[hours] = money
+        return money
+
+    def _storage(self, views_gb: float) -> Money:
+        """Memoized Formula 5 on the view-augmented timeline."""
+        money = self._storage_cache.get(views_gb)
+        if money is None:
+            money = storage_cost_with_views(
+                self._storage_pricing, self._timeline, views_gb
+            )
+            self._storage_cache[views_gb] = money
+        return money
+
+    def evaluate(self, subset: FrozenSet[str]) -> CostBreakdown:
+        """Price ``subset`` — identical to the oracle, byte for byte.
+
+        ``subset`` must already be validated (the
+        :class:`~repro.optimizer.problem.SelectionProblem` seam calls
+        ``check_subset`` first).
+        """
+        ordered = sorted(subset)
+        idx = [self._vindex[name] for name in ordered]
+
+        min_hours = self._backend.min_hours(idx)
+        weighted = [h * f for h, f in zip(min_hours, self._freqs)]
+        processing_hours = sum(weighted)
+
+        runs = self._runs
+        t_processing = 0.0
+        for hours in weighted:
+            t_processing += hours * runs
+        t_materialization = 0.0
+        for i in idx:
+            t_materialization += self._mat[i]
+        t_maintenance = 0.0
+        for i in idx:
+            t_maintenance += self._maint[i]
+        views_gb = sum(self._sizes[i] for i in idx)
+
+        computing = ComputingBreakdown(
+            processing_hours=t_processing,
+            materialization_hours=t_materialization,
+            maintenance_hours=t_maintenance,
+            processing_cost=self._bill(t_processing),
+            materialization_cost=self._bill(t_materialization),
+            maintenance_cost=self._bill(t_maintenance),
+        )
+        self._telemetry.inc("kernel.evaluations")
+        return CostBreakdown(
+            computing=computing,
+            storage=self._storage(views_gb),
+            transfer=self._transfer,
+            processing_hours=processing_hours,
+        )
+
+    def total_cents(self, subset: FrozenSet[str]) -> int:
+        """The subset's Formula 1 total on the int64 cent grid, checked.
+
+        The screening form optimizers can rank by without carrying
+        Money objects; overflow raises rather than wraps.
+        """
+        return to_cents(self.evaluate(subset).total)
+
+    def total_cents_batch(self, subsets: Sequence[FrozenSet[str]]):
+        """:meth:`total_cents` over many subsets.
+
+        Returns an int64 numpy vector when numpy is available, a plain
+        list otherwise — either way every entry is range-checked.
+        """
+        counts = [self.total_cents(subset) for subset in subsets]
+        from ..compat import np
+
+        if np is not None:
+            return np.array(counts, dtype=np.int64)
+        return counts

@@ -37,6 +37,7 @@ from typing import AbstractSet, Dict, FrozenSet, Hashable, Optional, Tuple
 from ..costmodel.estimator import PlanningInputs
 from ..costmodel.total import CloudCostModel, CostBreakdown
 from ..errors import OptimizationError
+from ..kernel import KernelWorld, kernel_enabled
 from ..money import Money
 
 __all__ = [
@@ -167,6 +168,12 @@ class SelectionProblem:
     with other problems; ``state_key`` identifies this problem's world
     in that cache and defaults to ``inputs.fingerprint()`` (computed
     lazily, only if the shared cache is consulted).
+
+    ``kernel`` controls whether pricing runs through the vectorized
+    :class:`~repro.kernel.KernelWorld` (``None`` follows the ambient
+    :func:`repro.kernel.kernel_enabled` default).  The kernel is a pure
+    accelerator: it reproduces the Decimal path byte-for-byte or is
+    not used at all, so the flag never changes any outcome.
     """
 
     def __init__(
@@ -175,6 +182,7 @@ class SelectionProblem:
         cost_model: Optional[CloudCostModel] = None,
         cache: Optional[SubsetEvaluationCache] = None,
         state_key: Optional[Hashable] = None,
+        kernel: Optional[bool] = None,
     ) -> None:
         if cache is not None and cost_model is not None and state_key is None:
             # The default state key fingerprints the inputs only; a
@@ -190,6 +198,9 @@ class SelectionProblem:
         self._shared = cache
         self._state_key = state_key
         self._stats = EvaluationStats()
+        self._kernel_requested = kernel
+        self._kernel_world: Optional[KernelWorld] = None
+        self._kernel_tried = False
 
     @property
     def inputs(self) -> PlanningInputs:
@@ -232,13 +243,35 @@ class SelectionProblem:
                 self._cache[key] = shared
                 self._stats.shared_hits += 1
                 return shared
-        breakdown = self._model.evaluate(self._inputs.plan_for(key))
+        world = self._kernel_world_for()
+        if world is not None:
+            breakdown = world.evaluate(key)
+        else:
+            breakdown = self._model.evaluate(self._inputs.plan_for(key))
         outcome = SelectionOutcome(subset=key, breakdown=breakdown)
         self._stats.priced += 1
         self._cache[key] = outcome
         if self._shared is not None:
             self._shared.put(self.state_key, key, outcome)
         return outcome
+
+    def _kernel_world_for(self) -> Optional[KernelWorld]:
+        """The kernel world pricing this problem, built on first miss.
+
+        ``None`` means the kernel is disabled or cannot represent this
+        world; the caller runs the oracle path instead.  Built lazily
+        so problems answered entirely from caches never pay the build.
+        """
+        if not self._kernel_tried:
+            self._kernel_tried = True
+            wanted = (
+                self._kernel_requested
+                if self._kernel_requested is not None
+                else kernel_enabled()
+            )
+            if wanted:
+                self._kernel_world = KernelWorld.build(self._inputs, self._model)
+        return self._kernel_world
 
     def baseline(self) -> SelectionOutcome:
         """The without-views outcome (Section 3 of the paper)."""

@@ -1,0 +1,89 @@
+"""Backend parity: numpy and pure-Python row-min agree bit-for-bit."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compat import HAVE_NUMPY
+from repro.kernel import KernelWorld, NumpyBackend, PurePythonBackend, make_backend
+from repro.optimizer import SelectionProblem
+
+
+def test_make_backend_honours_preference():
+    backend = make_backend([1.0], [[]], 1, prefer="python")
+    assert isinstance(backend, PurePythonBackend)
+    if HAVE_NUMPY:
+        backend = make_backend([1.0], [[]], 1, prefer="numpy")
+        assert isinstance(backend, NumpyBackend)
+
+
+def test_auto_prefers_python_for_small_worlds():
+    backend = make_backend([1.0, 2.0], [[], []], 3, prefer="auto")
+    assert isinstance(backend, PurePythonBackend)
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="needs numpy")
+def test_auto_prefers_numpy_for_large_worlds():
+    base = [1.0] * 64
+    entries = [[] for _ in base]
+    backend = make_backend(base, entries, 64, prefer="auto")
+    assert isinstance(backend, NumpyBackend)
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="needs numpy")
+@pytest.mark.parametrize("seed", range(25))
+def test_backends_agree_bitwise(seed, random_world_factory):
+    """Both backends price every sampled subset to identical reprs."""
+    import random
+    from itertools import combinations
+
+    world = random_world_factory(500 + seed)
+    from repro.costmodel.total import CloudCostModel
+
+    model = CloudCostModel(world.deployment)
+    with_numpy = KernelWorld.build(world.inputs, model, prefer_backend="numpy")
+    with_python = KernelWorld.build(world.inputs, model, prefer_backend="python")
+    assert with_numpy is not None and with_python is not None
+    assert with_numpy.backend_name == "numpy"
+    assert with_python.backend_name == "python"
+
+    names = [c.name for c in world.candidates]
+    rng = random.Random(seed)
+    subsets = [frozenset()] + [frozenset({n}) for n in names]
+    subsets += [frozenset(p) for p in combinations(names, 2)][:8]
+    if names:
+        subsets.append(frozenset(rng.sample(names, rng.randint(1, len(names)))))
+    for subset in subsets:
+        assert repr(with_numpy.evaluate(subset)) == repr(
+            with_python.evaluate(subset)
+        )
+
+
+def test_pure_python_backend_runs_without_numpy(random_world_factory):
+    """The fallback works regardless of the environment; under the
+    no-numpy CI job it is also what `auto` resolves to."""
+    world = random_world_factory(42)
+    problem = SelectionProblem(world.inputs, kernel=True)
+    outcome = problem.baseline()
+    assert outcome.total_cost == problem.baseline().total_cost
+    assert problem._kernel_world is not None
+    if not HAVE_NUMPY:
+        assert problem._kernel_world.backend_name == "python"
+
+
+def test_total_cents_batch(random_world_factory):
+    from repro.kernel import to_cents
+
+    world = random_world_factory(7)
+    from repro.costmodel.total import CloudCostModel
+
+    kernel = KernelWorld.build(world.inputs, CloudCostModel(world.deployment))
+    assert kernel is not None
+    subsets = [frozenset(), frozenset(c.name for c in world.candidates)]
+    batch = kernel.total_cents_batch(subsets)
+    expected = [to_cents(kernel.evaluate(s).total) for s in subsets]
+    assert list(batch) == expected
+    if HAVE_NUMPY:
+        import numpy as np
+
+        assert batch.dtype == np.int64

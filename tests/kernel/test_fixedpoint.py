@@ -1,0 +1,130 @@
+"""Property tests for the checked int64 cent grid.
+
+The satellite contract: every Decimal amount representable in cents
+survives ``to_cents`` -> int64 -> ``from_cents`` exactly, and amounts
+that would overflow int64 raise instead of wrapping.
+"""
+
+from __future__ import annotations
+
+import random
+from decimal import Decimal
+
+import pytest
+
+from repro.compat import HAVE_NUMPY
+from repro.errors import FixedPointOverflow, KernelError, ReproError
+from repro.kernel import (
+    CENTS_MAX,
+    CENTS_MIN,
+    cents_vector,
+    from_cents,
+    to_cents,
+    to_cents_list,
+)
+from repro.money import Money
+
+
+def _random_cents(rng: random.Random) -> int:
+    """Cent counts across the whole grid, biased toward the edges."""
+    magnitude = rng.choice(
+        [
+            rng.randint(0, 10_000),
+            rng.randint(0, 10**9),
+            rng.randint(0, CENTS_MAX),
+            CENTS_MAX - rng.randint(0, 3),
+        ]
+    )
+    return -magnitude if rng.random() < 0.5 else magnitude
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_cent_grid_round_trip_is_exact(seed):
+    """to_cents(from_cents(c)) == c for cent counts across the grid."""
+    rng = random.Random(seed)
+    for _ in range(500):
+        cents = _random_cents(rng)
+        money = from_cents(cents)
+        assert to_cents(money) == cents
+        # The checked conversion agrees with Money's unchecked one
+        # wherever the latter is in range.
+        assert to_cents(money) == money.to_cents()
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_cent_representable_money_survives_round_trip(seed):
+    """Cent-representable Decimal amounts come back value-equal."""
+    rng = random.Random(1000 + seed)
+    for _ in range(300):
+        cents = _random_cents(rng)
+        # Several textual spellings of the same cent-representable
+        # amount: plain, trailing zeros, exponent form.
+        base = Decimal(cents).scaleb(-2)
+        for spelling in (base, Decimal(str(base) + "0"), base.normalize()):
+            money = Money(spelling)
+            assert from_cents(to_cents(money)) == money
+
+
+def test_half_up_rounding_matches_money():
+    assert to_cents(Money("10.005")) == 1001
+    assert to_cents(Money("-10.005")) == -1001
+    assert to_cents(Money("0.004")) == 0
+    assert to_cents(Money("1.999")) == 200
+
+
+def test_bounds_are_inclusive():
+    assert to_cents(from_cents(CENTS_MAX)) == CENTS_MAX
+    assert to_cents(from_cents(CENTS_MIN)) == CENTS_MIN
+
+
+@pytest.mark.parametrize(
+    "amount",
+    [
+        Decimal(CENTS_MAX + 1).scaleb(-2),
+        Decimal(CENTS_MIN - 1).scaleb(-2),
+        Decimal("1e30"),
+        Decimal("-1e30"),
+        # So large that even quantizing to cents is impossible in the
+        # default Decimal context: must still raise ours, not decimal's.
+        Decimal("9" * 40),
+    ],
+)
+def test_overflow_raises_instead_of_wrapping(amount):
+    with pytest.raises(FixedPointOverflow):
+        to_cents(Money(amount))
+
+
+def test_from_cents_range_checked():
+    with pytest.raises(FixedPointOverflow):
+        from_cents(CENTS_MAX + 1)
+    with pytest.raises(FixedPointOverflow):
+        from_cents(CENTS_MIN - 1)
+    with pytest.raises(FixedPointOverflow):
+        from_cents(1.5)  # type: ignore[arg-type]
+
+
+def test_overflow_is_a_kernel_and_repro_error():
+    assert issubclass(FixedPointOverflow, KernelError)
+    assert issubclass(FixedPointOverflow, ReproError)
+
+
+def test_to_cents_list_checks_every_entry():
+    amounts = [Money("1.00"), Money("2.50"), Money("-0.01")]
+    assert to_cents_list(amounts) == [100, 250, -1]
+    with pytest.raises(FixedPointOverflow):
+        to_cents_list([Money("1.00"), Money(Decimal("1e30"))])
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="needs numpy")
+def test_cents_vector_is_int64():
+    import numpy as np
+
+    vector = cents_vector([Money("1.08"), Money("924.00"), from_cents(CENTS_MAX)])
+    assert vector.dtype == np.int64
+    assert vector.tolist() == [108, 92400, CENTS_MAX]
+
+
+@pytest.mark.skipif(HAVE_NUMPY, reason="exercises the numpy-less gate")
+def test_cents_vector_requires_numpy():
+    with pytest.raises(ReproError):
+        cents_vector([Money("1.00")])

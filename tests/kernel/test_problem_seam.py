@@ -1,0 +1,124 @@
+"""The SelectionProblem seam: opt-outs, fallbacks, and telemetry."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro import telemetry
+from repro.costmodel.total import CloudCostModel, CostBreakdown, WorkloadPlan
+from repro.kernel import (
+    NO_KERNEL_ENV,
+    KernelWorld,
+    kernel_enabled,
+    set_kernel_enabled,
+)
+from repro.optimizer import SelectionProblem
+
+
+@pytest.fixture
+def world(random_world_factory):
+    return random_world_factory(11)
+
+
+@pytest.fixture(autouse=True)
+def _restore_override():
+    previous = set_kernel_enabled(None)
+    yield
+    set_kernel_enabled(previous)
+
+
+def test_kernel_on_by_default(world, monkeypatch):
+    monkeypatch.delenv(NO_KERNEL_ENV, raising=False)
+    assert kernel_enabled()
+    problem = SelectionProblem(world.inputs)
+    problem.baseline()
+    assert problem._kernel_world is not None
+
+
+def test_env_var_disables_kernel(world, monkeypatch):
+    monkeypatch.setenv(NO_KERNEL_ENV, "1")
+    assert not kernel_enabled()
+    problem = SelectionProblem(world.inputs)
+    problem.baseline()
+    assert problem._kernel_world is None
+
+
+def test_env_var_zero_means_enabled(monkeypatch):
+    monkeypatch.setenv(NO_KERNEL_ENV, "0")
+    assert kernel_enabled()
+
+
+def test_explicit_flag_beats_environment(world, monkeypatch):
+    monkeypatch.setenv(NO_KERNEL_ENV, "1")
+    problem = SelectionProblem(world.inputs, kernel=True)
+    problem.baseline()
+    assert problem._kernel_world is not None
+
+
+def test_process_override(world, monkeypatch):
+    monkeypatch.delenv(NO_KERNEL_ENV, raising=False)
+    set_kernel_enabled(False)
+    assert not kernel_enabled()
+    problem = SelectionProblem(world.inputs)
+    problem.baseline()
+    assert problem._kernel_world is None
+
+
+def test_cascade_worlds_fall_back_to_oracle(world):
+    cascade_dep = replace(world.deployment, cascade_materialization=True)
+    inputs = replace(world.inputs, deployment=cascade_dep)
+    problem = SelectionProblem(inputs, kernel=True)
+    baseline = problem.baseline()
+    assert problem._kernel_world is None
+    oracle = SelectionProblem(inputs, kernel=False)
+    assert repr(baseline.breakdown) == repr(oracle.baseline().breakdown)
+
+
+def test_subclassed_cost_models_fall_back(world):
+    class Surcharged(CloudCostModel):
+        def evaluate(self, plan: WorkloadPlan) -> CostBreakdown:
+            breakdown = super().evaluate(plan)
+            return replace(breakdown, storage=breakdown.storage * 2)
+
+    problem = SelectionProblem(
+        world.inputs, cost_model=Surcharged(world.deployment), kernel=True
+    )
+    baseline = problem.baseline()
+    assert problem._kernel_world is None
+    plain = SelectionProblem(world.inputs, kernel=False).baseline()
+    assert baseline.breakdown.storage == plain.breakdown.storage * 2
+
+
+def test_kernel_build_returns_none_for_negative_hours(world):
+    bad = dict(world.inputs.base_query_hours)
+    first = next(iter(bad))
+    bad[first] = -1.0
+    inputs = replace(world.inputs, base_query_hours=bad)
+    assert KernelWorld.build(inputs, CloudCostModel(world.deployment)) is None
+
+
+def test_telemetry_counts_builds_and_evaluations(world):
+    with telemetry.activate() as collector:
+        problem = SelectionProblem(world.inputs, kernel=True)
+        problem.baseline()
+        for candidate in world.candidates[:2]:
+            problem.singleton(candidate.name)
+        problem.baseline()  # cache hit: no extra kernel evaluation
+    registry = collector.registry
+    assert registry.counter("kernel.builds") == 1
+    expected = 1 + len(world.candidates[:2])
+    assert registry.counter("kernel.evaluations") == expected
+    assert registry.spans["kernel.build"].count == 1
+
+
+def test_stats_semantics_unchanged_by_kernel(world):
+    fast = SelectionProblem(world.inputs, kernel=True)
+    slow = SelectionProblem(world.inputs, kernel=False)
+    for problem in (fast, slow):
+        problem.baseline()
+        problem.baseline()
+    assert fast.stats.calls == slow.stats.calls == 2
+    assert fast.stats.priced == slow.stats.priced == 1
+    assert fast.stats.local_hits == slow.stats.local_hits == 1

@@ -169,6 +169,45 @@ class TestSubsetEvaluationCache:
         cache.clear()  # interned ids survive a clear
         assert cache.intern(("world", 1)) == a
 
+    def test_interned_ids_stay_distinct_across_clear(self, paper_problem):
+        """Regression: ``clear()`` must not recycle interned ids.
+
+        The simulator interns one id per epoch world and keeps using it
+        after trimming the cache between policy sweeps.  If ``clear()``
+        also dropped ``_interned``, the next world interned after a
+        clear would reuse id 0 and silently serve another world's
+        pricings.  Here two problems interned *before* the clear and a
+        third interned *after* it must all resolve to distinct worlds.
+        """
+        cache = SubsetEvaluationCache()
+        id_a = cache.intern(("epoch", 0))
+        id_b = cache.intern(("epoch", 1))
+        first = SelectionProblem(
+            paper_problem.inputs, cache=cache, state_key=id_a
+        )
+        outcome_a = first.evaluate(frozenset({"V1"}))
+        cache.clear()
+        # A world interned after the clear gets a fresh id, not id 0.
+        id_c = cache.intern(("epoch", 2))
+        assert len({id_a, id_b, id_c}) == 3
+        third = SelectionProblem(
+            paper_problem.inputs, cache=cache, state_key=id_c
+        )
+        outcome_c = third.evaluate(frozenset({"V1"}))
+        # Both worlds priced independently: the clear dropped entries,
+        # and the post-clear world never aliased the pre-clear one.
+        assert third.stats.priced == 1
+        assert outcome_c is not outcome_a
+        # Pre-clear ids still resolve: re-pricing under id_a repopulates
+        # its own slot without touching id_c's.
+        second = SelectionProblem(
+            paper_problem.inputs, cache=cache, state_key=id_a
+        )
+        outcome_a2 = second.evaluate(frozenset({"V1"}))
+        assert second.stats.priced == 1
+        assert cache.get(id_a, frozenset({"V1"})) is outcome_a2
+        assert cache.get(id_c, frozenset({"V1"})) is outcome_c
+
     def test_custom_cost_model_needs_explicit_state_key(self, paper_problem):
         """Regression: a custom model under the default fingerprint key
         would alias another model's outcomes in a shared cache."""
