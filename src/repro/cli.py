@@ -62,6 +62,7 @@ test_kernel_ledger_identity.py``).
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import os
 import sys
 from contextlib import contextmanager
@@ -78,6 +79,7 @@ from .telemetry import (
     summary_table,
     write_trace,
 )
+from .optimizer.registry import registered_algorithms, resolve as resolve_optimizer
 from .simulate.arbitrage import ArbitrageAware
 from .simulate.attribution import ATTRIBUTION_MODES
 from .simulate.montecarlo import (
@@ -185,9 +187,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lifecycle.add_argument(
         "--algorithm",
-        choices=("knapsack", "greedy", "exhaustive"),
+        choices=registered_algorithms(),
         default="greedy",
         help="selection algorithm used by every policy (default %(default)s)",
+    )
+    lifecycle.add_argument(
+        "--search-budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "exact subset evaluations an anytime search may spend per "
+            "solve (needs --algorithm beam or local)"
+        ),
+    )
+    lifecycle.add_argument(
+        "--search-seed",
+        type=int,
+        default=None,
+        metavar="S",
+        help=(
+            "seed for the search's move sampling (needs --algorithm "
+            "beam or local; default 0)"
+        ),
     )
     lifecycle.add_argument(
         "--rows",
@@ -500,13 +522,42 @@ def _build_config(args: argparse.Namespace):
     )
 
 
+#: Algorithms the --search-* knobs configure.
+SEARCH_ALGORITHMS = ("beam", "local")
+
+
+def _optimizer_spec(args: argparse.Namespace):
+    """Resolve ``--algorithm`` plus the search knobs to one spec.
+
+    Follows the sentinel-knob convention (:func:`_migration_knobs`):
+    a ``--search-*`` knob typed alongside a non-search algorithm is an
+    error, never a silent no-op.
+    """
+    typed = args.search_budget is not None or args.search_seed is not None
+    spec = resolve_optimizer(args.algorithm)
+    if args.algorithm not in SEARCH_ALGORITHMS:
+        if typed:
+            raise SimulationError(
+                "--search-budget and --search-seed apply to the anytime "
+                "search algorithms; add --algorithm beam or --algorithm local"
+            )
+        return spec
+    replacements = {}
+    if args.search_budget is not None:
+        replacements["budget"] = args.search_budget
+    if args.search_seed is not None:
+        replacements["seed"] = args.search_seed
+    return dataclasses.replace(spec, **replacements) if replacements else spec
+
+
 def _simulate_policies(args: argparse.Namespace, scenario_factory=None):
     horizon, hold = _migration_knobs(args)
+    optimizer = _optimizer_spec(args)
     names = POLICY_NAMES if args.policy == "all" else (args.policy,)
     policies = [
         make_policy(
             name,
-            algorithm=args.algorithm,
+            optimizer=optimizer,
             period=args.period,
             threshold=args.threshold,
             scenario_factory=scenario_factory,
@@ -653,6 +704,7 @@ def _run_simulate_montecarlo(args: argparse.Namespace) -> int:
         )
     horizon, hold = _migration_knobs(args)
     builds = _build_config(args)
+    optimizer = _optimizer_spec(args)
     arbitrage_knobs = (
         {
             "arbitrage": True,
@@ -680,6 +732,7 @@ def _run_simulate_montecarlo(args: argparse.Namespace) -> int:
                 period=args.period,
                 threshold=args.threshold,
                 hysteresis=args.hysteresis,
+                optimizer=optimizer,
                 **arbitrage_knobs,
             )
             for name in names

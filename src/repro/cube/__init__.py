@@ -6,6 +6,7 @@ from .candidates import (
     candidates_from_workload,
     enumerate_candidates,
 )
+from .generate import GeneratedLattice, generate_lattice_inputs
 from .hru import HruSelection, hru_select
 from .lattice import CuboidLattice
 from .views import CandidateView, ViewStats
@@ -15,11 +16,13 @@ __all__ = [
     "BuildStep",
     "CandidateView",
     "CuboidLattice",
+    "GeneratedLattice",
     "HruSelection",
     "ViewStats",
     "plan_builds",
     "candidates_from_grains",
     "candidates_from_workload",
     "enumerate_candidates",
+    "generate_lattice_inputs",
     "hru_select",
 ]

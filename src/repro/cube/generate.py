@@ -1,0 +1,185 @@
+"""Generated lattices far beyond paper scale (ROADMAP 2).
+
+The paper's experiments select from a handful of cuboids over a 10 GB
+sales dataset.  The search optimizers in
+:mod:`repro.optimizer.search` exist for the regime the classic trio
+cannot reach: *thousands* of candidate views over a wider schema.
+This module manufactures that regime deterministically —
+:func:`generate_lattice_inputs` builds a star schema whose dimension
+hierarchies multiply out to at least ``n_views`` distinct grains,
+enumerates candidate views over them, draws a seeded workload whose
+queries are answerable by those views, and prices everything through
+the analytic :class:`~repro.costmodel.PlanningEstimator` (no physical
+rows are generated; a :class:`~repro.data.sizing.LogicalSizeModel`
+scale factor stands in for the billable gigabytes, exactly as the
+paper-scale experiments do).
+
+Both ``tests/optimizer/test_search.py`` and
+``benchmarks/bench_search.py`` build their worlds here, so the
+acceptance lattice the tests assert on is byte-identical to the one
+the benchmarks time.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Tuple
+
+from ..data.sizing import LogicalSizeModel
+from ..errors import DataGenerationError
+from ..pricing.providers import aws_2012
+from ..schema.hierarchy import Dimension, Hierarchy
+from ..schema.star import Measure, StarSchema
+from ..workload.query import AggregateQuery
+from ..workload.workload import Workload
+from .views import CandidateView
+
+if TYPE_CHECKING:  # costmodel imports cube; break the cycle at runtime
+    from ..costmodel import DeploymentSpec
+    from ..costmodel.estimator import PlanningInputs
+
+__all__ = ["GeneratedLattice", "generate_lattice_inputs"]
+
+
+class _FactStub:
+    """Just enough fact table for the analytic estimator: a row count."""
+
+    def __init__(self, n_rows: int) -> None:
+        self.n_rows = n_rows
+
+
+class _DatasetStub:
+    """Duck-typed stand-in for :class:`repro.data.Dataset` (analytic mode)."""
+
+    def __init__(
+        self, schema: StarSchema, n_rows: int, size_model: LogicalSizeModel
+    ) -> None:
+        self.schema = schema
+        self.fact = _FactStub(n_rows)
+        self.size_model = size_model
+
+    @property
+    def logical_size_gb(self) -> float:
+        return self.size_model.rows_to_gb(self.schema.base_grain, self.fact.n_rows)
+
+
+@dataclass(frozen=True)
+class GeneratedLattice:
+    """One generated lattice world and its derived planning inputs."""
+
+    seed: int
+    schema: StarSchema
+    workload: Workload
+    candidates: Tuple[CandidateView, ...]
+    deployment: "DeploymentSpec"
+    inputs: "PlanningInputs"
+
+
+def _wide_schema(rng: random.Random, n_views: int) -> StarSchema:
+    """A star schema whose grain lattice holds > ``n_views`` cuboids.
+
+    Dimensions are appended (three levels each, so four grain choices
+    counting ``ALL``) until the product of per-dimension choices
+    clears ``n_views`` plus the base grain.
+    """
+    dims = []
+    choices = 1
+    d = 0
+    while choices <= n_views:
+        n_levels = 3
+        levels = [f"d{d}l{i}" for i in range(n_levels)]
+        cards = {}
+        card = rng.choice([365, 1_000, 10_000, 50_000])
+        for level in levels:
+            cards[level] = card
+            card = max(1, card // rng.choice([4, 10, 25]))
+        dims.append(Dimension(f"dim{d}", Hierarchy(f"dim{d}", levels), cards))
+        choices *= n_levels + 1
+        d += 1
+    measures = [Measure("m0"), Measure("m1")]
+    return StarSchema("lattice", dims, measures)
+
+
+def _all_grains(schema: StarSchema) -> List[Tuple[str, ...]]:
+    """Every cuboid grain in the lattice, base grain excluded."""
+    per_dim = [list(dim.hierarchy.levels_with_all) for dim in schema.dimensions]
+    base = schema.base_grain
+    return [
+        schema.validate_grain(grain)
+        for grain in itertools.product(*per_dim)
+        if tuple(grain) != tuple(base)
+    ]
+
+
+def generate_lattice_inputs(
+    n_views: int = 1_000,
+    n_queries: int = 24,
+    seed: int = 0,
+    target_gb: float = 100.0,
+    n_instances: int = 5,
+) -> GeneratedLattice:
+    """A seeded planning problem with ``n_views`` candidate views.
+
+    Parameters
+    ----------
+    n_views:
+        Candidate views to enumerate (each a distinct cuboid grain).
+    n_queries:
+        Workload queries, drawn over the candidate grains so every
+        query can be answered by at least one materialized view.
+    seed:
+        Drives every random draw; the same seed reproduces the same
+        world byte for byte.
+    target_gb:
+        Logical dataset size the scale model bills.  The paper runs
+        at 10 GB; the default is 10x that, and benchmarks push 100x.
+    n_instances:
+        Cluster width for the deployment (the paper's experiments use
+        five instances).
+    """
+    from ..costmodel import DeploymentSpec, PlanningEstimator
+
+    if n_views < 1:
+        raise DataGenerationError(f"n_views must be >= 1, got {n_views}")
+    if n_queries < 1:
+        raise DataGenerationError(f"n_queries must be >= 1, got {n_queries}")
+    rng = random.Random(seed)
+    schema = _wide_schema(rng, n_views)
+    grains = _all_grains(schema)
+    rng.shuffle(grains)
+    grains = grains[:n_views]
+    candidates = tuple(
+        CandidateView(f"V{i + 1}", grain) for i, grain in enumerate(grains)
+    )
+    queries = []
+    for i in range(n_queries):
+        grain = rng.choice(grains)
+        # Frequencies span the magnitudes the pricing path branches
+        # on: occasional reports up to hot dashboard queries.
+        frequency = rng.choice([0.5, 1.0, 2.0, 8.0, 30.0, 120.0])
+        queries.append(AggregateQuery(f"Q{i + 1}", grain, frequency, ()))
+    workload = Workload(schema, queries)
+    deployment = DeploymentSpec(
+        provider=aws_2012(),
+        instance_type="xlarge",
+        n_instances=n_instances,
+        storage_months=1.0,
+        maintenance_cycles=30,
+        update_fraction_per_cycle=0.002,
+        runs_per_period=30.0,
+    )
+    n_rows = 200_000
+    size_model = LogicalSizeModel.for_target_size(schema, n_rows, target_gb)
+    dataset = _DatasetStub(schema, n_rows, size_model)
+    estimator = PlanningEstimator(dataset, deployment, mode="analytic")
+    inputs = estimator.build(workload, candidates)
+    return GeneratedLattice(
+        seed=seed,
+        schema=schema,
+        workload=workload,
+        candidates=candidates,
+        deployment=deployment,
+        inputs=inputs,
+    )

@@ -18,6 +18,7 @@ __all__ = [
     "EngineError",
     "CostModelError",
     "OptimizationError",
+    "ScenarioMismatchError",
     "InfeasibleProblemError",
     "ExperimentError",
     "SimulationError",
@@ -61,6 +62,27 @@ class CostModelError(ReproError):
 
 class OptimizationError(ReproError):
     """The optimizer was configured incorrectly."""
+
+
+class ScenarioMismatchError(OptimizationError):
+    """An algorithm was paired with a scenario it cannot optimize.
+
+    Names both sides — the algorithm and the scenario type — so the
+    caller knows which half of the pairing to change.  Raised instead
+    of letting the mismatch fall through to a generic error deep in
+    the algorithm (the old behaviour: a custom scenario handed to the
+    knapsack died with "unknown scenario type" long after the kwargs
+    were accepted).
+    """
+
+    def __init__(self, algorithm: str, scenario, reason: str = "") -> None:
+        detail = f" ({reason})" if reason else ""
+        super().__init__(
+            f"algorithm {algorithm!r} cannot optimize scenario "
+            f"{type(scenario).__name__} ({scenario.describe()}){detail}"
+        )
+        self.algorithm = algorithm
+        self.scenario = scenario
 
 
 class InfeasibleProblemError(OptimizationError):

@@ -40,6 +40,7 @@ from .fixedpoint import (
     to_cents,
     to_cents_list,
 )
+from .screen import ScreeningWorld
 from .world import KernelWorld
 
 __all__ = [
@@ -49,6 +50,7 @@ __all__ = [
     "NO_KERNEL_ENV",
     "NumpyBackend",
     "PurePythonBackend",
+    "ScreeningWorld",
     "cents_vector",
     "from_cents",
     "kernel_enabled",

@@ -52,6 +52,7 @@ from ..costmodel.transfer import transfer_cost
 from ..money import Money, ZERO
 from .backend import make_backend
 from .fixedpoint import to_cents
+from .screen import ScreeningWorld
 
 __all__ = ["KernelWorld"]
 
@@ -105,6 +106,7 @@ class KernelWorld:
         self._transfer = transfer
         self._bill_cache: Dict[float, Money] = {}
         self._storage_cache: Dict[float, Money] = {}
+        self._screening: Optional[ScreeningWorld] = None
         self._telemetry = telemetry.current()
 
     # -- construction --------------------------------------------------
@@ -272,6 +274,33 @@ class KernelWorld:
         Money objects; overflow raises rather than wraps.
         """
         return to_cents(self.evaluate(subset).total)
+
+    def screening(self) -> ScreeningWorld:
+        """The cents-only screening surrogate sharing this world's vectors.
+
+        Built once per world, on first request.  The screener reuses
+        the exact row-min backend (so screened hours match priced
+        hours bit for bit) but bills in pure float cents — a *ranking*
+        device for the anytime search optimizers, never a source of
+        reported numbers.
+        """
+        if self._screening is None:
+            self._screening = ScreeningWorld.from_parts(
+                backend=self._backend,
+                freqs=self._freqs,
+                vindex=self._vindex,
+                mat_hours=self._mat,
+                maint_hours=self._maint,
+                sizes_gb=self._sizes,
+                runs_per_period=self._runs,
+                compute_pricing=self._compute_pricing,
+                instance_type=self._instance_type,
+                n_instances=self._n_instances,
+                storage_schedule=self._storage_pricing.schedule,
+                timeline=self._timeline,
+                transfer_cents=float(self._transfer.to_cents()),
+            )
+        return self._screening
 
     def total_cents_batch(self, subsets: Sequence[FrozenSet[str]]):
         """:meth:`total_cents` over many subsets.

@@ -12,17 +12,36 @@ from .problem import (
     SelectionProblem,
     SubsetEvaluationCache,
 )
+from .registry import OptimizerSpec, register, registered_algorithms, resolve
 from .scenarios import BudgetLimit, Scenario, TimeLimit, Tradeoff, mv1, mv2, mv3
-from .selector import ALGORITHMS, SelectionResult, select_views
+from .search import BeamSearchSpec, LocalSearchSpec, SearchBudget
+from .selector import (
+    ALGORITHMS,
+    ExhaustiveSpec,
+    GreedySpec,
+    KnapsackSpec,
+    SelectionResult,
+    select_views,
+)
 
 __all__ = [
     "ALGORITHMS",
+    "BeamSearchSpec",
     "BudgetLimit",
     "ElasticChoice",
     "EvaluationStats",
+    "ExhaustiveSpec",
     "FairShareScenario",
+    "GreedySpec",
     "KnapsackSolution",
+    "KnapsackSpec",
+    "LocalSearchSpec",
+    "OptimizerSpec",
+    "SearchBudget",
     "SubsetEvaluationCache",
+    "register",
+    "registered_algorithms",
+    "resolve",
     "elastic_select",
     "scale_out_only",
     "Scenario",

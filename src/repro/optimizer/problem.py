@@ -37,7 +37,7 @@ from typing import AbstractSet, Dict, FrozenSet, Hashable, Optional, Tuple
 from ..costmodel.estimator import PlanningInputs
 from ..costmodel.total import CloudCostModel, CostBreakdown
 from ..errors import OptimizationError
-from ..kernel import KernelWorld, kernel_enabled
+from ..kernel import KernelWorld, ScreeningWorld, kernel_enabled
 from ..money import Money
 
 __all__ = [
@@ -201,6 +201,8 @@ class SelectionProblem:
         self._kernel_requested = kernel
         self._kernel_world: Optional[KernelWorld] = None
         self._kernel_tried = False
+        self._screen_world: Optional[KernelWorld] = None
+        self._screen_tried = False
 
     @property
     def inputs(self) -> PlanningInputs:
@@ -272,6 +274,40 @@ class SelectionProblem:
             if wanted:
                 self._kernel_world = KernelWorld.build(self._inputs, self._model)
         return self._kernel_world
+
+    def screener(self) -> Optional[ScreeningWorld]:
+        """The cents-only screening surrogate for this world, if any.
+
+        ``None`` when the world cannot be kernel-factored (cascade
+        materialization, subclassed cost models, inputs the oracle
+        rejects) — searchers then rank on exact evaluations instead.
+
+        Deliberately independent of the kernel on/off flag: screening
+        only *orders* candidate moves, and both the kernel and oracle
+        paths then price the screened winners to byte-identical
+        ledgers — so ``--no-kernel`` keeps changing nothing but speed.
+        The kernel world built here is reused for exact pricing when
+        the flag allows it, so nothing is factored twice.
+        """
+        if not self._screen_tried:
+            self._screen_tried = True
+            world = self._kernel_world
+            if world is None:
+                world = KernelWorld.build(self._inputs, self._model)
+                wanted = (
+                    self._kernel_requested
+                    if self._kernel_requested is not None
+                    else kernel_enabled()
+                )
+                if world is not None and wanted and not self._kernel_tried:
+                    # Share the factoring with the exact path when that
+                    # path would build the same world anyway.
+                    self._kernel_world = world
+                    self._kernel_tried = True
+            self._screen_world = world
+        if self._screen_world is None:
+            return None
+        return self._screen_world.screening()
 
     def baseline(self) -> SelectionOutcome:
         """The without-views outcome (Section 3 of the paper)."""

@@ -1,0 +1,80 @@
+"""Neighborhood moves: add / drop / swap, deterministically sampled.
+
+A search state is a candidate subset; its neighborhood is every subset
+one *move* away — add a view, drop a view, or swap a member for a
+non-member.  On big lattices the full add/swap neighborhood is too
+wide to screen every round, so moves are *sampled* with the search's
+seeded :class:`random.Random`: the sample depends only on (seed, state,
+pool), never on the remaining budget or the clock, which is what keeps
+anytime results byte-deterministic and budget-monotone.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import FrozenSet, List, Sequence
+
+__all__ = ["state_moves", "proposal"]
+
+
+def state_moves(
+    current: FrozenSet[str],
+    pool: Sequence[str],
+    rng: random.Random,
+    max_adds: int,
+    max_swaps: int,
+) -> List[FrozenSet[str]]:
+    """One beam state's neighborhood: adds (sampled), all drops, swaps.
+
+    ``pool`` must be in a deterministic order (the pruned candidate
+    list is sorted); sampling from it with a seeded ``rng`` is then
+    reproducible.  Drops are never sampled — states stay small, and a
+    missed drop is how early mistakes become permanent.
+    """
+    members = sorted(current)
+    others = [name for name in pool if name not in current]
+    moves: List[FrozenSet[str]] = []
+
+    adds = others if len(others) <= max_adds else rng.sample(others, max_adds)
+    for name in adds:
+        moves.append(current | {name})
+    for name in members:
+        moves.append(current - {name})
+    if members and others and max_swaps > 0:
+        for _ in range(max_swaps):
+            out_name = members[rng.randrange(len(members))]
+            in_name = others[rng.randrange(len(others))]
+            moves.append((current - {out_name}) | {in_name})
+    return moves
+
+
+def proposal(
+    current: FrozenSet[str],
+    pool: Sequence[str],
+    rng: random.Random,
+) -> FrozenSet[str]:
+    """One random move for local search (add, drop, or swap).
+
+    Move kinds are weighted by what is possible: an empty state can
+    only add, a full state can only drop or swap.  Returns ``current``
+    itself only when the pool is empty.
+    """
+    members = sorted(current)
+    others = [name for name in pool if name not in current]
+    kinds = []
+    if others:
+        kinds.append("add")
+    if members:
+        kinds.append("drop")
+    if members and others:
+        kinds.append("swap")
+    if not kinds:
+        return current
+    kind = kinds[rng.randrange(len(kinds))]
+    if kind == "add":
+        return current | {others[rng.randrange(len(others))]}
+    if kind == "drop":
+        return current - {members[rng.randrange(len(members))]}
+    out_name = members[rng.randrange(len(members))]
+    in_name = others[rng.randrange(len(others))]
+    return (current - {out_name}) | {in_name}

@@ -1,0 +1,106 @@
+"""Candidate pruning by benefit-similarity clustering.
+
+On a generated lattice most candidate views are near-duplicates of a
+better sibling: they answer the same queries with slightly different
+speedups.  Searching all of them wastes screens on redundant moves, so
+before searching we cluster candidates by the *shape* of their benefit
+and keep one representative per cluster (the Aouiche-style reduction
+PAPERS.md points at).
+
+A candidate's **benefit vector** has one component per workload query:
+``frequency x max(0, base_hours - view_hours)`` — the per-run time the
+view saves that query.  It is computed straight from
+:class:`~repro.costmodel.estimator.PlanningInputs` mappings: pruning
+costs **zero** subset evaluations and no kernel build.
+
+Clustering is the deterministic leader algorithm: walk candidates in
+descending total benefit (name-tiebroken), make a candidate a *leader*
+unless its benefit vector is cosine-similar to an existing leader's.
+Leaders survive; followers are pruned.  Views in ``protect`` (the warm
+start) always survive, whatever cluster they fall in — a warm start
+that pruning silently removed could never be the incumbent again.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+__all__ = ["benefit_vectors", "prune_candidates"]
+
+
+def benefit_vectors(inputs) -> Dict[str, Dict[int, float]]:
+    """Per-candidate sparse benefit vectors, keyed by query position.
+
+    Sparse because a lattice view typically answers a handful of the
+    workload's queries; components are per-run saved hours weighted by
+    query frequency.
+    """
+    qindex = {q.name: i for i, q in enumerate(inputs.workload)}
+    freqs = {q.name: q.frequency for q in inputs.workload}
+    base = inputs.base_query_hours
+    vectors: Dict[str, Dict[int, float]] = {
+        c.name: {} for c in inputs.candidates
+    }
+    for (qname, vname), hours in inputs.view_query_hours.items():
+        row = qindex.get(qname)
+        vec = vectors.get(vname)
+        if row is None or vec is None:
+            continue
+        saved = (base[qname] - hours) * freqs[qname]
+        if saved > 0:
+            vec[row] = saved
+    return vectors
+
+
+def _cosine(a: Dict[int, float], b: Dict[int, float], norm_a: float, norm_b: float) -> float:
+    if norm_a == 0 or norm_b == 0:
+        return 0.0
+    if len(b) < len(a):
+        a, b = b, a
+    dot = 0.0
+    for idx, value in a.items():
+        other = b.get(idx)
+        if other is not None:
+            dot += value * other
+    return dot / (norm_a * norm_b)
+
+
+def prune_candidates(
+    inputs,
+    keep: Optional[int],
+    protect: FrozenSet[str] = frozenset(),
+    similarity: float = 0.98,
+) -> Tuple[str, ...]:
+    """The search pool: cluster leaders plus protected views, sorted.
+
+    ``keep=None`` disables pruning (every positive-benefit candidate
+    survives).  Otherwise at most ``keep`` leaders are kept — highest
+    total benefit first — plus every ``protect`` member regardless.
+    Zero-benefit candidates are dropped outright (they can only cost),
+    again unless protected.
+    """
+    vectors = benefit_vectors(inputs)
+    norms = {
+        name: math.sqrt(sum(v * v for v in vec.values()))
+        for name, vec in vectors.items()
+    }
+    totals = {name: sum(vec.values()) for name, vec in vectors.items()}
+    ordered = sorted(vectors, key=lambda name: (-totals[name], name))
+
+    leaders: List[str] = []
+    for name in ordered:
+        if totals[name] <= 0:
+            continue
+        vec, norm = vectors[name], norms[name]
+        clustered = any(
+            _cosine(vec, vectors[leader], norm, norms[leader]) >= similarity
+            for leader in leaders
+        )
+        if not clustered:
+            leaders.append(name)
+    if keep is not None:
+        leaders = leaders[:keep]
+    survivors = set(leaders)
+    survivors.update(n for n in protect if n in vectors)
+    return tuple(sorted(survivors))

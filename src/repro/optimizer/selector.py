@@ -18,25 +18,44 @@
 Every algorithm returns a :class:`SelectionResult` carrying the chosen
 outcome *and* the no-views baseline, because the paper's reported
 quantities (Tables 6-8) are improvement rates against that baseline.
+
+Algorithms are resolved through the :mod:`repro.optimizer.registry`:
+``algorithm`` may be a legacy name string or an
+:class:`~repro.optimizer.registry.OptimizerSpec` instance carrying its
+own configuration (beam widths, budgets, seeds for the anytime search
+family in :mod:`repro.optimizer.search`).  The classic trio's specs —
+:class:`KnapsackSpec`, :class:`GreedySpec`, :class:`ExhaustiveSpec` —
+are defined and registered here.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional
+from typing import ClassVar, Dict, FrozenSet, List, Optional, Tuple, Union
 
-from ..errors import InfeasibleProblemError, OptimizationError
+from ..errors import InfeasibleProblemError, OptimizationError, ScenarioMismatchError
 from ..telemetry import current as current_telemetry
 from .exhaustive import exhaustive_select
 from .fairness import FairShareScenario
 from .greedy import greedy_select
 from .knapsack import max_value_knapsack, min_weight_cover
 from .problem import SelectionOutcome, SelectionProblem
+from .registry import OptimizerSpec, register, resolve
 from .scenarios import BudgetLimit, Scenario, TimeLimit, Tradeoff
 
-__all__ = ["SelectionResult", "select_views", "ALGORITHMS"]
+__all__ = [
+    "SelectionResult",
+    "select_views",
+    "ALGORITHMS",
+    "KnapsackSpec",
+    "GreedySpec",
+    "ExhaustiveSpec",
+]
 
+#: Legacy spellings of the classic trio.  Kept for compatibility; the
+#: authoritative list is :func:`repro.optimizer.registry.
+#: registered_algorithms`, which also includes the search family.
 ALGORITHMS = ("knapsack", "greedy", "exhaustive")
 
 
@@ -246,7 +265,74 @@ def _knapsack_select(
         return _knapsack_mv2(problem, scenario)
     if isinstance(scenario, Tradeoff):
         return _knapsack_mv3(problem, scenario)
-    raise OptimizationError(f"unknown scenario type: {type(scenario).__name__}")
+    raise ScenarioMismatchError("knapsack", scenario)
+
+
+# ---------------------------------------------------------------------------
+# The classic trio as registered specs.
+# ---------------------------------------------------------------------------
+
+
+@register
+@dataclass(frozen=True)
+class KnapsackSpec(OptimizerSpec):
+    """The paper's 0/1 knapsack under independence, with exact repair.
+
+    The DP dispatches on concrete scenario types, so unlike the search
+    algorithms it cannot optimize arbitrary :class:`Scenario`
+    implementations — ``supported_scenarios`` pins the four it knows,
+    and anything else raises :class:`~repro.errors.
+    ScenarioMismatchError` before any evaluation runs.
+    """
+
+    name: ClassVar[str] = "knapsack"
+    supported_scenarios: ClassVar[Tuple[type, ...]] = (
+        BudgetLimit,
+        TimeLimit,
+        Tradeoff,
+        FairShareScenario,
+    )
+
+    def solve(
+        self,
+        problem: SelectionProblem,
+        scenario: Scenario,
+        warm_start: Optional[FrozenSet[str]] = None,
+    ) -> SelectionOutcome:
+        self.check_scenario(scenario)
+        return _knapsack_select(problem, scenario)
+
+
+@register
+@dataclass(frozen=True)
+class GreedySpec(OptimizerSpec):
+    """Interaction-aware greedy: repair, best-addition, drop pass."""
+
+    name: ClassVar[str] = "greedy"
+
+    def solve(
+        self,
+        problem: SelectionProblem,
+        scenario: Scenario,
+        warm_start: Optional[FrozenSet[str]] = None,
+    ) -> SelectionOutcome:
+        return greedy_select(problem, scenario)
+
+
+@register
+@dataclass(frozen=True)
+class ExhaustiveSpec(OptimizerSpec):
+    """Ground truth by enumeration (capped candidate count)."""
+
+    name: ClassVar[str] = "exhaustive"
+
+    def solve(
+        self,
+        problem: SelectionProblem,
+        scenario: Scenario,
+        warm_start: Optional[FrozenSet[str]] = None,
+    ) -> SelectionOutcome:
+        return exhaustive_select(problem, scenario)
 
 
 # ---------------------------------------------------------------------------
@@ -257,33 +343,33 @@ def _knapsack_select(
 def select_views(
     problem: SelectionProblem,
     scenario: Scenario,
-    algorithm: str = "knapsack",
+    algorithm: Union[str, OptimizerSpec] = "knapsack",
+    warm_start: Optional[FrozenSet[str]] = None,
 ) -> SelectionResult:
     """Choose the views to materialize for ``scenario``.
+
+    ``algorithm`` is a registered name (``"knapsack"``, ``"greedy"``,
+    ``"exhaustive"``, ``"beam"``, ``"local"``) or an
+    :class:`~repro.optimizer.registry.OptimizerSpec` carrying its own
+    knobs.  ``warm_start`` seeds anytime algorithms with a previously
+    held subset; the classic trio ignores it, so legacy results are
+    unchanged.
 
     >>> # doctest-style sketch; see examples/quickstart.py for a
     >>> # runnable end-to-end version.
     """
-    if algorithm not in ALGORITHMS:
-        raise OptimizationError(
-            f"unknown algorithm {algorithm!r}; choose from {ALGORITHMS}"
-        )
+    spec = resolve(algorithm)
     telemetry = current_telemetry()
-    with telemetry.span("optimizer.solve", algorithm=algorithm):
-        if algorithm == "knapsack":
-            outcome = _knapsack_select(problem, scenario)
-        elif algorithm == "greedy":
-            outcome = greedy_select(problem, scenario)
-        else:
-            outcome = exhaustive_select(problem, scenario)
+    with telemetry.span("optimizer.solve", algorithm=spec.name):
+        outcome = spec.solve(problem, scenario, warm_start=warm_start)
     if telemetry.enabled:
-        telemetry.inc("optimizer.solves", algorithm=algorithm)
+        telemetry.inc("optimizer.solves", algorithm=spec.name)
         telemetry.observe(
             "optimizer.selected_views", len(outcome.subset)
         )
     return SelectionResult(
         scenario=scenario,
-        algorithm=algorithm,
+        algorithm=spec.name,
         outcome=outcome,
         baseline=problem.baseline(),
     )

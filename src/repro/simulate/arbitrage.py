@@ -248,9 +248,18 @@ class ArbitrageAware(ReselectionPolicy):
         """The inner policy's selection algorithm (delegated)."""
         return self._inner.algorithm
 
-    def optimum(self, problem: SelectionProblem) -> FrozenSet[str]:
+    @property
+    def optimizer(self):
+        """The inner policy's optimizer spec (delegated)."""
+        return self._inner.optimizer
+
+    def optimum(
+        self,
+        problem: SelectionProblem,
+        current: Optional[FrozenSet[str]] = None,
+    ) -> FrozenSet[str]:
         """The inner policy's optimum for ``problem`` (delegated)."""
-        return self._inner.optimum(problem)
+        return self._inner.optimum(problem, current)
 
     def decide(
         self,

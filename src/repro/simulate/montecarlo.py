@@ -34,6 +34,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import SimulationError
 from ..money import Money
+from ..optimizer.registry import OptimizerSpec
 from ..telemetry import Telemetry, activate, current as current_telemetry
 from .arbitrage import ArbitrageAware
 from .builds import BUILD_DISCIPLINES, BuildConfig
@@ -74,6 +75,13 @@ class PolicySpec:
     ``migration_horizon`` / ``migration_hold``), and makes every trial
     of the config quote the multi-provider market — so an arbitrage
     spec and its stay-put twin compare over identical worlds.
+
+    ``optimizer`` is the redesigned selection surface: a frozen
+    :class:`~repro.optimizer.registry.OptimizerSpec` carrying the
+    algorithm *and* its knobs (budgets, seeds, beam widths), which
+    pickles into workers like every other field.  When set it takes
+    precedence over the legacy ``algorithm`` name string, which stays
+    for compatibility.
     """
 
     name: str
@@ -84,6 +92,7 @@ class PolicySpec:
     arbitrage: bool = False
     migration_horizon: int = 6
     migration_hold: int = 2
+    optimizer: Optional[OptimizerSpec] = None
 
     def __post_init__(self) -> None:
         if self.name not in POLICY_NAMES:
@@ -103,10 +112,14 @@ class PolicySpec:
         """A fresh policy instance for one trial."""
         policy = make_policy(
             self.name,
-            algorithm=self.algorithm,
             period=self.period,
             threshold=self.threshold,
             hysteresis=self.hysteresis,
+            # The legacy name string routes through the same registry
+            # as a spec object, so both spellings build identically.
+            optimizer=(
+                self.optimizer if self.optimizer is not None else self.algorithm
+            ),
         )
         if self.arbitrage:
             return ArbitrageAware(

@@ -20,11 +20,13 @@ build/teardown consequences of their decisions.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, FrozenSet, Optional
+from typing import TYPE_CHECKING, Callable, FrozenSet, Optional, Union
 
 from ..errors import SimulationError
 from ..optimizer.problem import SelectionProblem
+from ..optimizer.registry import OptimizerSpec, resolve
 from ..optimizer.scenarios import Scenario, Tradeoff
 from ..optimizer.selector import select_views
 
@@ -50,6 +52,36 @@ __all__ = [
 
 #: Registry keys accepted by :func:`make_policy` (and the CLI).
 POLICY_NAMES = ("never", "periodic", "regret")
+
+
+def _resolve_optimizer(
+    optimizer: Optional[Union[str, OptimizerSpec]],
+    algorithm: Optional[str],
+) -> OptimizerSpec:
+    """One optimizer spec from the new and the deprecated kwarg.
+
+    ``optimizer`` is the redesigned surface (a spec object, or a
+    registry name for convenience).  ``algorithm`` is the legacy
+    scattered string kwarg: still honored, with a
+    :class:`DeprecationWarning`, so existing callers produce
+    byte-identical results while they migrate.
+    """
+    if optimizer is not None and algorithm is not None:
+        raise SimulationError(
+            "pass either optimizer= or the deprecated algorithm=, not both"
+        )
+    if algorithm is not None:
+        warnings.warn(
+            "algorithm= is deprecated; pass optimizer="
+            f"{resolve(algorithm).__class__.__name__}() (or the registry "
+            "name) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return resolve(algorithm)
+    if optimizer is None:
+        return resolve("greedy")
+    return resolve(optimizer)
 
 
 def _relative_regret(held_key, best_key) -> float:
@@ -91,7 +123,7 @@ class PolicyDecision:
 
 
 class ReselectionPolicy:
-    """Base policy: owns the scenario and algorithm used to (re)select.
+    """Base policy: owns the scenario and optimizer used to (re)select.
 
     The default scenario is the pure cost minimizer — ``Tradeoff`` with
     ``alpha=0`` — because a lifecycle ledger's natural objective is the
@@ -102,6 +134,13 @@ class ReselectionPolicy:
     mode: attributed tenant shares depend on the epoch's pricing
     world); ``scenario`` and ``scenario_factory`` are mutually
     exclusive.
+
+    ``optimizer`` is an :class:`~repro.optimizer.registry.OptimizerSpec`
+    (or a registry name) carrying the selection algorithm and all its
+    knobs; the scattered ``algorithm=`` string kwarg still works but
+    warns with :class:`DeprecationWarning`.  Policies hand the held
+    subset to the optimizer as a *warm start*, which the anytime search
+    specs turn into near-free re-selection on unchanged epochs.
     """
 
     name: str = "abstract"
@@ -109,8 +148,9 @@ class ReselectionPolicy:
     def __init__(
         self,
         scenario: Optional[Scenario] = None,
-        algorithm: str = "greedy",
+        algorithm: Optional[str] = None,
         scenario_factory: Optional[ScenarioFactory] = None,
+        optimizer: Optional[Union[str, OptimizerSpec]] = None,
     ) -> None:
         if scenario is not None and scenario_factory is not None:
             raise SimulationError(
@@ -118,7 +158,7 @@ class ReselectionPolicy:
             )
         self._scenario = scenario if scenario is not None else Tradeoff(alpha=0.0)
         self._factory = scenario_factory
-        self._algorithm = algorithm
+        self._optimizer = _resolve_optimizer(optimizer, algorithm)
 
     @property
     def scenario(self) -> Scenario:
@@ -126,9 +166,14 @@ class ReselectionPolicy:
         return self._scenario
 
     @property
+    def optimizer(self) -> OptimizerSpec:
+        """The selection optimizer spec."""
+        return self._optimizer
+
+    @property
     def algorithm(self) -> str:
-        """The selection algorithm (knapsack / greedy / exhaustive)."""
-        return self._algorithm
+        """The selection algorithm's registry name (legacy accessor)."""
+        return self._optimizer.name
 
     def _scenario_for(self, problem: SelectionProblem) -> Scenario:
         """The scenario this epoch optimizes (factory-built if dynamic)."""
@@ -136,19 +181,31 @@ class ReselectionPolicy:
             return self._factory(problem)
         return self._scenario
 
-    def _optimum(self, problem: SelectionProblem) -> FrozenSet[str]:
+    def _optimum(
+        self,
+        problem: SelectionProblem,
+        current: Optional[FrozenSet[str]] = None,
+    ) -> FrozenSet[str]:
         return select_views(
-            problem, self._scenario_for(problem), self._algorithm
+            problem,
+            self._scenario_for(problem),
+            self._optimizer,
+            warm_start=current,
         ).outcome.subset
 
-    def optimum(self, problem: SelectionProblem) -> FrozenSet[str]:
+    def optimum(
+        self,
+        problem: SelectionProblem,
+        current: Optional[FrozenSet[str]] = None,
+    ) -> FrozenSet[str]:
         """This policy's optimal subset for ``problem``.
 
         Public for wrapper policies (the arbitrage wrapper re-selects
         under a migration target's book with the *inner* policy's
-        scenario and algorithm).
+        scenario and optimizer).  ``current`` — the held subset, if
+        any — warm-starts anytime optimizers.
         """
-        return self._optimum(problem)
+        return self._optimum(problem, current)
 
     def decide(
         self,
@@ -215,10 +272,11 @@ class PeriodicReselect(ReselectionPolicy):
         self,
         period: int = 4,
         scenario: Optional[Scenario] = None,
-        algorithm: str = "greedy",
+        algorithm: Optional[str] = None,
         scenario_factory: Optional[ScenarioFactory] = None,
+        optimizer: Optional[Union[str, OptimizerSpec]] = None,
     ) -> None:
-        super().__init__(scenario, algorithm, scenario_factory)
+        super().__init__(scenario, algorithm, scenario_factory, optimizer)
         if period < 1:
             raise SimulationError(
                 f"re-selection period must be >= 1 epoch, got {period}"
@@ -238,7 +296,9 @@ class PeriodicReselect(ReselectionPolicy):
     ) -> PolicyDecision:
         """Re-optimize on schedule epochs, hold in between."""
         if current is None or epoch_index % self._period == 0:
-            return PolicyDecision(self._optimum(problem), reoptimized=True)
+            return PolicyDecision(
+                self._optimum(problem, current), reoptimized=True
+            )
         return PolicyDecision(current, reoptimized=False)
 
     def describe(self) -> str:
@@ -273,11 +333,12 @@ class RegretTriggered(ReselectionPolicy):
         self,
         threshold: float = 0.05,
         scenario: Optional[Scenario] = None,
-        algorithm: str = "greedy",
+        algorithm: Optional[str] = None,
         scenario_factory: Optional[ScenarioFactory] = None,
         hysteresis: int = 1,
+        optimizer: Optional[Union[str, OptimizerSpec]] = None,
     ) -> None:
-        super().__init__(scenario, algorithm, scenario_factory)
+        super().__init__(scenario, algorithm, scenario_factory, optimizer)
         if threshold < 0:
             raise SimulationError(
                 f"regret threshold cannot be negative, got {threshold}"
@@ -315,7 +376,9 @@ class RegretTriggered(ReselectionPolicy):
         # One scenario instance for both the optimum and the regret
         # check, so a factory-built scenario's share memo is shared.
         scenario = self._scenario_for(problem)
-        best = select_views(problem, scenario, self._algorithm).outcome.subset
+        best = select_views(
+            problem, scenario, self._optimizer, warm_start=current
+        ).outcome.subset
         if current is None:
             self._streak = 0
             return PolicyDecision(best, reoptimized=True)
@@ -350,20 +413,28 @@ class RegretTriggered(ReselectionPolicy):
 def make_policy(
     name: str,
     scenario: Optional[Scenario] = None,
-    algorithm: str = "greedy",
+    algorithm: Optional[str] = None,
     period: int = 4,
     threshold: float = 0.05,
     scenario_factory: Optional[ScenarioFactory] = None,
     hysteresis: int = 1,
+    optimizer: Optional[Union[str, OptimizerSpec]] = None,
 ) -> ReselectionPolicy:
-    """Build a policy from its registry name (CLI/benchmark entry)."""
+    """Build a policy from its registry name (CLI/benchmark entry).
+
+    ``optimizer`` takes a spec object or registry name; ``algorithm``
+    is the deprecated string spelling (still honored, with a
+    :class:`DeprecationWarning` raised by the policy constructor).
+    """
     if name == "never":
-        return NeverReselect(scenario, algorithm, scenario_factory)
+        return NeverReselect(scenario, algorithm, scenario_factory, optimizer)
     if name == "periodic":
-        return PeriodicReselect(period, scenario, algorithm, scenario_factory)
+        return PeriodicReselect(
+            period, scenario, algorithm, scenario_factory, optimizer
+        )
     if name == "regret":
         return RegretTriggered(
-            threshold, scenario, algorithm, scenario_factory, hysteresis
+            threshold, scenario, algorithm, scenario_factory, hysteresis, optimizer
         )
     raise SimulationError(
         f"unknown policy {name!r}; choose from {POLICY_NAMES}"

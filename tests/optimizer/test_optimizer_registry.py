@@ -1,0 +1,135 @@
+"""The optimizer-spec registry: resolution, errors, spec equivalence."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+import pytest
+
+from repro.errors import OptimizationError, ScenarioMismatchError
+from repro.optimizer import (
+    BeamSearchSpec,
+    ExhaustiveSpec,
+    GreedySpec,
+    KnapsackSpec,
+    LocalSearchSpec,
+    OptimizerSpec,
+    mv1,
+    mv2,
+    registered_algorithms,
+    resolve,
+    select_views,
+)
+from repro.money import Money
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = registered_algorithms()
+        for expected in ("beam", "exhaustive", "greedy", "knapsack", "local"):
+            assert expected in names
+
+    def test_registered_names_sorted(self):
+        names = registered_algorithms()
+        assert list(names) == sorted(names)
+
+    def test_resolve_string_to_spec(self):
+        assert isinstance(resolve("greedy"), GreedySpec)
+        assert isinstance(resolve("knapsack"), KnapsackSpec)
+        assert isinstance(resolve("exhaustive"), ExhaustiveSpec)
+        assert isinstance(resolve("beam"), BeamSearchSpec)
+        assert isinstance(resolve("local"), LocalSearchSpec)
+
+    def test_resolve_spec_passthrough(self):
+        spec = BeamSearchSpec(budget=32)
+        assert resolve(spec) is spec
+
+    def test_unknown_name_lists_registered(self):
+        with pytest.raises(OptimizationError) as err:
+            resolve("quantum")
+        message = str(err.value)
+        assert "quantum" in message
+        for name in registered_algorithms():
+            assert name in message
+
+    def test_unknown_name_is_not_scenario_mismatch(self):
+        with pytest.raises(OptimizationError):
+            resolve("")
+
+
+class TestSpecContracts:
+    def test_specs_are_frozen(self):
+        spec = BeamSearchSpec()
+        with pytest.raises(Exception):
+            spec.budget = 1
+
+    def test_spec_names_match_registry_keys(self):
+        for name in registered_algorithms():
+            assert resolve(name).name == name
+
+    def test_describe_mentions_name(self):
+        for name in registered_algorithms():
+            assert name in resolve(name).describe()
+
+    def test_abstract_spec_cannot_register(self):
+        from repro.optimizer.registry import register
+
+        @dataclass(frozen=True)
+        class Nameless(OptimizerSpec):
+            pass
+
+        with pytest.raises(OptimizationError):
+            register(Nameless)
+
+
+class TestScenarioMismatch:
+    def test_knapsack_rejects_unknown_scenario(self, paper_problem):
+        @dataclass(frozen=True)
+        class Custom:
+            name: ClassVar[str] = "custom"
+
+            def feasible(self, outcome):
+                return True
+
+            def violation(self, outcome):
+                return 0.0
+
+            def key(self, outcome):
+                return (outcome.processing_hours,)
+
+            def describe(self):
+                return "custom scenario"
+
+        with pytest.raises(ScenarioMismatchError) as err:
+            select_views(paper_problem, Custom(), "knapsack")
+        message = str(err.value)
+        assert "knapsack" in message
+        assert "Custom" in message
+
+    def test_mismatch_is_an_optimization_error(self):
+        assert issubclass(ScenarioMismatchError, OptimizationError)
+
+
+class TestStringSpecEquivalence:
+    def test_string_and_spec_select_identically(self, paper_problem):
+        scenario = mv1(Money(50))
+        by_name = select_views(paper_problem, scenario, "greedy")
+        by_spec = select_views(paper_problem, scenario, GreedySpec())
+        assert by_name.outcome.subset == by_spec.outcome.subset
+        assert by_name.algorithm == by_spec.algorithm == "greedy"
+
+    def test_search_spec_knobs_flow_through(self, paper_problem):
+        scenario = mv2(mv2_limit(paper_problem))
+        default = select_views(paper_problem, scenario, "beam")
+        tuned = select_views(paper_problem, scenario, BeamSearchSpec(budget=64, seed=3))
+        assert default.algorithm == tuned.algorithm == "beam"
+        assert scenario.feasible(default.outcome)
+        assert scenario.feasible(tuned.outcome)
+
+
+def mv2_limit(problem) -> float:
+    """A reachable MV2 limit: halfway from all-views to baseline hours."""
+    baseline = problem.baseline().processing_hours
+    best = problem.evaluate(frozenset(problem.candidate_names)).processing_hours
+    return best + 0.5 * (baseline - best)

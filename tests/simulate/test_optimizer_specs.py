@@ -1,0 +1,117 @@
+"""Optimizer specs through policies, PolicySpec, and Monte Carlo."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.optimizer import BeamSearchSpec, GreedySpec, KnapsackSpec
+from repro.simulate import (
+    MonteCarloConfig,
+    PolicySpec,
+    make_policy,
+    run_monte_carlo,
+)
+
+
+class TestPolicyOptimizerKwarg:
+    def test_default_is_greedy(self):
+        policy = make_policy("periodic")
+        assert policy.algorithm == "greedy"
+        assert isinstance(policy.optimizer, GreedySpec)
+
+    def test_optimizer_accepts_name_and_spec(self):
+        by_name = make_policy("periodic", optimizer="knapsack")
+        by_spec = make_policy("periodic", optimizer=KnapsackSpec())
+        assert by_name.algorithm == by_spec.algorithm == "knapsack"
+
+    def test_search_spec_knobs_travel(self):
+        spec = BeamSearchSpec(budget=64, seed=9)
+        policy = make_policy("regret", optimizer=spec)
+        assert policy.optimizer is spec
+        assert policy.algorithm == "beam"
+
+    def test_legacy_algorithm_warns_deprecation(self):
+        with pytest.warns(DeprecationWarning, match="algorithm"):
+            policy = make_policy("periodic", algorithm="knapsack")
+        assert policy.algorithm == "knapsack"
+
+    def test_both_kwargs_rejected(self):
+        with pytest.raises(SimulationError, match="not both"):
+            make_policy(
+                "periodic", algorithm="greedy", optimizer=GreedySpec()
+            )
+
+    def test_no_warning_on_optimizer_kwarg(self, recwarn):
+        make_policy("periodic", optimizer="greedy")
+        assert not [
+            w
+            for w in recwarn.list
+            if issubclass(w.category, DeprecationWarning)
+        ]
+
+
+class TestPolicySpec:
+    def test_legacy_algorithm_field_builds_silently(self, recwarn):
+        # PolicySpec routes the legacy name through the registry, so
+        # existing configs build without deprecation noise.
+        policy = PolicySpec("periodic", algorithm="knapsack").build()
+        assert policy.algorithm == "knapsack"
+        assert not [
+            w
+            for w in recwarn.list
+            if issubclass(w.category, DeprecationWarning)
+        ]
+
+    def test_optimizer_field_takes_precedence(self):
+        spec = PolicySpec(
+            "periodic", algorithm="knapsack", optimizer=BeamSearchSpec()
+        )
+        assert spec.build().algorithm == "beam"
+
+    def test_spec_with_optimizer_pickles(self):
+        spec = PolicySpec("regret", optimizer=BeamSearchSpec(budget=32))
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert clone.build().algorithm == "beam"
+
+
+class TestMonteCarloEquivalence:
+    def test_legacy_and_spec_spellings_identical(self):
+        legacy = MonteCarloConfig(
+            n_trials=2,
+            n_epochs=4,
+            n_rows=4_000,
+            seed=7,
+            policies=(PolicySpec("periodic", algorithm="greedy"),),
+        )
+        spec = MonteCarloConfig(
+            n_trials=2,
+            n_epochs=4,
+            n_rows=4_000,
+            seed=7,
+            policies=(PolicySpec("periodic", optimizer=GreedySpec()),),
+        )
+        assert (
+            run_monte_carlo(legacy, jobs=1).rows()
+            == run_monte_carlo(spec, jobs=1).rows()
+        )
+
+    def test_search_optimizer_identical_across_jobs(self):
+        config = MonteCarloConfig(
+            n_trials=3,
+            n_epochs=4,
+            n_rows=4_000,
+            seed=7,
+            policies=(
+                PolicySpec(
+                    "periodic",
+                    optimizer=BeamSearchSpec(budget=48, seed=1),
+                ),
+            ),
+        )
+        serial = run_monte_carlo(config, jobs=1)
+        parallel = run_monte_carlo(config, jobs=2)
+        assert serial.rows() == parallel.rows()

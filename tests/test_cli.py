@@ -527,3 +527,61 @@ class TestTelemetryFlags:
         out = capsys.readouterr().out
         assert "telemetry" not in out
         assert "metrics dump" not in out
+
+
+class TestSearchFlags:
+    def test_algorithm_choices_come_from_registry(self):
+        from repro.optimizer import registered_algorithms
+
+        parser = build_parser()
+        for name in registered_algorithms():
+            args = parser.parse_args(["simulate", "--algorithm", name])
+            assert args.algorithm == name
+
+    def test_unregistered_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--algorithm", "quantum"])
+
+    def test_search_knobs_build_a_tuned_spec(self):
+        from repro.cli import _optimizer_spec
+
+        args = build_parser().parse_args(
+            [
+                "simulate",
+                "--algorithm", "beam",
+                "--search-budget", "64",
+                "--search-seed", "5",
+            ]
+        )
+        spec = _optimizer_spec(args)
+        assert spec.name == "beam"
+        assert spec.budget == 64
+        assert spec.seed == 5
+
+    def test_search_knobs_without_search_algorithm_error(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--rows", "5000",
+                "--epochs", "20",
+                "--search-budget", "64",
+                "--quiet",
+            ]
+        )
+        assert code != 0
+        assert "--algorithm beam" in capsys.readouterr().err
+
+    def test_beam_simulation_end_to_end(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--rows", "5000",
+                "--epochs", "20",
+                "--algorithm", "beam",
+                "--search-budget", "32",
+                "--policy", "periodic",
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        assert "periodic" in capsys.readouterr().out
