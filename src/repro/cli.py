@@ -7,6 +7,8 @@ Usage::
     repro-experiments all [--csv-dir out/]
     repro-experiments simulate --epochs 24 --policy all
     repro-experiments simulate --tenants 3 [--attribution even]
+    repro-experiments simulate --tenants 3 --tenant-churn 0.5
+    repro-experiments simulate --tenants 100 --shards 8 --jobs 4
     repro-experiments simulate --generator spot
     repro-experiments simulate --arbitrage --generator spot
     repro-experiments simulate --trials 32 --seed 7 --jobs 4
@@ -20,7 +22,14 @@ re-selection policies and prints each policy's cost ledger.  With
 (:func:`repro.simulate.multi_tenant_sales_simulator`) instead: N
 workloads share the warehouse, each epoch's bill is attributed into
 per-tenant ledgers, and ``--fair-slack`` adds a soft fairness
-preference to the selection itself.
+preference to the selection itself (``--slo-hours`` composes a
+per-tenant latency ceiling with it).  ``--tenant-churn`` makes the
+fleet *elastic* — sampled tenants arrive and depart mid-lifecycle,
+billed through onboarding/offboarding events — and ``--shards K``
+switches to the population-scale path: each epoch's attribution is
+partitioned across K tenant shards (``--jobs`` worker processes) and
+streamed into per-tenant lifetime totals (``--tenant-csv``), byte-
+identical for any K.
 
 ``--arbitrage`` quotes a multi-provider market and wraps every policy
 in the migration layer (:mod:`repro.simulate.arbitrage`): each epoch
@@ -93,11 +102,12 @@ from .simulate.presets import (
     DRIFT_MIN_EPOCHS,
     default_market,
     drifting_sales_simulator,
+    elastic_multi_tenant_simulator,
     multi_tenant_sales_simulator,
     stochastic_multi_tenant_simulator,
     stochastic_sales_simulator,
 )
-from .simulate.stochastic import GENERATOR_PRESETS
+from .simulate.stochastic import GENERATOR_PRESETS, FleetChurn
 
 __all__ = ["main", "build_parser"]
 
@@ -112,6 +122,10 @@ MIGRATION_HOLD_DEFAULT = 2
 #: convention: typing a knob alongside --sync is an error).
 BUILD_SLOTS_DEFAULT = 1
 BUILD_DISCIPLINE_DEFAULT = "fifo"
+
+#: CLI default for --tenant-stay (same ``None``-sentinel convention:
+#: typing it without --tenant-churn is an error).
+TENANT_STAY_DEFAULT = 8.0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -271,6 +285,61 @@ def build_parser() -> argparse.ArgumentParser:
             "select views under a soft fairness preference: minimize how "
             "far any tenant's attributed share exceeds (1+S)x the even "
             "split before minimizing cost (needs --tenants)"
+        ),
+    )
+    tenant_group.add_argument(
+        "--slo-hours",
+        type=float,
+        default=None,
+        metavar="H",
+        help=(
+            "per-tenant latency SLO: prefer subsets keeping every "
+            "tenant's own processing hours under H per epoch, composed "
+            "with the fairness preference (needs --tenants)"
+        ),
+    )
+    tenant_group.add_argument(
+        "--tenant-churn",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help=(
+            "make the fleet elastic: tenants arrive at RATE per epoch "
+            "(Poisson) with exponential stays, billed through "
+            "onboarding/offboarding events (needs --tenants; samples "
+            "drift from --generator, default mixed)"
+        ),
+    )
+    tenant_group.add_argument(
+        "--tenant-stay",
+        type=float,
+        default=None,
+        metavar="EPOCHS",
+        help=(
+            "expected stay of churned tenants in epochs (needs "
+            f"--tenant-churn; default {TENANT_STAY_DEFAULT:g})"
+        ),
+    )
+    tenant_group.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="K",
+        help=(
+            "attribute each epoch across K tenant shards with "
+            "streaming ledger merges (population-scale path; "
+            "byte-identical totals for any K; needs --tenants; "
+            "combine with --jobs J for worker processes)"
+        ),
+    )
+    tenant_group.add_argument(
+        "--tenant-csv",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write the per-tenant lifetime totals as CSV (needs "
+            "--shards and a single --policy); byte-identical for any "
+            "--shards/--jobs combination"
         ),
     )
 
@@ -522,6 +591,30 @@ def _build_config(args: argparse.Namespace):
     )
 
 
+def _tenant_churn(args: argparse.Namespace):
+    """Resolve the churn knobs to a ``FleetChurn`` (``None`` = fixed).
+
+    Same sentinel convention as :func:`_migration_knobs`:
+    ``--tenant-stay`` typed without ``--tenant-churn`` is an error,
+    never a silent no-op.
+    """
+    if args.tenant_stay is not None and args.tenant_churn is None:
+        raise SimulationError(
+            "--tenant-stay applies to elastic fleets; add "
+            "--tenant-churn RATE"
+        )
+    if args.tenant_churn is None:
+        return None
+    return FleetChurn(
+        arrival_rate=args.tenant_churn,
+        mean_stay=(
+            TENANT_STAY_DEFAULT
+            if args.tenant_stay is None
+            else args.tenant_stay
+        ),
+    )
+
+
 #: Algorithms the --search-* knobs configure.
 SEARCH_ALGORITHMS = ("beam", "local")
 
@@ -647,20 +740,33 @@ def _dispatch_simulate(args: argparse.Namespace) -> int:
     if args.trials:
         return _run_simulate_montecarlo(args)
     # Monte-Carlo-only flags must not be silently ignored either.
-    if args.jobs != 1 or args.summary_csv is not None:
+    if args.summary_csv is not None:
         raise SimulationError(
-            "--jobs and --summary-csv apply to Monte Carlo runs; "
-            "add --trials N"
+            "--summary-csv applies to Monte Carlo runs; add --trials N"
+        )
+    if args.jobs != 1 and args.shards is None:
+        raise SimulationError(
+            "--jobs applies to Monte Carlo runs or sharded attribution; "
+            "add --trials N or --shards K"
         )
     if args.tenants:
         return _run_simulate_tenants(args)
     # Tenant-only flags must not be silently ignored: a user who types
     # --fair-slack but forgets --tenants would read an ordinary run as
     # a fairness-constrained one.
-    if args.fair_slack is not None or args.attribution is not None:
+    if (
+        args.fair_slack is not None
+        or args.attribution is not None
+        or args.slo_hours is not None
+        or args.tenant_churn is not None
+        or args.tenant_stay is not None
+        or args.shards is not None
+        or args.tenant_csv is not None
+    ):
         raise SimulationError(
-            "--attribution and --fair-slack apply to multi-tenant runs; "
-            "add --tenants N"
+            "--attribution, --fair-slack, --slo-hours, --tenant-churn, "
+            "--tenant-stay, --shards and --tenant-csv apply to "
+            "multi-tenant runs; add --tenants N"
         )
     market = _simulate_market(args)
     builds = _build_config(args)
@@ -692,15 +798,25 @@ def _dispatch_simulate(args: argparse.Namespace) -> int:
 
 
 def _run_simulate_montecarlo(args: argparse.Namespace) -> int:
-    if args.fair_slack is not None:
+    if args.fair_slack is not None or args.slo_hours is not None:
         raise SimulationError(
-            "--fair-slack is not supported under --trials (scenario "
-            "factories do not cross process boundaries); run single "
-            "trials instead"
+            "--fair-slack and --slo-hours are not supported under "
+            "--trials (scenario factories do not cross process "
+            "boundaries); run single trials instead"
+        )
+    if args.shards is not None or args.tenant_csv is not None:
+        raise SimulationError(
+            "--shards and --tenant-csv apply to single sharded runs, "
+            "not Monte Carlo; drop --trials"
         )
     if args.attribution is not None and not args.tenants:
         raise SimulationError(
             "--attribution applies to multi-tenant runs; add --tenants N"
+        )
+    churn = _tenant_churn(args)
+    if churn is not None and not args.tenants:
+        raise SimulationError(
+            "--tenant-churn applies to multi-tenant runs; add --tenants N"
         )
     horizon, hold = _migration_knobs(args)
     builds = _build_config(args)
@@ -723,6 +839,10 @@ def _run_simulate_montecarlo(args: argparse.Namespace) -> int:
         seed=args.seed,
         n_tenants=args.tenants,
         attribution=args.attribution or "proportional",
+        tenant_churn=0.0 if churn is None else churn.arrival_rate,
+        tenant_stay=(
+            TENANT_STAY_DEFAULT if churn is None else churn.mean_stay
+        ),
         build_slots=0 if builds is None else builds.slots,
         build_discipline="fifo" if builds is None else builds.discipline,
         policies=tuple(
@@ -753,7 +873,25 @@ def _run_simulate_montecarlo(args: argparse.Namespace) -> int:
 def _run_simulate_tenants(args: argparse.Namespace) -> int:
     market = _simulate_market(args)
     builds = _build_config(args)
-    if args.generator is not None:
+    churn = _tenant_churn(args)
+    if args.tenant_csv is not None and args.shards is None:
+        raise SimulationError(
+            "--tenant-csv streams totals from the sharded path; add "
+            "--shards K"
+        )
+    if churn is not None:
+        simulator = elastic_multi_tenant_simulator(
+            n_tenants=args.tenants,
+            generator=args.generator or "mixed",
+            churn=churn,
+            n_epochs=args.epochs,
+            n_rows=args.rows,
+            seed=args.seed,
+            attribution=args.attribution or "proportional",
+            market=market,
+            builds=builds,
+        )
+    elif args.generator is not None:
         simulator = stochastic_multi_tenant_simulator(
             n_tenants=args.tenants,
             generator=args.generator,
@@ -775,14 +913,23 @@ def _run_simulate_tenants(args: argparse.Namespace) -> int:
             builds=builds,
         )
     factory = None
-    if args.fair_slack is not None:
+    if args.fair_slack is not None or args.slo_hours is not None:
+        ceilings = None
+        if args.slo_hours is not None:
+            ceilings = {
+                name: args.slo_hours
+                for name in simulator.fleet.tenant_names
+            }
         factory = simulator.fair_scenario_factory(
-            max_share_slack=args.fair_slack
+            max_share_slack=args.fair_slack,
+            latency_ceilings=ceilings,
         )
     print(
         f"fleet: {simulator.fleet.describe()}; "
         f"attribution: {simulator.attributor.describe()}\n"
     )
+    if args.shards is not None:
+        return _run_simulate_sharded(args, simulator, factory)
     ledgers = simulator.compare(_simulate_policies(args, factory))
     for fleet_ledger in ledgers.values():
         if args.quiet:
@@ -791,6 +938,33 @@ def _run_simulate_tenants(args: argparse.Namespace) -> int:
             print(fleet_ledger.render())
             _print_ledger_cache(fleet_ledger.fleet)
             print()
+    _print_cache_stats(simulator.builder)
+    return 0
+
+
+def _run_simulate_sharded(args, simulator, factory) -> int:
+    """The population-scale path: sharded, streaming attribution."""
+    policies = _simulate_policies(args, factory)
+    if args.tenant_csv is not None and len(policies) != 1:
+        raise SimulationError(
+            "--tenant-csv writes one policy's per-tenant totals; name "
+            "a single --policy"
+        )
+    for policy in policies:
+        summary = simulator.run_sharded(
+            policy, shards=args.shards, jobs=args.jobs
+        )
+        if args.quiet:
+            print(summary.summary())
+        else:
+            print(summary.render())
+            print()
+        if args.tenant_csv is not None:
+            with open(
+                args.tenant_csv, "w", encoding="utf-8", newline="\n"
+            ) as handle:
+                handle.write(summary.to_csv())
+            print(f"tenant totals csv written to {args.tenant_csv}")
     _print_cache_stats(simulator.builder)
     return 0
 

@@ -10,7 +10,11 @@ base :class:`~repro.optimizer.scenarios.Scenario`:
   explicit dollar cap (typically ``budget_share x fleet budget``);
 * **max-regret vs the even split** — no tenant's attributed cost may
   exceed ``(1 + slack)`` times an even 1/n share of the subset's total
-  bill, bounding how far attribution can drift from parity.
+  bill, bounding how far attribution can drift from parity;
+* **latency ceilings** — each tenant's *own* processing hours under
+  the candidate subset must stay under its per-tenant SLO ceiling (the
+  fleet analogue of BRAD's ``query_latency_ceiling`` trigger) — a
+  response-time constraint composing with the dollar ones.
 
 The scenario is deliberately ignorant of *how* costs are attributed:
 a ``shares_fn(outcome) -> {tenant: Money}`` is injected (in practice
@@ -36,6 +40,9 @@ __all__ = ["FairShareScenario"]
 
 #: ``shares_fn`` signature: a subset outcome's per-tenant attributed cost.
 SharesFn = Callable[[SelectionOutcome], Mapping[str, Money]]
+
+#: ``hours_fn`` signature: a subset outcome's per-tenant processing hours.
+HoursFn = Callable[[SelectionOutcome], Mapping[str, float]]
 
 
 class FairShareScenario(Scenario):
@@ -71,7 +78,20 @@ class FairShareScenario(Scenario):
         lifecycle policy that must decide *something* every epoch
         wants.
 
-    At least one of ``caps`` / ``max_share_slack`` must be given.
+    latency_ceilings:
+        Per-tenant ceilings on *own* processing hours per period; a
+        tenant absent from the mapping is unconstrained.  Requires
+        ``hours_fn``.  A ceiling for a tenant ``hours_fn`` never
+        reports (e.g. not yet arrived in an elastic fleet) is dormant.
+    hours_fn:
+        Maps a :class:`SelectionOutcome` to per-tenant processing
+        hours (in practice :meth:`repro.simulate.attribution.
+        SharedCostAttributor.outcome_hours` closed over the epoch's
+        problem).  Memoized per subset.  Requires
+        ``latency_ceilings``.
+
+    At least one of ``caps`` / ``max_share_slack`` /
+    ``latency_ceilings`` must be given.
     """
 
     name = "FairShare"
@@ -83,11 +103,17 @@ class FairShareScenario(Scenario):
         caps: Optional[Mapping[str, Money]] = None,
         max_share_slack: Optional[float] = None,
         hard: bool = True,
+        latency_ceilings: Optional[Mapping[str, float]] = None,
+        hours_fn: Optional[HoursFn] = None,
     ) -> None:
-        if caps is None and max_share_slack is None:
+        if (
+            caps is None
+            and max_share_slack is None
+            and latency_ceilings is None
+        ):
             raise OptimizationError(
-                "FairShareScenario needs caps and/or max_share_slack; "
-                "with neither it is just the base scenario"
+                "FairShareScenario needs caps, max_share_slack and/or "
+                "latency_ceilings; with none it is just the base scenario"
             )
         if max_share_slack is not None and max_share_slack < 0:
             raise OptimizationError(
@@ -95,6 +121,17 @@ class FairShareScenario(Scenario):
             )
         if caps is not None and any(cap < ZERO for cap in caps.values()):
             raise OptimizationError("per-tenant caps cannot be negative")
+        if (latency_ceilings is None) != (hours_fn is None):
+            raise OptimizationError(
+                "latency_ceilings and hours_fn come as a pair: the "
+                "ceilings constrain the hours the hours_fn reports"
+            )
+        if latency_ceilings is not None and any(
+            ceiling <= 0.0 for ceiling in latency_ceilings.values()
+        ):
+            raise OptimizationError(
+                "latency ceilings must be positive hours"
+            )
         self._base = base if base is not None else Tradeoff(alpha=0.0)
         self._shares_fn = shares_fn
         self._caps: Optional[Dict[str, Money]] = (
@@ -102,7 +139,12 @@ class FairShareScenario(Scenario):
         )
         self._slack = max_share_slack
         self._hard = hard
+        self._ceilings: Optional[Dict[str, float]] = (
+            dict(latency_ceilings) if latency_ceilings is not None else None
+        )
+        self._hours_fn = hours_fn
         self._memo: Dict[FrozenSet[str], Mapping[str, Money]] = {}
+        self._hours_memo: Dict[FrozenSet[str], Mapping[str, float]] = {}
 
     @property
     def base(self) -> Scenario:
@@ -123,6 +165,21 @@ class FairShareScenario(Scenario):
     def hard(self) -> bool:
         """Whether fairness binds as a constraint or as a preference."""
         return self._hard
+
+    @property
+    def latency_ceilings(self) -> Optional[Mapping[str, float]]:
+        """The per-tenant hour ceilings (latency SLOs), if any."""
+        return dict(self._ceilings) if self._ceilings is not None else None
+
+    def hours(self, outcome: SelectionOutcome) -> Mapping[str, float]:
+        """The outcome's per-tenant processing hours (memoized)."""
+        if self._hours_fn is None:
+            return {}
+        cached = self._hours_memo.get(outcome.subset)
+        if cached is None:
+            cached = dict(self._hours_fn(outcome))
+            self._hours_memo[outcome.subset] = cached
+        return cached
 
     def shares(self, outcome: SelectionOutcome) -> Mapping[str, Money]:
         """The outcome's attributed per-tenant costs (memoized)."""
@@ -162,32 +219,61 @@ class FairShareScenario(Scenario):
             (over for over in self._overshoots(outcome)), ZERO
         ).to_float()
 
+    def _slo_overshoot_hours(self, outcome: SelectionOutcome) -> float:
+        """Total hours above tenants' latency ceilings (0.0 if none)."""
+        if self._ceilings is None:
+            return 0.0
+        hours = self.hours(outcome)
+        overshoot = 0.0
+        for tenant, ceiling in self._ceilings.items():
+            spent = hours.get(tenant)
+            if spent is not None and spent > ceiling:
+                overshoot += spent - ceiling
+        return overshoot
+
     # -- the Scenario protocol -----------------------------------------
 
     def feasible(self, outcome: SelectionOutcome) -> bool:
-        """Base-feasible; in hard mode, every tenant within its caps too."""
+        """Base-feasible; in hard mode, every tenant within its caps
+        and latency ceilings too."""
         if not self._base.feasible(outcome):
             return False
         if not self._hard:
             return True
-        return not self._overshoots(outcome)
+        if self._overshoots(outcome):
+            return False
+        return self._slo_overshoot_hours(outcome) == 0.0
 
     def violation(self, outcome: SelectionOutcome) -> float:
-        """Base violation plus (hard mode) total tenant overshoot, in $."""
-        fairness = self._overshoot_dollars(outcome) if self._hard else 0.0
+        """Base violation plus (hard mode) total tenant overshoot —
+        dollars over caps and hours over latency ceilings."""
+        fairness = (
+            self._overshoot_dollars(outcome)
+            + self._slo_overshoot_hours(outcome)
+            if self._hard
+            else 0.0
+        )
         return self._base.violation(outcome) + fairness
 
     def key(self, outcome: SelectionOutcome) -> Tuple[float, ...]:
         """The minimization key.
 
         Hard mode: the base key unchanged (fairness lives in
-        feasibility).  Soft mode: total overshoot first, then the base
-        key — the least-unfair subset wins, the base objective breaks
-        ties among equally fair ones.
+        feasibility).  Soft mode: total dollar overshoot first, then —
+        only when latency ceilings are configured — total hour
+        overshoot, then the base key.  The key keeps its pre-SLO shape
+        for ceiling-free scenarios, so existing soft-mode rankings are
+        untouched.
         """
         if self._hard:
             return self._base.key(outcome)
-        return (self._overshoot_dollars(outcome), *self._base.key(outcome))
+        if self._ceilings is None:
+            return (self._overshoot_dollars(outcome), *self._base.key(outcome))
+        return (
+            self._overshoot_dollars(outcome),
+            self._slo_overshoot_hours(outcome),
+            *self._base.key(outcome),
+        )
 
     def describe(self) -> str:
         """The base description plus the fairness envelope."""
@@ -199,5 +285,11 @@ class FairShareScenario(Scenario):
             constraints.append(f"caps[{caps}]")
         if self._slack is not None:
             constraints.append(f"share<=(1+{self._slack:g})/n")
+        if self._ceilings is not None:
+            slos = ", ".join(
+                f"{tenant}<={ceiling:g}h"
+                for tenant, ceiling in sorted(self._ceilings.items())
+            )
+            constraints.append(f"slo[{slos}]")
         binding = "fair" if self._hard else "fair-soft"
         return f"{self._base.describe()} | {binding}: {' & '.join(constraints)}"

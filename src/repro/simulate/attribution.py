@@ -53,7 +53,17 @@ cent" but to the last decimal digit.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, FrozenSet, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..costmodel.storage import storage_cost
 from ..costmodel.total import CostBreakdown
@@ -65,6 +75,7 @@ from .ledger import EpochRecord, TenantEpochRecord
 __all__ = [
     "ATTRIBUTION_MODES",
     "TENANT_SEPARATOR",
+    "AllocationEntry",
     "SharedCostAttributor",
     "allocate_exactly",
     "tenant_of_query",
@@ -119,6 +130,28 @@ def allocate_exactly(
     return shares
 
 
+@dataclass(frozen=True)
+class AllocationEntry:
+    """One exact split, flattened for sharded execution.
+
+    The normalized form of one :func:`allocate_exactly` call: ``field``
+    names the :class:`~repro.simulate.ledger.TenantEpochRecord`
+    component the shares land on, ``weights`` aligns with the active
+    tenant order, and the zero-total even fallback is *already
+    applied* (``total`` is the exact divisor the sequential split
+    uses).  A worker can therefore compute any tenant's product share
+    ``amount * (weights[i] / total)`` independently — the same Money
+    expression :func:`allocate_exactly` evaluates — and the merge
+    reassembles the sequential running sum so the globally-last tenant
+    gets the exact residual, byte-identical for any shard count.
+    """
+
+    field: str
+    amount: Money
+    weights: Tuple[float, ...]
+    total: float
+
+
 class SharedCostAttributor:
     """Splits fleet charges into per-tenant shares (see module docs).
 
@@ -151,6 +184,7 @@ class SharedCostAttributor:
         if len(set(tenants)) != len(tenants):
             raise SimulationError("tenant names must be unique")
         self._tenants: Tuple[str, ...] = tuple(tenants)
+        self._roster = frozenset(self._tenants)
         self._mode = mode
         self._tenant_of = tenant_of if tenant_of is not None else tenant_of_query
 
@@ -172,15 +206,35 @@ class SharedCostAttributor:
 
     def _owner(self, query_name: str) -> str:
         tenant = self._tenant_of(query_name)
-        if tenant is None or tenant not in self._tenants:
+        if tenant is None or tenant not in self._roster:
             raise SimulationError(
                 f"query {query_name!r} does not belong to any known tenant "
                 f"({', '.join(self._tenants)})"
             )
         return tenant
 
+    def _active(
+        self, tenants: Optional[Sequence[str]]
+    ) -> Tuple[str, ...]:
+        """Resolve an active-tenant restriction (``None`` = full roster)."""
+        if tenants is None:
+            return self._tenants
+        active = tuple(tenants)
+        if not active:
+            raise SimulationError("cannot attribute to zero active tenants")
+        unknown = [t for t in active if t not in self._roster]
+        if unknown:
+            raise SimulationError(
+                f"unknown active tenants {unknown!r}; roster has "
+                f"{len(self._tenants)} names"
+            )
+        return active
+
     def _direct_weights(
-        self, problem: SelectionProblem, subset: FrozenSet[str]
+        self,
+        problem: SelectionProblem,
+        subset: FrozenSet[str],
+        tenants: Optional[Sequence[str]] = None,
     ) -> Tuple[Dict[str, float], Dict[str, float], Dict[str, Dict[str, float]]]:
         """Per-tenant processing/egress weights and per-view user weights.
 
@@ -188,19 +242,27 @@ class SharedCostAttributor:
         ``egress`` map tenant -> frequency-weighted hours / GB, and
         ``users`` maps view name -> {tenant: frequency-weighted accesses
         to that view} (only tenants with at least one query answered by
-        the view appear).
+        the view appear).  ``tenants`` restricts the split to an
+        elastic fleet's active set; every workload query must belong
+        to an active tenant.
         """
+        active = self._active(tenants)
         inputs = problem.inputs
         # One pass computes hours, egress and per-view users together;
         # the hours agree with PlanningInputs.group_processing_hours
         # per tenant (pinned by a test) without re-scanning the
         # workload once per tenant.
         per_query = inputs.query_hours_with(subset)
-        processing = {name: 0.0 for name in self._tenants}
-        egress = {name: 0.0 for name in self._tenants}
+        processing = {name: 0.0 for name in active}
+        egress = {name: 0.0 for name in active}
         users: Dict[str, Dict[str, float]] = {}
         for query in inputs.workload:
             tenant = self._owner(query.name)
+            if tenant not in processing:
+                raise SimulationError(
+                    f"query {query.name!r} belongs to tenant {tenant!r}, "
+                    f"which is not active this epoch"
+                )
             processing[tenant] += per_query[query.name] * query.frequency
             egress[tenant] += (
                 inputs.result_sizes_gb[query.name] * query.frequency
@@ -216,6 +278,7 @@ class SharedCostAttributor:
         per_view_amounts: Mapping[str, float],
         users: Mapping[str, Mapping[str, float]],
         infrastructure: Mapping[str, float],
+        tenants: Optional[Sequence[str]] = None,
     ) -> Dict[str, float]:
         """Per-tenant weights for charges that accrue per view.
 
@@ -225,7 +288,8 @@ class SharedCostAttributor:
         for views nobody currently uses (a policy may carry a view
         through an epoch in which no query reads it).
         """
-        weights = {name: 0.0 for name in self._tenants}
+        active = self._active(tenants)
+        weights = {name: 0.0 for name in active}
         infra_total = sum(infrastructure.values())
         for view_name, amount in per_view_amounts.items():
             if amount <= 0.0:
@@ -244,17 +308,19 @@ class SharedCostAttributor:
                 for tenant, infra in infrastructure.items():
                     weights[tenant] += amount * (infra / infra_total)
             else:
-                share = amount / len(self._tenants)
-                for tenant in self._tenants:
+                share = amount / len(active)
+                for tenant in active:
                     weights[tenant] += share
         return weights
 
     def _infrastructure_weights(
-        self, processing: Mapping[str, float]
+        self,
+        processing: Mapping[str, float],
+        tenants: Optional[Sequence[str]] = None,
     ) -> Mapping[str, float]:
         """The rule for charges with no per-view user set."""
         if self._mode == "even":
-            return {name: 1.0 for name in self._tenants}
+            return {name: 1.0 for name in self._active(tenants)}
         return processing
 
     # -- the splits -----------------------------------------------------
@@ -268,6 +334,7 @@ class SharedCostAttributor:
         teardown_cost: Money,
         migration_cost: Money = ZERO,
         cancelled_cost: Money = ZERO,
+        tenants: Optional[Sequence[str]] = None,
     ) -> Tuple[Dict[str, Dict[str, Money]], Dict[str, float]]:
         """Split every component of one epoch's breakdown.
 
@@ -280,10 +347,13 @@ class SharedCostAttributor:
         :class:`~repro.simulate.ledger.TenantEpochRecord` can never
         drift from the weights its processing cost was split by).
         """
+        active = self._active(tenants)
         inputs = problem.inputs
         plan = inputs.plan_for(subset)
-        processing, egress, users = self._direct_weights(problem, subset)
-        infrastructure = self._infrastructure_weights(processing)
+        processing, egress, users = self._direct_weights(
+            problem, subset, active
+        )
+        infrastructure = self._infrastructure_weights(processing, active)
         ordered = sorted(subset)
         cycles = inputs.deployment.maintenance_cycles
 
@@ -305,42 +375,45 @@ class SharedCostAttributor:
         )
         view_storage = breakdown.storage - base_storage
 
-        tenants = self._tenants
         storage_shares = allocate_exactly(
-            base_storage, infrastructure, tenants
+            base_storage, infrastructure, active
         )
         view_storage_shares = allocate_exactly(
             view_storage,
-            self._view_weights(size_amounts, users, infrastructure),
-            tenants,
+            self._view_weights(size_amounts, users, infrastructure, active),
+            active,
         )
         shares = {
             "processing": allocate_exactly(
-                breakdown.computing.processing_cost, processing, tenants
+                breakdown.computing.processing_cost, processing, active
             ),
-            "transfer": allocate_exactly(breakdown.transfer, egress, tenants),
+            "transfer": allocate_exactly(breakdown.transfer, egress, active),
             "maintenance": allocate_exactly(
                 breakdown.computing.maintenance_cost,
-                self._view_weights(maintenance_amounts, users, infrastructure),
-                tenants,
+                self._view_weights(
+                    maintenance_amounts, users, infrastructure, active
+                ),
+                active,
             ),
             "storage": {
                 name: storage_shares[name] + view_storage_shares[name]
-                for name in tenants
+                for name in active
             },
             "build": allocate_exactly(
                 breakdown.computing.materialization_cost,
-                self._view_weights(build_amounts, users, infrastructure),
-                tenants,
+                self._view_weights(
+                    build_amounts, users, infrastructure, active
+                ),
+                active,
             ),
             "teardown": allocate_exactly(
-                teardown_cost, infrastructure, tenants
+                teardown_cost, infrastructure, active
             ),
             "migration": allocate_exactly(
-                migration_cost, infrastructure, tenants
+                migration_cost, infrastructure, active
             ),
             "cancelled": allocate_exactly(
-                cancelled_cost, infrastructure, tenants
+                cancelled_cost, infrastructure, active
             ),
         }
         return shares, processing
@@ -350,6 +423,7 @@ class SharedCostAttributor:
         problem: SelectionProblem,
         record: EpochRecord,
         breakdown: CostBreakdown,
+        tenants: Optional[Sequence[str]] = None,
     ) -> Dict[str, TenantEpochRecord]:
         """One epoch's fleet record split into per-tenant records.
 
@@ -360,14 +434,33 @@ class SharedCostAttributor:
         mid-epoch holdings) take the segment-wise path instead, which
         re-prices each segment's holdings through the problem's
         evaluation cache and ignores ``breakdown``.
+
+        ``tenants`` restricts the split to an elastic fleet's active
+        set for the epoch.  The record's churn charges are direct, not
+        shared: each arrival's onboarding lands 100% on the arriving
+        tenant's record, and each departure yields a settlement-only
+        record (all shares zero, ``offboarding_cost`` set) for a
+        tenant no longer in the active set.
         """
+        records = self._split_epoch(problem, record, breakdown, tenants)
+        return self._apply_churn(record, records)
+
+    def _split_epoch(
+        self,
+        problem: SelectionProblem,
+        record: EpochRecord,
+        breakdown: CostBreakdown,
+        tenants: Optional[Sequence[str]] = None,
+    ) -> Dict[str, TenantEpochRecord]:
+        """The shared-charge split, before churn charges land."""
         if record.segments:
-            return self._attribute_segments(problem, record)
+            return self._attribute_segments(problem, record, tenants)
+        active = self._active(tenants)
         subset = frozenset(record.subset)
         built = frozenset(record.views_built)
         shares, hours = self._component_shares(
             problem, subset, built, breakdown, record.teardown_cost,
-            record.migration_cost, record.cancelled_cost,
+            record.migration_cost, record.cancelled_cost, active,
         )
         return {
             name: TenantEpochRecord(
@@ -383,11 +476,49 @@ class SharedCostAttributor:
                 migration_cost=shares["migration"][name],
                 cancelled_cost=shares["cancelled"][name],
             )
-            for name in self._tenants
+            for name in active
         }
 
+    def _apply_churn(
+        self,
+        record: EpochRecord,
+        records: Dict[str, TenantEpochRecord],
+    ) -> Dict[str, TenantEpochRecord]:
+        """Land the epoch's direct churn charges on tenant records."""
+        for tenant, amount in record.arrivals:
+            if tenant not in records:
+                raise SimulationError(
+                    f"epoch {record.epoch}: arrival charge for "
+                    f"{tenant!r}, which is not in the active split"
+                )
+            records[tenant] = replace(
+                records[tenant], onboarding_cost=amount
+            )
+        for tenant, amount in record.departures:
+            if tenant in records:
+                raise SimulationError(
+                    f"epoch {record.epoch}: departure settlement for "
+                    f"{tenant!r}, which is still in the active split"
+                )
+            records[tenant] = TenantEpochRecord(
+                epoch=record.epoch,
+                tenant=tenant,
+                processing_cost=ZERO,
+                transfer_cost=ZERO,
+                maintenance_cost=ZERO,
+                storage_cost=ZERO,
+                build_cost=ZERO,
+                teardown_cost=ZERO,
+                processing_hours=0.0,
+                offboarding_cost=amount,
+            )
+        return records
+
     def _attribute_segments(
-        self, problem: SelectionProblem, record: EpochRecord
+        self,
+        problem: SelectionProblem,
+        record: EpochRecord,
+        active_tenants: Optional[Sequence[str]] = None,
     ) -> Dict[str, TenantEpochRecord]:
         """Attribute one asynchronous epoch, segment by segment.
 
@@ -406,7 +537,7 @@ class SharedCostAttributor:
         rule over time-weighted processing hours.
         """
         inputs = problem.inputs
-        tenants = self._tenants
+        tenants = self._active(active_tenants)
         operating_components = (
             "processing", "transfer", "maintenance", "storage",
         )
@@ -423,8 +554,12 @@ class SharedCostAttributor:
         for segment in record.segments:
             subset = frozenset(segment.subset)
             bd = problem.evaluate(subset).breakdown
-            processing, egress, users = self._direct_weights(problem, subset)
-            infrastructure = self._infrastructure_weights(processing)
+            processing, egress, users = self._direct_weights(
+                problem, subset, tenants
+            )
+            infrastructure = self._infrastructure_weights(
+                processing, tenants
+            )
             end_users = users
             fraction = segment.fraction
 
@@ -445,7 +580,9 @@ class SharedCostAttributor:
             )
             view_storage_shares = allocate_exactly(
                 scaled(bd.storage - base_storage_full),
-                self._view_weights(size_amounts, users, infrastructure),
+                self._view_weights(
+                    size_amounts, users, infrastructure, tenants
+                ),
                 tenants,
             )
             segment_shares = {
@@ -458,7 +595,7 @@ class SharedCostAttributor:
                 "maintenance": allocate_exactly(
                     scaled(bd.computing.maintenance_cost),
                     self._view_weights(
-                        maintenance_amounts, users, infrastructure
+                        maintenance_amounts, users, infrastructure, tenants
                     ),
                     tenants,
                 ),
@@ -476,14 +613,16 @@ class SharedCostAttributor:
                 hours[name] += processing[name] * fraction
         # Epoch-level one-offs, split once over the whole epoch; the
         # infrastructure rule runs on time-weighted processing hours.
-        epoch_infrastructure = self._infrastructure_weights(hours)
+        epoch_infrastructure = self._infrastructure_weights(hours, tenants)
         build_amounts = {
             name: inputs.view_stats[name].materialization_hours
             for name in record.views_built
         }
         build_shares = allocate_exactly(
             record.build_cost,
-            self._view_weights(build_amounts, end_users, epoch_infrastructure),
+            self._view_weights(
+                build_amounts, end_users, epoch_infrastructure, tenants
+            ),
             tenants,
         )
         teardown_shares = allocate_exactly(
@@ -509,11 +648,14 @@ class SharedCostAttributor:
                 migration_cost=migration_shares[name],
                 cancelled_cost=cancelled_shares[name],
             )
-            for name in self._tenants
+            for name in tenants
         }
 
     def outcome_shares(
-        self, problem: SelectionProblem, outcome: SelectionOutcome
+        self,
+        problem: SelectionProblem,
+        outcome: SelectionOutcome,
+        tenants: Optional[Sequence[str]] = None,
     ) -> Dict[str, Money]:
         """Per-tenant shares of a selection outcome's full bill.
 
@@ -524,15 +666,17 @@ class SharedCostAttributor:
         selection (:class:`~repro.optimizer.fairness.FairShareScenario`)
         constrains.
         """
+        active = self._active(tenants)
         shares, _ = self._component_shares(
             problem,
             outcome.subset,
             outcome.subset,
             outcome.breakdown,
             ZERO,
+            tenants=active,
         )
         totals: Dict[str, Money] = {}
-        for name in self._tenants:
+        for name in active:
             totals[name] = (
                 shares["processing"][name]
                 + shares["transfer"][name]
@@ -541,3 +685,253 @@ class SharedCostAttributor:
                 + shares["build"][name]
             )
         return totals
+
+    def outcome_hours(
+        self,
+        problem: SelectionProblem,
+        outcome: SelectionOutcome,
+        tenants: Optional[Sequence[str]] = None,
+    ) -> Dict[str, float]:
+        """Each tenant's own processing hours under an outcome's subset.
+
+        The latency-side analogue of :meth:`outcome_shares` — the
+        quantity per-tenant latency-ceiling SLOs constrain.  Hours are
+        directly caused (every query has one owner), so no splitting
+        rule is involved.
+        """
+        processing, _, _ = self._direct_weights(
+            problem, outcome.subset, tenants
+        )
+        return processing
+
+    def present_tenants(
+        self, problem: SelectionProblem
+    ) -> Tuple[str, ...]:
+        """The roster tenants with at least one query in the problem's
+        workload, in attributor order — an elastic fleet's active set
+        as seen from a single epoch's problem."""
+        present = {
+            self._owner(query.name) for query in problem.inputs.workload
+        }
+        return tuple(name for name in self._tenants if name in present)
+
+    # -- sharded execution ---------------------------------------------
+
+    @staticmethod
+    def _plan_entry(
+        field: str,
+        amount: Money,
+        weights: Mapping[str, float],
+        order: Sequence[str],
+    ) -> AllocationEntry:
+        """Normalize one split into an :class:`AllocationEntry`.
+
+        Mirrors :func:`allocate_exactly`'s weight handling exactly:
+        clipping, total, and even fallback are applied here so workers
+        evaluate the identical ``amount * (weight / total)`` products.
+        """
+        clipped = tuple(
+            max(0.0, weights.get(name, 0.0)) for name in order
+        )
+        total = sum(clipped)
+        if total <= 0.0:
+            clipped = tuple(1.0 for _ in order)
+            total = float(len(order))
+        return AllocationEntry(
+            field=field, amount=amount, weights=clipped, total=total
+        )
+
+    def component_plan(
+        self,
+        problem: SelectionProblem,
+        record: EpochRecord,
+        breakdown: CostBreakdown,
+        tenants: Optional[Sequence[str]] = None,
+    ) -> Tuple[Tuple[AllocationEntry, ...], Dict[str, float]]:
+        """One epoch's splits, flattened for sharded execution.
+
+        Returns ``(entries, hours)``: the exact
+        :func:`allocate_exactly` calls :meth:`attribute` would make,
+        as :class:`AllocationEntry` records in a fixed order (storage
+        contributes two entries — base then view share — both landing
+        on ``storage_cost``), plus each active tenant's processing
+        hours.  :class:`~repro.simulate.sharding.ShardedAttribution`
+        evaluates the entries' per-tenant products across worker
+        shards and reassembles the sequential residual, reproducing
+        :meth:`attribute`'s records byte for byte.
+        """
+        active = self._active(tenants)
+        inputs = problem.inputs
+        entries: List[AllocationEntry] = []
+        if record.segments:
+            hours = {name: 0.0 for name in active}
+            cycles = inputs.deployment.maintenance_cycles
+            base_storage_full = storage_cost(
+                inputs.deployment.provider.storage, inputs.base_timeline
+            )
+            end_users: Mapping[str, Mapping[str, float]] = {}
+            for segment in record.segments:
+                subset = frozenset(segment.subset)
+                bd = problem.evaluate(subset).breakdown
+                processing, egress, users = self._direct_weights(
+                    problem, subset, active
+                )
+                infrastructure = self._infrastructure_weights(
+                    processing, active
+                )
+                end_users = users
+                fraction = segment.fraction
+
+                def scaled(amount: Money) -> Money:
+                    return amount if fraction == 1.0 else amount * fraction
+
+                ordered = sorted(subset)
+                maintenance_amounts = {
+                    name: inputs.view_stats[name].maintenance_hours_per_cycle
+                    * cycles
+                    for name in ordered
+                }
+                size_amounts = {
+                    name: inputs.view_stats[name].size_gb for name in ordered
+                }
+                entries += [
+                    self._plan_entry(
+                        "processing_cost",
+                        scaled(bd.computing.processing_cost),
+                        processing, active,
+                    ),
+                    self._plan_entry(
+                        "transfer_cost", scaled(bd.transfer), egress, active
+                    ),
+                    self._plan_entry(
+                        "maintenance_cost",
+                        scaled(bd.computing.maintenance_cost),
+                        self._view_weights(
+                            maintenance_amounts, users, infrastructure,
+                            active,
+                        ),
+                        active,
+                    ),
+                    self._plan_entry(
+                        "storage_cost",
+                        scaled(base_storage_full),
+                        infrastructure, active,
+                    ),
+                    self._plan_entry(
+                        "storage_cost",
+                        scaled(bd.storage - base_storage_full),
+                        self._view_weights(
+                            size_amounts, users, infrastructure, active
+                        ),
+                        active,
+                    ),
+                ]
+                for name in active:
+                    hours[name] += processing[name] * fraction
+            epoch_infrastructure = self._infrastructure_weights(
+                hours, active
+            )
+            build_amounts = {
+                name: inputs.view_stats[name].materialization_hours
+                for name in record.views_built
+            }
+            entries += [
+                self._plan_entry(
+                    "build_cost",
+                    record.build_cost,
+                    self._view_weights(
+                        build_amounts, end_users, epoch_infrastructure,
+                        active,
+                    ),
+                    active,
+                ),
+                self._plan_entry(
+                    "teardown_cost", record.teardown_cost,
+                    epoch_infrastructure, active,
+                ),
+                self._plan_entry(
+                    "migration_cost", record.migration_cost,
+                    epoch_infrastructure, active,
+                ),
+                self._plan_entry(
+                    "cancelled_cost", record.cancelled_cost,
+                    epoch_infrastructure, active,
+                ),
+            ]
+            return tuple(entries), hours
+
+        subset = frozenset(record.subset)
+        built = frozenset(record.views_built)
+        plan = inputs.plan_for(subset)
+        processing, egress, users = self._direct_weights(
+            problem, subset, active
+        )
+        infrastructure = self._infrastructure_weights(processing, active)
+        ordered = sorted(subset)
+        cycles = inputs.deployment.maintenance_cycles
+        maintenance_amounts = {
+            name: inputs.view_stats[name].maintenance_hours_per_cycle * cycles
+            for name in ordered
+        }
+        build_amounts = {
+            name: hours
+            for name, hours in zip(ordered, plan.materialization_hours)
+            if name in built and hours > 0.0
+        }
+        size_amounts = {
+            name: inputs.view_stats[name].size_gb for name in ordered
+        }
+        base_storage = storage_cost(
+            inputs.deployment.provider.storage, plan.base_timeline
+        )
+        view_storage = breakdown.storage - base_storage
+        entries += [
+            self._plan_entry(
+                "processing_cost",
+                breakdown.computing.processing_cost,
+                processing, active,
+            ),
+            self._plan_entry(
+                "transfer_cost", breakdown.transfer, egress, active
+            ),
+            self._plan_entry(
+                "maintenance_cost",
+                breakdown.computing.maintenance_cost,
+                self._view_weights(
+                    maintenance_amounts, users, infrastructure, active
+                ),
+                active,
+            ),
+            self._plan_entry(
+                "storage_cost", base_storage, infrastructure, active
+            ),
+            self._plan_entry(
+                "storage_cost",
+                view_storage,
+                self._view_weights(
+                    size_amounts, users, infrastructure, active
+                ),
+                active,
+            ),
+            self._plan_entry(
+                "build_cost",
+                breakdown.computing.materialization_cost,
+                self._view_weights(
+                    build_amounts, users, infrastructure, active
+                ),
+                active,
+            ),
+            self._plan_entry(
+                "teardown_cost", record.teardown_cost,
+                infrastructure, active,
+            ),
+            self._plan_entry(
+                "migration_cost", record.migration_cost,
+                infrastructure, active,
+            ),
+            self._plan_entry(
+                "cancelled_cost", record.cancelled_cost,
+                infrastructure, active,
+            ),
+        ]
+        return tuple(entries), processing

@@ -14,6 +14,17 @@ their epoch, before that epoch's selection decision) and transforms a
   simulator bills: dataset + view egress, plus re-materialization on
   the target);
 * capacity dynamics — :class:`FleetChange` (scale out/in, node loss);
+* tenant churn — :class:`TenantArrival`, :class:`TenantDeparture`:
+  a tenant joins or leaves the shared warehouse mid-lifecycle.  Both
+  are *billed* events: the simulator charges the arriving tenant's
+  onboarding (its initial result products are loaded into the
+  warehouse at the current book's inbound rates) and the departing
+  tenant's offboarding settlement (its final result footprint is
+  exported at the book it leaves behind).  The state transform is the
+  workload change itself; a :class:`~repro.simulate.tenants.
+  TenantFleet` compiles them from ``Tenant.arrival_epoch`` /
+  ``departure_epoch`` rather than having callers schedule them by
+  hand;
 * build dynamics — :class:`BuildStarted`, :class:`BuildCompleted`,
   :class:`BuildCancelled`: *markers* the asynchronous simulator emits
   into the ledger when a queued build starts late, lands mid-epoch, or
@@ -34,6 +45,7 @@ from typing import Dict, Iterator, List, Sequence, Tuple
 from ..errors import SchemaError, SimulationError
 from ..pricing.providers import Provider
 from ..workload.query import AggregateQuery
+from ..workload.workload import Workload
 from .state import WarehouseState
 
 __all__ = [
@@ -46,6 +58,8 @@ __all__ = [
     "MarketReprice",
     "ProviderMigration",
     "FleetChange",
+    "TenantArrival",
+    "TenantDeparture",
     "BuildStarted",
     "BuildCompleted",
     "BuildCancelled",
@@ -361,6 +375,136 @@ class FleetChange(SimulationEvent):
     def describe(self) -> str:
         """``fleet->N`` with the new instance count."""
         return f"fleet->{self.n_instances}"
+
+
+@dataclass(frozen=True)
+class TenantArrival(SimulationEvent):
+    """A tenant joins the shared warehouse mid-lifecycle.
+
+    The state transform joins the tenant's (already fleet-qualified)
+    queries to the merged workload.  The simulator additionally *bills*
+    the arrival: the tenant's initial result products — one copy of
+    each arriving query's result — are loaded into the warehouse at
+    the current book's inbound transfer rates, recorded as the epoch's
+    ``onboarding`` charge and attributed 100% to the arriving tenant.
+    (The marginal view demand the arrival creates is billed through
+    the ordinary build path: views built to serve the newcomer land in
+    ``build_cost`` and the per-view user split hands the newcomer its
+    share.)
+
+    Parameters
+    ----------
+    tenant:
+        The arriving tenant's name.
+    queries:
+        The tenant's initial queries, already namespaced to fleet-wide
+        names (``acme/Q1``); at least one.
+    precedes:
+        Names of tenants that come *after* this one in the fleet's
+        roster order.  When given, the arriving queries are inserted
+        *before* the first workload query owned by any of them, so the
+        merged workload keeps one canonical order — roster order —
+        however tenants' arrival epochs interleave.  This is what
+        makes a tenant's records invariant to *when* unrelated tenants
+        arrive: workload order (and with it every order-sensitive
+        float accumulation) never depends on the churn schedule.
+        Empty means append, the pre-elastic behavior for hand-built
+        events.
+    """
+
+    tenant: str = ""
+    queries: Tuple[AggregateQuery, ...] = ()
+    precedes: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.tenant:
+            raise SimulationError("TenantArrival needs a tenant name")
+        if not self.queries:
+            raise SimulationError(
+                f"tenant {self.tenant!r} cannot arrive with no queries"
+            )
+
+    def apply(self, state: WarehouseState) -> WarehouseState:
+        """The state with the tenant's queries joined to the workload."""
+        try:
+            workload = state.workload
+            position = len(workload)
+            if self.precedes:
+                laters = frozenset(self.precedes)
+                for index, query in enumerate(workload):
+                    owner, _, rest = query.name.partition("/")
+                    if rest and owner in laters:
+                        position = index
+                        break
+            existing = tuple(workload)
+            merged = Workload(
+                workload.schema,
+                (
+                    *existing[:position],
+                    *self.queries,
+                    *existing[position:],
+                ),
+            )
+            return state.with_workload(merged)
+        except SchemaError as error:
+            raise SimulationError(
+                f"epoch {self.epoch}: tenant {self.tenant!r} cannot "
+                f"arrive: {error}"
+            ) from error
+
+    def describe(self) -> str:
+        """``+tenant[name:Nq]`` with the arriving query count."""
+        return f"+tenant[{self.tenant}:{len(self.queries)}q]"
+
+
+@dataclass(frozen=True)
+class TenantDeparture(SimulationEvent):
+    """A tenant leaves the shared warehouse mid-lifecycle.
+
+    Fires at the start of ``epoch``: the tenant's last *billed* epoch
+    is ``epoch - 1``, and ``epoch`` carries only its settlement.  The
+    state transform drops the tenant's remaining queries; the
+    simulator bills the offboarding — the tenant's final result
+    footprint is exported at the book being left (outbound transfer,
+    priced *before* any same-epoch repricing or migration applies) —
+    and attribution records it on a settlement-only
+    :class:`~repro.simulate.ledger.TenantEpochRecord` charged 100% to
+    the departing tenant.
+
+    Parameters
+    ----------
+    tenant:
+        The departing tenant's name.
+    names:
+        The tenant's remaining fleet-qualified query names when it
+        leaves.  May be empty — a tenant whose drift already dropped
+        every query still departs (and settles at zero export volume).
+    """
+
+    tenant: str = ""
+    names: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.tenant:
+            raise SimulationError("TenantDeparture needs a tenant name")
+
+    def apply(self, state: WarehouseState) -> WarehouseState:
+        """The state with the tenant's remaining queries removed."""
+        if not self.names:
+            return state
+        try:
+            return state.with_workload(state.workload.without(self.names))
+        except SchemaError as error:
+            raise SimulationError(
+                f"epoch {self.epoch}: tenant {self.tenant!r} cannot "
+                f"depart: {error}"
+            ) from error
+
+    def describe(self) -> str:
+        """``-tenant[name]``."""
+        return f"-tenant[{self.tenant}]"
 
 
 @dataclass(frozen=True)

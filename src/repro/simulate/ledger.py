@@ -39,6 +39,19 @@ per-tenant :class:`TenantLedger`\\ s, and a :class:`FleetLedger` rolls
 the fleet history and the tenant histories up together — with
 :meth:`FleetLedger.verify_attribution` enforcing that the tenant
 ledgers sum *exactly* to the fleet ledger, epoch by epoch.
+
+Elastic fleets (tenants arriving and departing mid-lifecycle via
+:class:`~repro.simulate.events.TenantArrival` /
+:class:`~repro.simulate.events.TenantDeparture`) add two more billed
+channels to each epoch record: ``onboarding`` (inbound load of an
+arriving tenant's initial result products) and ``offboarding`` (export
+of a departing tenant's final footprint), each carried as
+``(tenant, amount)`` pairs so attribution can charge them 100% to the
+tenant that caused them.  Tenant ledgers become *ragged* — a tenant
+has records only for the epochs it was present — and population-scale
+runs fold records shard-by-shard into :class:`TenantTotals`
+accumulators collected in a :class:`FleetSummary`, never materializing
+the full per-tenant record matrix in memory.
 """
 
 from __future__ import annotations
@@ -53,9 +66,11 @@ __all__ = [
     "EpochRecord",
     "EpochSegment",
     "FleetLedger",
+    "FleetSummary",
     "SimulationLedger",
     "TenantEpochRecord",
     "TenantLedger",
+    "TenantTotals",
 ]
 
 
@@ -123,6 +138,24 @@ class EpochRecord:
     #: Subsets actually priced through the cost model this epoch (the
     #: evaluate() traffic the caches did *not* absorb).
     subsets_priced: int = 0
+    #: Tenants that arrived this epoch, as ``(tenant, onboarding)``
+    #: pairs — the inbound-transfer charge of loading each arriving
+    #: tenant's initial result products (empty for static fleets).
+    arrivals: Tuple[Tuple[str, Money], ...] = ()
+    #: Tenants that departed this epoch, as ``(tenant, settlement)``
+    #: pairs — the outbound export of each leaver's final footprint,
+    #: priced at the book being left (empty for static fleets).
+    departures: Tuple[Tuple[str, Money], ...] = ()
+
+    @property
+    def onboarding_cost(self) -> Money:
+        """Total inbound-load charges of this epoch's arrivals."""
+        return sum((amount for _, amount in self.arrivals), ZERO)
+
+    @property
+    def offboarding_cost(self) -> Money:
+        """Total settlement exports of this epoch's departures."""
+        return sum((amount for _, amount in self.departures), ZERO)
 
     @property
     def evaluate_calls(self) -> int:
@@ -139,13 +172,15 @@ class EpochRecord:
     @property
     def total_cost(self) -> Money:
         """Everything this epoch cost (operating + build + teardown +
-        migration + cancelled)."""
+        migration + cancelled + onboarding + offboarding)."""
         return (
             self.operating_cost
             + self.build_cost
             + self.teardown_cost
             + self.migration_cost
             + self.cancelled_cost
+            + self.onboarding_cost
+            + self.offboarding_cost
         )
 
     @property
@@ -165,6 +200,10 @@ class EpochRecord:
             marks.append("x" + ",".join(self.views_cancelled))
         if self.migrated_to is not None:
             marks.append(f">>{self.migrated_to}")
+        if self.arrivals:
+            marks.append("++" + ",".join(t for t, _ in self.arrivals))
+        if self.departures:
+            marks.append("--" + ",".join(t for t, _ in self.departures))
         change = " ".join(marks) if marks else ""
         events = "; ".join(self.events) if self.events else ""
         return (
@@ -251,6 +290,26 @@ class SimulationLedger:
         return sum(len(r.views_cancelled) for r in self._records)
 
     @property
+    def total_onboarding_cost(self) -> Money:
+        """Lifetime inbound-load charges of tenant arrivals."""
+        return sum((r.onboarding_cost for r in self._records), ZERO)
+
+    @property
+    def total_offboarding_cost(self) -> Money:
+        """Lifetime settlement exports of tenant departures."""
+        return sum((r.offboarding_cost for r in self._records), ZERO)
+
+    @property
+    def arrival_count(self) -> int:
+        """Tenants that arrived mid-lifecycle."""
+        return sum(len(r.arrivals) for r in self._records)
+
+    @property
+    def departure_count(self) -> int:
+        """Tenants that departed mid-lifecycle."""
+        return sum(len(r.departures) for r in self._records)
+
+    @property
     def total_build_latency_months(self) -> float:
         """Lifetime submit-to-landing wall-clock months, summed over
         every view that went live (0.0 for synchronous runs)."""
@@ -319,6 +378,12 @@ class SimulationLedger:
         cancels = (
             f"  cancels={self.cancel_count}" if self.cancel_count else ""
         )
+        churn = (
+            f"  arrivals={self.arrival_count}"
+            f"  departures={self.departure_count}"
+            if self.arrival_count or self.departure_count
+            else ""
+        )
         return (
             f"{self._policy:<18} total={self.total_cost}  "
             f"hours={self.total_hours:.2f}  "
@@ -328,6 +393,7 @@ class SimulationLedger:
             + migrations
             + latency
             + cancels
+            + churn
         )
 
     def render(self) -> str:
@@ -372,6 +438,12 @@ class TenantEpochRecord:
     #: The tenant's share of sunk compute from builds abandoned this
     #: epoch (async runs only; split by the infrastructure rule).
     cancelled_cost: Money = ZERO
+    #: Inbound-load charge of this tenant's own arrival (nonzero only
+    #: on the epoch it joined an elastic fleet; 100% direct, no split).
+    onboarding_cost: Money = ZERO
+    #: Settlement export of this tenant's own departure (nonzero only
+    #: on its settlement-only record; 100% direct, no split).
+    offboarding_cost: Money = ZERO
 
     @property
     def operating_cost(self) -> Money:
@@ -392,6 +464,8 @@ class TenantEpochRecord:
             + self.teardown_cost
             + self.migration_cost
             + self.cancelled_cost
+            + self.onboarding_cost
+            + self.offboarding_cost
         )
 
     def describe(self) -> str:
@@ -402,12 +476,22 @@ class TenantEpochRecord:
         cancelled = (
             f", sunk={self.cancelled_cost}" if self.cancelled_cost else ""
         )
+        onboard = (
+            f", onboard={self.onboarding_cost}"
+            if self.onboarding_cost
+            else ""
+        )
+        offboard = (
+            f", offboard={self.offboarding_cost}"
+            if self.offboarding_cost
+            else ""
+        )
         return (
             f"e{self.epoch:>3}  C={self.total_cost}  "
             f"(proc={self.processing_cost}, maint={self.maintenance_cost}, "
             f"stor={self.storage_cost}, xfer={self.transfer_cost}, "
             f"build={self.build_cost}, drop={self.teardown_cost}"
-            f"{migration}{cancelled})  "
+            f"{migration}{cancelled}{onboard}{offboard})  "
             f"T={self.processing_hours:.3f}h"
         )
 
@@ -490,6 +574,17 @@ class TenantLedger:
         return sum((r.cancelled_cost for r in self._records), ZERO)
 
     @property
+    def total_onboarding_cost(self) -> Money:
+        """The tenant's arrival load charge (zero unless it arrived
+        mid-lifecycle)."""
+        return sum((r.onboarding_cost for r in self._records), ZERO)
+
+    @property
+    def total_offboarding_cost(self) -> Money:
+        """The tenant's settlement export (zero unless it departed)."""
+        return sum((r.offboarding_cost for r in self._records), ZERO)
+
+    @property
     def total_hours(self) -> float:
         """The tenant's lifetime processing hours."""
         return sum(r.processing_hours for r in self._records)
@@ -565,21 +660,26 @@ class FleetLedger:
         """Assert the books balance: tenant shares sum to fleet charges.
 
         Checked exactly (``Decimal`` equality), per epoch and per
-        component (operating / build / teardown).  Raises
+        component (operating / build / teardown / migration /
+        cancelled / onboarding / offboarding).  Tenant ledgers may be
+        *ragged* — an elastic fleet's tenant has records only for the
+        epochs it was present — so each epoch is checked over the
+        tenant records that exist for it.  Raises
         :class:`~repro.errors.SimulationError` on the first mismatch.
         """
-        n_epochs = len(self._fleet.records)
+        fleet_epochs = {r.epoch for r in self._fleet.records}
+        by_epoch: Dict[int, List[TenantEpochRecord]] = {}
         for ledger in self._tenants.values():
-            if len(ledger.records) != n_epochs:
-                raise SimulationError(
-                    f"tenant {ledger.tenant!r} has "
-                    f"{len(ledger.records)} records for "
-                    f"{n_epochs} fleet epochs"
-                )
-        for index, record in enumerate(self._fleet.records):
-            shares = [
-                ledger.records[index] for ledger in self._tenants.values()
-            ]
+            for share in ledger.records:
+                if share.epoch not in fleet_epochs:
+                    raise SimulationError(
+                        f"tenant {ledger.tenant!r} has a record for "
+                        f"epoch {share.epoch}, which the fleet ledger "
+                        f"never billed"
+                    )
+                by_epoch.setdefault(share.epoch, []).append(share)
+        for record in self._fleet.records:
+            shares = by_epoch.get(record.epoch, [])
             checks = (
                 ("operating", record.operating_cost,
                  sum((s.operating_cost for s in shares), ZERO)),
@@ -591,6 +691,10 @@ class FleetLedger:
                  sum((s.migration_cost for s in shares), ZERO)),
                 ("cancelled", record.cancelled_cost,
                  sum((s.cancelled_cost for s in shares), ZERO)),
+                ("onboarding", record.onboarding_cost,
+                 sum((s.onboarding_cost for s in shares), ZERO)),
+                ("offboarding", record.offboarding_cost,
+                 sum((s.offboarding_cost for s in shares), ZERO)),
             )
             for component, fleet_amount, tenant_sum in checks:
                 if fleet_amount != tenant_sum:
@@ -612,3 +716,281 @@ class FleetLedger:
         parts = [self._fleet.render()]
         parts += [ledger.render() for ledger in self._tenants.values()]
         return "\n\n".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# Streaming aggregation for population-scale fleets
+# ---------------------------------------------------------------------------
+
+
+class TenantTotals:
+    """One tenant's lifetime totals, folded record-by-record.
+
+    The streaming counterpart of :class:`TenantLedger`: instead of
+    keeping every :class:`TenantEpochRecord`, it accumulates each
+    component total as records stream past — O(1) memory per tenant
+    regardless of horizon, which is what lets a 10⁴-tenant run merge
+    shard outputs without materializing the full per-tenant matrix.
+    Folding the same records in the same order as a
+    :class:`TenantLedger` would hold produces totals exactly equal to
+    the ledger's (``Decimal`` addition in identical sequence).
+    """
+
+    __slots__ = (
+        "tenant",
+        "processing_cost",
+        "transfer_cost",
+        "maintenance_cost",
+        "storage_cost",
+        "build_cost",
+        "teardown_cost",
+        "migration_cost",
+        "cancelled_cost",
+        "onboarding_cost",
+        "offboarding_cost",
+        "processing_hours",
+        "n_records",
+        "first_epoch",
+        "last_epoch",
+    )
+
+    def __init__(self, tenant: str) -> None:
+        self.tenant = tenant
+        self.processing_cost = ZERO
+        self.transfer_cost = ZERO
+        self.maintenance_cost = ZERO
+        self.storage_cost = ZERO
+        self.build_cost = ZERO
+        self.teardown_cost = ZERO
+        self.migration_cost = ZERO
+        self.cancelled_cost = ZERO
+        self.onboarding_cost = ZERO
+        self.offboarding_cost = ZERO
+        self.processing_hours = 0.0
+        self.n_records = 0
+        self.first_epoch: Optional[int] = None
+        self.last_epoch: Optional[int] = None
+
+    def fold(self, record: TenantEpochRecord) -> None:
+        """Accumulate one epoch record (must belong to this tenant,
+        and arrive in epoch order)."""
+        if record.tenant != self.tenant:
+            raise SimulationError(
+                f"record for tenant {record.tenant!r} folded into "
+                f"{self.tenant!r}'s totals"
+            )
+        if self.last_epoch is not None and record.epoch <= self.last_epoch:
+            raise SimulationError(
+                f"tenant {self.tenant!r}: epoch {record.epoch} folded "
+                f"after epoch {self.last_epoch}"
+            )
+        self.processing_cost += record.processing_cost
+        self.transfer_cost += record.transfer_cost
+        self.maintenance_cost += record.maintenance_cost
+        self.storage_cost += record.storage_cost
+        self.build_cost += record.build_cost
+        self.teardown_cost += record.teardown_cost
+        self.migration_cost += record.migration_cost
+        self.cancelled_cost += record.cancelled_cost
+        self.onboarding_cost += record.onboarding_cost
+        self.offboarding_cost += record.offboarding_cost
+        self.processing_hours += record.processing_hours
+        self.n_records += 1
+        if self.first_epoch is None:
+            self.first_epoch = record.epoch
+        self.last_epoch = record.epoch
+
+    @property
+    def operating_cost(self) -> Money:
+        """Lifetime steady-state share."""
+        return (
+            self.processing_cost
+            + self.transfer_cost
+            + self.maintenance_cost
+            + self.storage_cost
+        )
+
+    @property
+    def total_cost(self) -> Money:
+        """The tenant's lifetime attributed bill."""
+        return (
+            self.operating_cost
+            + self.build_cost
+            + self.teardown_cost
+            + self.migration_cost
+            + self.cancelled_cost
+            + self.onboarding_cost
+            + self.offboarding_cost
+        )
+
+    #: CSV column names for :meth:`row`, in order.
+    CSV_HEADER = (
+        "tenant",
+        "first_epoch",
+        "last_epoch",
+        "n_records",
+        "total",
+        "processing",
+        "transfer",
+        "maintenance",
+        "storage",
+        "build",
+        "teardown",
+        "migration",
+        "cancelled",
+        "onboarding",
+        "offboarding",
+        "hours",
+    )
+
+    def row(self) -> Tuple[str, ...]:
+        """One CSV row of full-precision totals (exact ``Decimal``
+        strings, so equal books render byte-identically)."""
+        return (
+            self.tenant,
+            "" if self.first_epoch is None else str(self.first_epoch),
+            "" if self.last_epoch is None else str(self.last_epoch),
+            str(self.n_records),
+            str(self.total_cost.amount),
+            str(self.processing_cost.amount),
+            str(self.transfer_cost.amount),
+            str(self.maintenance_cost.amount),
+            str(self.storage_cost.amount),
+            str(self.build_cost.amount),
+            str(self.teardown_cost.amount),
+            str(self.migration_cost.amount),
+            str(self.cancelled_cost.amount),
+            str(self.onboarding_cost.amount),
+            str(self.offboarding_cost.amount),
+            f"{self.processing_hours:.10g}",
+        )
+
+    def summary(self) -> str:
+        """One comparison line for the tenant."""
+        span = (
+            f"e{self.first_epoch}-e{self.last_epoch}"
+            if self.first_epoch is not None
+            else "-"
+        )
+        return (
+            f"{self.tenant:<12} total={self.total_cost}  "
+            f"operating={self.operating_cost}  "
+            f"build={self.build_cost}  "
+            f"hours={self.processing_hours:.2f}  [{span}]"
+        )
+
+
+class FleetSummary:
+    """A population-scale fleet run's books: fleet ledger + streamed
+    per-tenant totals.
+
+    The streaming counterpart of :class:`FleetLedger` — produced by
+    :meth:`~repro.simulate.tenants.MultiTenantSimulator.run_sharded`,
+    which folds each shard's :class:`TenantEpochRecord` stream into
+    :class:`TenantTotals` without ever holding the full per-tenant
+    record matrix.  ``shards`` records how the attribution work was
+    partitioned (results are byte-identical for any value).
+    """
+
+    def __init__(
+        self,
+        fleet: SimulationLedger,
+        tenants: Mapping[str, TenantTotals],
+        shards: int = 1,
+    ) -> None:
+        if not tenants:
+            raise SimulationError("a fleet summary needs at least one tenant")
+        self._fleet = fleet
+        self._tenants: Dict[str, TenantTotals] = dict(tenants)
+        self._shards = shards
+
+    @property
+    def fleet(self) -> SimulationLedger:
+        """The shared warehouse's own per-epoch ledger."""
+        return self._fleet
+
+    @property
+    def tenants(self) -> Mapping[str, TenantTotals]:
+        """Per-tenant streamed totals, by tenant name (fleet order)."""
+        return dict(self._tenants)
+
+    @property
+    def shards(self) -> int:
+        """How many attribution shards produced these totals."""
+        return self._shards
+
+    @property
+    def policy_name(self) -> str:
+        """The policy that produced this history."""
+        return self._fleet.policy_name
+
+    @property
+    def total_cost(self) -> Money:
+        """The fleet's lifetime bill (equals the sum of tenant bills)."""
+        return self._fleet.total_cost
+
+    def tenant(self, name: str) -> TenantTotals:
+        """One tenant's totals, by name."""
+        try:
+            return self._tenants[name]
+        except KeyError:
+            raise SimulationError(
+                f"no tenant named {name!r}; fleet has "
+                f"{len(self._tenants)} tenants"
+            ) from None
+
+    def verify_totals(self) -> None:
+        """Assert the books balance: per-component tenant totals sum
+        exactly to the fleet ledger's lifetime totals."""
+        totals = list(self._tenants.values())
+        checks = (
+            ("operating", self._fleet.total_operating_cost,
+             sum((t.operating_cost for t in totals), ZERO)),
+            ("build", self._fleet.total_build_cost,
+             sum((t.build_cost for t in totals), ZERO)),
+            ("teardown", self._fleet.total_teardown_cost,
+             sum((t.teardown_cost for t in totals), ZERO)),
+            ("migration", self._fleet.total_migration_cost,
+             sum((t.migration_cost for t in totals), ZERO)),
+            ("cancelled", self._fleet.total_cancelled_cost,
+             sum((t.cancelled_cost for t in totals), ZERO)),
+            ("onboarding", self._fleet.total_onboarding_cost,
+             sum((t.onboarding_cost for t in totals), ZERO)),
+            ("offboarding", self._fleet.total_offboarding_cost,
+             sum((t.offboarding_cost for t in totals), ZERO)),
+        )
+        for component, fleet_amount, tenant_sum in checks:
+            if fleet_amount != tenant_sum:
+                raise SimulationError(
+                    f"lifetime {component}: tenant totals sum to "
+                    f"{tenant_sum}, fleet charged {fleet_amount}"
+                )
+
+    def summary(self) -> str:
+        """The fleet comparison line plus a tenant-population line."""
+        return (
+            self._fleet.summary()
+            + f"\n  tenants={len(self._tenants)}  shards={self._shards}"
+        )
+
+    def render(self, max_tenants: int = 20) -> str:
+        """Fleet ledger plus up to ``max_tenants`` tenant lines."""
+        lines = [self._fleet.render(), ""]
+        shown = 0
+        for totals in self._tenants.values():
+            if shown >= max_tenants:
+                lines.append(
+                    f"  ... and {len(self._tenants) - shown} more tenants"
+                )
+                break
+            lines.append("  " + totals.summary())
+            shown += 1
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """The per-tenant totals as CSV text (header + one row per
+        tenant, fleet order, full-precision amounts) — the artifact
+        the determinism job ``cmp``\\ s across shard counts."""
+        lines = [",".join(TenantTotals.CSV_HEADER)]
+        lines += [",".join(t.row()) for t in self._tenants.values()]
+        return "\n".join(lines) + "\n"

@@ -42,10 +42,11 @@ from .ledger import SimulationLedger
 from .policy import POLICY_NAMES, ReselectionPolicy, make_policy
 from .presets import (
     default_market,
+    elastic_multi_tenant_simulator,
     stochastic_multi_tenant_simulator,
     stochastic_sales_simulator,
 )
-from .stochastic import derive_seed, generator_preset
+from .stochastic import FleetChurn, derive_seed, generator_preset
 
 __all__ = [
     "CLAIRVOYANT",
@@ -161,6 +162,13 @@ class MonteCarloConfig:
     dataset_gb: float = 10.0
     n_tenants: int = 0
     attribution: str = "proportional"
+    #: Expected tenant arrivals per epoch (Poisson); ``0`` keeps the
+    #: fleet fixed.  Requires ``n_tenants >= 1`` (founders anchor the
+    #: warehouse).  Each trial resamples the fleet trajectory from its
+    #: drift seed, so churn is part of the sampled future.
+    tenant_churn: float = 0.0
+    #: Expected churned-tenant stay in epochs (exponential).
+    tenant_stay: float = 8.0
     policies: Tuple[PolicySpec, ...] = field(
         default_factory=_default_policies
     )
@@ -189,6 +197,20 @@ class MonteCarloConfig:
         if self.n_tenants < 0:
             raise SimulationError(
                 f"n_tenants cannot be negative, got {self.n_tenants}"
+            )
+        if self.tenant_churn < 0:
+            raise SimulationError(
+                f"tenant_churn cannot be negative, got {self.tenant_churn}"
+            )
+        if self.tenant_stay <= 0:
+            raise SimulationError(
+                f"tenant_stay must be positive epochs, got {self.tenant_stay}"
+            )
+        if self.tenant_churn and not self.n_tenants:
+            raise SimulationError(
+                "tenant_churn needs a multi-tenant config (n_tenants >= 1): "
+                "founding tenants anchor the warehouse the churned "
+                "tenants join"
             )
         if not self.policies:
             raise SimulationError("compare at least one policy")
@@ -258,6 +280,10 @@ class TrialOutcome:
     cancelled_cost: Money = Money(0)
     #: Lifetime submit-to-landing wall-clock months (async runs).
     build_latency_months: float = 0.0
+    #: Tenant arrivals billed over the lifetime (elastic runs).
+    arrivals: int = 0
+    #: Tenant departures settled over the lifetime (elastic runs).
+    departures: int = 0
 
 
 def _outcome(
@@ -287,6 +313,8 @@ def _outcome(
         migration_cost=ledger.total_migration_cost,
         cancelled_cost=ledger.total_cancelled_cost,
         build_latency_months=ledger.total_build_latency_months,
+        arrivals=ledger.arrival_count,
+        departures=ledger.departure_count,
     )
 
 
@@ -306,25 +334,48 @@ def run_trial(config: MonteCarloConfig, trial: int) -> Tuple[TrialOutcome, ...]:
     market = default_market() if config.quotes_market else None
     builds = config.builds
     if config.n_tenants:
-        simulator = stochastic_multi_tenant_simulator(
-            n_tenants=config.n_tenants,
-            generator=config.generator,
-            n_epochs=config.n_epochs,
-            n_rows=config.n_rows,
-            seed=config.seed,
-            drift_seed=drift_seed,
-            dataset_gb=config.dataset_gb,
-            attribution=config.attribution,
-            charge_teardown_egress=config.charge_teardown_egress,
-            market=market,
-            builds=builds,
-        )
+        if config.tenant_churn:
+            simulator = elastic_multi_tenant_simulator(
+                n_tenants=config.n_tenants,
+                generator=config.generator,
+                churn=FleetChurn(
+                    arrival_rate=config.tenant_churn,
+                    mean_stay=config.tenant_stay,
+                ),
+                n_epochs=config.n_epochs,
+                n_rows=config.n_rows,
+                seed=config.seed,
+                drift_seed=drift_seed,
+                dataset_gb=config.dataset_gb,
+                attribution=config.attribution,
+                charge_teardown_egress=config.charge_teardown_egress,
+                market=market,
+                builds=builds,
+            )
+        else:
+            simulator = stochastic_multi_tenant_simulator(
+                n_tenants=config.n_tenants,
+                generator=config.generator,
+                n_epochs=config.n_epochs,
+                n_rows=config.n_rows,
+                seed=config.seed,
+                drift_seed=drift_seed,
+                dataset_gb=config.dataset_gb,
+                attribution=config.attribution,
+                charge_teardown_egress=config.charge_teardown_egress,
+                market=market,
+                builds=builds,
+            )
+        # Under churn the sampled tenants differ per trial, so
+        # per-tenant metric columns cover only the founding tenants —
+        # the names every trial shares.
+        reported = simulator.fleet.tenant_names[: config.n_tenants]
 
         def run(policy):
             fleet_ledger = simulator.run(policy)
             tenant_costs = tuple(
                 (name, fleet_ledger.tenant(name).total_cost)
-                for name in simulator.fleet.tenant_names
+                for name in reported
             )
             return fleet_ledger.fleet, tenant_costs
     else:
@@ -465,6 +516,13 @@ _METRICS: Tuple[Tuple[str, Callable[[TrialOutcome], float]], ...] = (
     ("build_latency_months", lambda o: o.build_latency_months),
 )
 
+#: Elastic-fleet metrics, appended only when the config churns tenants
+#: so churn-free configs keep their exact pre-elastic CSV columns.
+_CHURN_METRICS: Tuple[Tuple[str, Callable[[TrialOutcome], float]], ...] = (
+    ("arrivals", lambda o: float(o.arrivals)),
+    ("departures", lambda o: float(o.departures)),
+)
+
 
 class MonteCarloResult:
     """Aggregated trial outcomes, queryable per policy and metric."""
@@ -508,6 +566,8 @@ class MonteCarloResult:
     def metric_names(self) -> Tuple[str, ...]:
         """Aggregated metrics, in CSV order (tenant totals last)."""
         names = [name for name, _ in _METRICS]
+        if self._config.tenant_churn:
+            names += [name for name, _ in _CHURN_METRICS]
         if self._config.n_tenants:
             sample = self._by_policy[self.policies[0]][0]
             names += [
@@ -524,7 +584,7 @@ class MonteCarloResult:
             raise SimulationError(
                 f"no policy {policy!r}; rows are {list(self.policies)}"
             ) from None
-        for name, extract in _METRICS:
+        for name, extract in (*_METRICS, *_CHURN_METRICS):
             if name == metric:
                 return DistributionSummary.from_values(
                     [extract(o) for o in rows]
@@ -589,6 +649,12 @@ class MonteCarloResult:
                 f", tenants={self._config.n_tenants}"
                 f" ({self._config.attribution})"
                 if self._config.n_tenants
+                else ""
+            )
+            + (
+                f", churn={self._config.tenant_churn:g}/epoch"
+                f" (stay {self._config.tenant_stay:g})"
+                if self._config.tenant_churn
                 else ""
             )
             + (

@@ -33,13 +33,31 @@ base warehouse, but the future is drawn from a seeded generator bundle
 spot-price walk.  ``seed`` fixes the starting world; ``drift_seed``
 (default: ``seed``) fixes the sampled future, so a Monte Carlo harness
 can hold the world constant while varying the future per trial.
+
+:func:`elastic_multi_tenant_simulator` adds the fleet's *population*
+to the sampled future: on top of the stochastic multi-tenant base, a
+seeded churn process (:func:`repro.simulate.stochastic.
+sample_fleet_churn`) draws tenants that arrive and depart
+mid-lifecycle — billed through
+:class:`~repro.simulate.events.TenantArrival` /
+:class:`~repro.simulate.events.TenantDeparture` — each with its own
+sampled drift over its active window.
+
+:func:`population_fleet_simulator` pushes the tenant *count* instead:
+10³–10⁵ single-query tenants over a deliberately small world and
+catalogue, sized for :meth:`~repro.simulate.tenants.
+MultiTenantSimulator.run_sharded`'s streaming, sharded attribution.
 """
 
 from __future__ import annotations
 
 import functools
+import random
+from dataclasses import replace
 
 from ..costmodel.params import DeploymentSpec
+from ..cube.candidates import candidates_from_workload
+from ..cube.lattice import CuboidLattice
 from ..data.sales_generator import generate_sales
 from ..errors import SimulationError
 from ..engine.timing import ClusterTimingModel
@@ -52,7 +70,7 @@ from ..pricing.providers import (
     flat_cloud,
 )
 from ..workload.query import AggregateQuery
-from ..workload.workload import paper_sales_workload
+from ..workload.workload import Workload, paper_sales_workload
 from .clock import SimulationClock
 from .events import (
     AddQueries,
@@ -66,10 +84,12 @@ from .builds import BuildConfig
 from .simulator import LifecycleSimulator
 from .state import WarehouseState
 from .stochastic import (
+    FleetChurn,
     GeneratorContext,
     compile_timeline,
     derive_seed,
     generator_preset,
+    sample_fleet_churn,
     split_by_scope,
 )
 from .tenants import MultiTenantSimulator, Tenant, TenantFleet
@@ -79,8 +99,10 @@ __all__ = [
     "async_sales_simulator",
     "default_market",
     "drifting_sales_simulator",
+    "elastic_multi_tenant_simulator",
     "multi_tenant_min_epochs",
     "multi_tenant_sales_simulator",
+    "population_fleet_simulator",
     "sales_deployment",
     "stochastic_multi_tenant_simulator",
     "stochastic_sales_simulator",
@@ -467,6 +489,231 @@ def stochastic_multi_tenant_simulator(
         cache=cache,
         charge_teardown_egress=charge_teardown_egress,
         builds=builds,
+    )
+
+
+def elastic_multi_tenant_simulator(
+    n_tenants: int = 3,
+    generator: str = "mixed",
+    churn: "FleetChurn | None" = None,
+    n_epochs: int = 24,
+    n_rows: int = 60_000,
+    seed: int = 42,
+    drift_seed: "int | None" = None,
+    dataset_gb: float = 10.0,
+    attribution: str = "proportional",
+    charge_teardown_egress: bool = True,
+    cache: "SubsetEvaluationCache | None" = None,
+    market: "tuple[Provider, ...] | None" = None,
+    builds: "BuildConfig | None" = None,
+) -> MultiTenantSimulator:
+    """The stochastic fleet with a *sampled population*.
+
+    Starts from :func:`stochastic_multi_tenant_simulator`'s world —
+    ``n_tenants`` founding tenants with sampled drift over a shared
+    sampled backdrop — and layers a seeded churn process on top:
+    :func:`~repro.simulate.stochastic.sample_fleet_churn` draws
+    tenants (``c0``, ``c1``, ...) that arrive mid-lifecycle and may
+    depart before the horizon.  Each churned tenant brings a small
+    paper-workload prefix at its own intensity and drifts under its
+    own child-seeded generator streams, compiled over its active
+    window; the fleet bills its onboarding and settlement through
+    :class:`~repro.simulate.events.TenantArrival` /
+    :class:`~repro.simulate.events.TenantDeparture`.
+
+    Founders never depart, so the warehouse is occupied at every
+    epoch (a :class:`~repro.simulate.tenants.MultiTenantSimulator`
+    requirement).  The trajectory is a pure function of
+    ``(seed, drift_seed, churn, n_epochs)``: Monte Carlo trials vary
+    ``drift_seed`` to resample both drift *and* population.
+    """
+    if n_tenants < 1:
+        raise SimulationError(
+            f"the fleet needs at least one founding tenant, got {n_tenants}"
+        )
+    dataset = _cached_sales_dataset(n_rows, seed, dataset_gb)
+    schema = dataset.schema
+    deployment = sales_deployment()
+    base_seed = seed if drift_seed is None else drift_seed
+    workload_gens, warehouse_gens = split_by_scope(
+        generator_preset(generator)
+    )
+
+    sizes = (3, 5, 4)
+    intensities = (1.0, 2.0, 0.5)
+
+    def sampled_tenant(
+        name: str,
+        serial: int,
+        drift_label: str,
+        arrival: int = 0,
+        departure: "int | None" = None,
+    ) -> Tenant:
+        base = paper_sales_workload(schema, sizes[serial % len(sizes)])
+        intensity = intensities[serial % len(intensities)]
+        workload = base.reweighted(
+            {q.name: q.frequency * intensity for q in base}
+        )
+        # Drift is compiled over the tenant's active window and
+        # shifted to it, so a late arrival drifts relative to its own
+        # onboarding, not the fleet's epoch 0.
+        window = (departure if departure is not None else n_epochs) - arrival
+        events: "tuple[SimulationEvent, ...]" = ()
+        if window >= 2:
+            timeline = compile_timeline(
+                workload_gens,
+                derive_seed(base_seed, drift_label),
+                GeneratorContext(
+                    schema=schema,
+                    base_workload=workload,
+                    provider=deployment.provider,
+                    n_epochs=window,
+                ),
+            )
+            events = tuple(
+                replace(event, epoch=event.epoch + arrival)
+                for event in timeline
+            )
+        return Tenant(
+            name=name,
+            workload=workload,
+            events=events,
+            arrival_epoch=arrival,
+            departure_epoch=departure,
+        )
+
+    tenants = [
+        sampled_tenant(f"t{i + 1}", i, f"tenant:{i}")
+        for i in range(n_tenants)
+    ]
+    process = churn if churn is not None else FleetChurn()
+    for index, lifecycle in enumerate(
+        sample_fleet_churn(
+            process, derive_seed(base_seed, "fleet-churn"), n_epochs
+        )
+    ):
+        tenants.append(
+            sampled_tenant(
+                lifecycle.name,
+                n_tenants + index,
+                f"churn:{lifecycle.name}",
+                arrival=lifecycle.arrival_epoch,
+                departure=lifecycle.departure_epoch,
+            )
+        )
+
+    shared_timeline = compile_timeline(
+        warehouse_gens,
+        derive_seed(base_seed, "shared"),
+        GeneratorContext(
+            schema=schema,
+            base_workload=tenants[0].workload,
+            provider=deployment.provider,
+            n_epochs=n_epochs,
+        ),
+    )
+    fleet = TenantFleet(
+        tenants,
+        dataset=dataset,
+        deployment=deployment,
+        shared_events=tuple(shared_timeline),
+        market=market if market is not None else (),
+    )
+    return MultiTenantSimulator(
+        fleet,
+        clock=SimulationClock(n_epochs),
+        attribution=attribution,
+        cache=cache,
+        charge_teardown_egress=charge_teardown_egress,
+        builds=builds,
+    )
+
+
+def population_fleet_simulator(
+    n_tenants: int = 10_000,
+    elastic: bool = True,
+    n_epochs: int = 4,
+    n_rows: int = 5_000,
+    seed: int = 42,
+    dataset_gb: float = 1.0,
+    attribution: str = "proportional",
+    cache: "SubsetEvaluationCache | None" = None,
+) -> MultiTenantSimulator:
+    """A population-scale fleet: 10³–10⁵ single-query tenants.
+
+    Built for :meth:`~repro.simulate.tenants.MultiTenantSimulator.
+    run_sharded`: every tenant owns exactly one query drawn from the
+    five-query paper pool (cycling, at a seeded per-tenant intensity),
+    so the pricing work stays bounded while the *attribution* work —
+    splitting every epoch's bill across all tenants — scales with the
+    population.  The candidate catalogue is the workload-grain one
+    (:func:`~repro.cube.candidates.candidates_from_workload` over the
+    pool), not the full lattice, keeping selection cheap at any
+    population.
+
+    ``elastic=True`` churns a seeded ~20% of the population: some
+    tenants arrive after epoch 0, some founders depart before the
+    horizon (tenant ``p0`` is always static, so the warehouse is never
+    empty).  ``elastic=False`` is the fixed-fleet control the
+    benchmark compares against.
+    """
+    if n_tenants < 1:
+        raise SimulationError(
+            f"the population needs at least one tenant, got {n_tenants}"
+        )
+    if n_epochs < 3:
+        raise SimulationError(
+            f"the population fleet needs n_epochs >= 3 (room for "
+            f"mid-lifecycle churn), got {n_epochs}"
+        )
+    dataset = _cached_sales_dataset(n_rows, seed, dataset_gb)
+    schema = dataset.schema
+    pool = tuple(paper_sales_workload(schema, 5))
+    rng = random.Random(derive_seed(seed, "population"))
+
+    tenants = []
+    for i in range(n_tenants):
+        query = pool[i % len(pool)]
+        intensity = 0.5 + rng.random()
+        arrival = 0
+        departure: "int | None" = None
+        if elastic and i > 0 and rng.random() < 0.2:
+            if rng.random() < 0.5:
+                arrival = rng.randrange(1, n_epochs - 1)
+            else:
+                departure = rng.randrange(2, n_epochs)
+        tenants.append(
+            Tenant(
+                name=f"p{i}",
+                workload=Workload(
+                    schema,
+                    (
+                        replace(
+                            query,
+                            frequency=query.frequency * intensity,
+                        ),
+                    ),
+                ),
+                arrival_epoch=arrival,
+                departure_epoch=departure,
+            )
+        )
+
+    lattice = CuboidLattice(schema)
+    catalogue = candidates_from_workload(
+        lattice, Workload(schema, pool)
+    )
+    fleet = TenantFleet(
+        tenants,
+        dataset=dataset,
+        deployment=sales_deployment(),
+    )
+    return MultiTenantSimulator(
+        fleet,
+        clock=SimulationClock(n_epochs),
+        attribution=attribution,
+        catalogue=catalogue,
+        cache=cache,
     )
 
 

@@ -57,6 +57,7 @@ from typing import (
 )
 
 from ..costmodel.computing import view_computing_cost
+from ..costmodel.estimator import PlanningInputs
 from ..costmodel.total import CostBreakdown
 from ..cube.candidates import enumerate_candidates
 from ..cube.lattice import CuboidLattice
@@ -76,6 +77,8 @@ from .events import (
     EventTimeline,
     ProviderMigration,
     SimulationEvent,
+    TenantArrival,
+    TenantDeparture,
 )
 from .ledger import EpochRecord, EpochSegment, SimulationLedger
 from .policy import ReselectionPolicy
@@ -289,14 +292,39 @@ class LifecycleSimulator:
             # in the same epoch (a forced PriceChange, another hop)
             # may already have moved the warehouse.
             hops = []
+            arrived = []
+            departures = []
+            settle_inputs = None
             for event in fired:
                 if isinstance(event, ProviderMigration):
+                    settle_inputs = None
                     source = state.deployment.provider
                     state = event.apply(state)
                     hops.append((source, state.deployment.provider))
-                else:
+                elif isinstance(event, TenantDeparture):
+                    # Settlement is priced at the book (and result
+                    # sizes) the tenant actually leaves — captured
+                    # before its queries drop out of the workload.  A
+                    # query's result size is independent of the rest
+                    # of the workload, so consecutive departures share
+                    # one pricing pass; any other event invalidates it.
+                    if settle_inputs is None:
+                        settle_inputs = self._builder.problem_for(
+                            state
+                        ).inputs
+                    departures.append(
+                        self._settle_departure(state, event, settle_inputs)
+                    )
                     state = event.apply(state)
+                else:
+                    settle_inputs = None
+                    state = event.apply(state)
+                    if isinstance(event, TenantArrival):
+                        arrived.append(event)
             problem = self._builder.problem_for(state)
+            arrivals = tuple(
+                self._price_arrival(problem, event) for event in arrived
+            )
             context = EpochContext(state=state, builder=self._builder)
             with telemetry.span(
                 "epoch.decide", epoch=epoch.index, policy=ledger.policy_name
@@ -337,6 +365,7 @@ class LifecycleSimulator:
                     epoch.index, problem, decision.subset, built, dropped,
                     decision.reoptimized, decision.regret, tuple(described),
                     migration_cost, migrated_to,
+                    arrivals=arrivals, departures=tuple(departures),
                 )
             record, stats_before = self._finish_epoch(
                 telemetry, record, stats_before
@@ -416,19 +445,38 @@ class LifecycleSimulator:
             # stood before the first hop, so cancellations bill at the
             # rates the compute actually ran under.
             pre_hop_deployment = None
+            arrived = []
+            departures = []
+            settle_inputs = None
             for event in fired:
                 if isinstance(event, ProviderMigration):
+                    settle_inputs = None
                     if pre_hop_deployment is None:
                         pre_hop_deployment = state.deployment
                     source = state.deployment.provider
                     state = event.apply(state)
                     hops.append((source, state.deployment.provider))
-                else:
+                elif isinstance(event, TenantDeparture):
+                    if settle_inputs is None:
+                        settle_inputs = self._builder.problem_for(
+                            state
+                        ).inputs
+                    departures.append(
+                        self._settle_departure(state, event, settle_inputs)
+                    )
                     state = event.apply(state)
+                else:
+                    settle_inputs = None
+                    state = event.apply(state)
+                    if isinstance(event, TenantArrival):
+                        arrived.append(event)
             state = state.with_holdings(
                 Holdings(live=live, pending=queue.pending_views())
             )
             problem = self._builder.problem_for(state)
+            arrivals = tuple(
+                self._price_arrival(problem, event) for event in arrived
+            )
             context = EpochContext(state=state, builder=self._builder)
             with telemetry.span(
                 "epoch.decide", epoch=epoch.index, policy=ledger.policy_name
@@ -505,6 +553,7 @@ class LifecycleSimulator:
                         if pre_hop_deployment is not None
                         else problem.inputs.deployment
                     ),
+                    arrivals=arrivals, departures=tuple(departures),
                 )
             record, stats_before = self._finish_epoch(
                 telemetry, record, stats_before
@@ -530,6 +579,8 @@ class LifecycleSimulator:
         migration_cost: Money,
         migrated_to: Optional[str],
         cancel_deployment=None,
+        arrivals: Tuple[Tuple[str, Money], ...] = (),
+        departures: Tuple[Tuple[str, Money], ...] = (),
     ) -> Tuple[EpochRecord, CostBreakdown, FrozenSet[str]]:
         """Price one asynchronous epoch; returns the epoch-end holdings.
 
@@ -609,6 +660,7 @@ class LifecycleSimulator:
                 epoch.index, problem, target, built, dropped,
                 decision.reoptimized, decision.regret, tuple(marks),
                 migration_cost, migrated_to, plan=plan,
+                arrivals=arrivals, departures=departures,
             )
             if cancelled_names or latency:
                 record = replace(
@@ -677,6 +729,8 @@ class LifecycleSimulator:
             cancelled_cost=cancelled_cost,
             build_latency_months=latency,
             segments=tuple(segments),
+            arrivals=arrivals,
+            departures=departures,
         )
         return record, breakdown, live_at_end
 
@@ -698,6 +752,60 @@ class LifecycleSimulator:
             query_hours=(),
             materialization_hours=(hours,),
         ).materialization_cost
+
+    def _settle_departure(
+        self,
+        state: WarehouseState,
+        event: TenantDeparture,
+        inputs: Optional[PlanningInputs] = None,
+    ) -> Tuple[str, Money]:
+        """Price a departing tenant's settlement export.
+
+        The tenant's remaining result products — one copy of each
+        query it still had — are exported at the book being left: the
+        state as it stands *before* the departure applies (earlier
+        same-epoch events, including migrations, have already acted).
+        ``inputs`` may carry that state's already-priced inputs (the
+        epoch loops reuse one pricing pass across consecutive
+        departures — result sizes do not depend on the queries other
+        departures removed).  A tenant whose queries all drifted away
+        settles at zero.
+        """
+        if not event.names:
+            return event.tenant, ZERO
+        if inputs is None:
+            inputs = self._builder.problem_for(state).inputs
+        volume = sum(
+            inputs.result_sizes_gb[name]
+            for name in event.names
+            if name in inputs.result_sizes_gb
+        )
+        if not volume:
+            return event.tenant, ZERO
+        cost = state.deployment.provider.transfer.outbound_cost(volume)
+        return event.tenant, cost
+
+    @staticmethod
+    def _price_arrival(
+        problem: SelectionProblem, event: TenantArrival
+    ) -> Tuple[str, Money]:
+        """Price an arriving tenant's onboarding load.
+
+        One copy of each arriving query's result product is loaded
+        into the warehouse at the post-events book's inbound rates.
+        (The marginal *view* demand the arrival creates bills through
+        the ordinary build path and the per-view user split.)
+        """
+        inputs = problem.inputs
+        volume = sum(
+            inputs.result_sizes_gb[query.name]
+            for query in event.queries
+            if query.name in inputs.result_sizes_gb
+        )
+        if not volume:
+            return event.tenant, ZERO
+        cost = inputs.deployment.provider.transfer.inbound_cost(volume)
+        return event.tenant, cost
 
     @staticmethod
     def _migration_cost(
@@ -743,6 +851,8 @@ class LifecycleSimulator:
         migration_cost: Money = ZERO,
         migrated_to: "Optional[str]" = None,
         plan=None,
+        arrivals: Tuple[Tuple[str, Money], ...] = (),
+        departures: Tuple[Tuple[str, Money], ...] = (),
     ) -> Tuple[EpochRecord, CostBreakdown]:
         inputs = problem.inputs
         # The async path hands down the plan it already computed for
@@ -785,5 +895,7 @@ class LifecycleSimulator:
             events=events,
             migration_cost=migration_cost,
             migrated_to=migrated_to,
+            arrivals=arrivals,
+            departures=departures,
         )
         return record, breakdown

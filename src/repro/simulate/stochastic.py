@@ -52,15 +52,18 @@ from .events import (
 
 __all__ = [
     "DriftGenerator",
+    "FleetChurn",
     "GENERATOR_PRESETS",
     "GeneratorContext",
     "GeometricGrowth",
     "PoissonQueryChurn",
     "SeasonalWave",
     "SpotPriceWalk",
+    "TenantLifecycle",
     "compile_timeline",
     "derive_seed",
     "generator_preset",
+    "sample_fleet_churn",
     "split_by_scope",
     "spot_repriced",
 ]
@@ -487,3 +490,106 @@ def generator_preset(name: str) -> Tuple[DriftGenerator, ...]:
             f"unknown generator preset {name!r}; choose from "
             f"{sorted(GENERATOR_PRESETS)}"
         ) from None
+
+
+# ---------------------------------------------------------------------------
+# Tenant-fleet churn
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FleetChurn:
+    """The fleet-level churn process: tenant arrivals and stays.
+
+    Unlike the :class:`DriftGenerator` family — which samples
+    :class:`~repro.simulate.events.SimulationEvent` streams — fleet
+    churn is sampled as *lifecycles* (arrival / departure epochs per
+    tenant) because the churn events themselves are compiled by
+    :class:`~repro.simulate.tenants.TenantFleet` from each tenant's
+    window, together with the tenant's workload.
+
+    Parameters
+    ----------
+    arrival_rate:
+        Expected tenant arrivals per epoch (Poisson).
+    mean_stay:
+        Expected stay in epochs (exponential, floored at 2 so every
+        sampled tenant is billed for at least one full epoch before
+        its settlement).
+    """
+
+    arrival_rate: float = 0.4
+    mean_stay: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate < 0:
+            raise SimulationError(
+                f"arrival_rate cannot be negative, got {self.arrival_rate}"
+            )
+        if self.mean_stay <= 0:
+            raise SimulationError(
+                f"mean_stay must be positive epochs, got {self.mean_stay}"
+            )
+
+    def describe(self) -> str:
+        """Short display form."""
+        return (
+            f"churn(arrivals~Po({self.arrival_rate:g}/epoch), "
+            f"stay~Exp({self.mean_stay:g} epochs))"
+        )
+
+
+@dataclass(frozen=True)
+class TenantLifecycle:
+    """One sampled tenant window: when it joins, when it leaves.
+
+    ``departure_epoch`` is ``None`` when the sampled stay reaches the
+    horizon — the tenant never departs within the simulated lifetime.
+    Feed these straight into :class:`~repro.simulate.tenants.Tenant`'s
+    ``arrival_epoch`` / ``departure_epoch``.
+    """
+
+    name: str
+    arrival_epoch: int
+    departure_epoch: int | None
+
+
+def sample_fleet_churn(
+    churn: FleetChurn,
+    seed: int,
+    n_epochs: int,
+    prefix: str = "c",
+) -> Tuple[TenantLifecycle, ...]:
+    """Sample a fleet trajectory: churned-tenant lifecycles.
+
+    Epochs 1..n-1 each draw ``Poisson(arrival_rate)`` arrivals (epoch
+    0 belongs to the founding tenants); each arrival's stay is an
+    exponential draw floored at 2 epochs, and a departure falling at
+    or beyond the horizon becomes ``None`` (the tenant stays).  Names
+    are ``{prefix}{serial}`` in arrival order.  Like every sampler
+    here, the result is a pure function of ``(churn, seed, n_epochs,
+    prefix)`` — Monte Carlo trials resample fleets reproducibly from
+    child seeds.
+    """
+    if n_epochs < 2:
+        raise SimulationError(
+            f"fleet churn needs n_epochs >= 2, got {n_epochs}"
+        )
+    rng = random.Random(seed)
+    lifecycles: List[TenantLifecycle] = []
+    serial = 0
+    for epoch in range(1, n_epochs):
+        for _ in range(_poisson(rng, churn.arrival_rate)):
+            stay = max(2, round(rng.expovariate(1.0 / churn.mean_stay)))
+            departure: int | None = epoch + stay
+            if departure >= n_epochs:
+                departure = None
+            lifecycles.append(
+                TenantLifecycle(
+                    name=f"{prefix}{serial}",
+                    arrival_epoch=epoch,
+                    departure_epoch=departure,
+                )
+            )
+            serial += 1
+    return tuple(lifecycles)

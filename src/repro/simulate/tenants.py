@@ -22,6 +22,25 @@ Because the multi-tenant layer is a pure wrapper, a one-tenant fleet
 reproduces the single-tenant simulator's ledger exactly: same
 decisions, same charges, digit for digit (the tenant's namespaced
 query names never enter the cost formulas).
+
+**Elastic fleets.**  A tenant may join or leave mid-lifecycle: give it
+an ``arrival_epoch`` / ``departure_epoch`` and the fleet compiles
+billed :class:`~repro.simulate.events.TenantArrival` /
+:class:`~repro.simulate.events.TenantDeparture` events — onboarding
+loads the newcomer's initial result products at inbound rates,
+offboarding exports the leaver's final footprint at the book it
+leaves.  The active window is ``[arrival, departure)``: the departure
+epoch itself carries only the tenant's settlement record.  Tenant
+ledgers become ragged (records only for present epochs) and the
+sum-to-fleet invariant holds per epoch over the tenants present.
+
+**Population scale.**  :meth:`MultiTenantSimulator.run_sharded`
+attributes each epoch across worker-process shards
+(:mod:`repro.simulate.sharding`) and folds the per-tenant record
+stream into :class:`~repro.simulate.ledger.TenantTotals` — O(tenants)
+memory instead of O(tenants x epochs) — producing a
+:class:`~repro.simulate.ledger.FleetSummary` whose totals are
+byte-identical for any shard count.
 """
 
 from __future__ import annotations
@@ -38,6 +57,7 @@ from ..optimizer.fairness import FairShareScenario
 from ..optimizer.problem import SelectionProblem, SubsetEvaluationCache
 from ..optimizer.scenarios import Scenario
 from ..pricing.providers import Provider
+from ..telemetry import current as current_telemetry
 from ..workload.workload import Workload
 from .attribution import TENANT_SEPARATOR, SharedCostAttributor
 from .builds import BuildConfig
@@ -47,8 +67,10 @@ from .events import (
     DropQueries,
     ReweightQueries,
     SimulationEvent,
+    TenantArrival,
+    TenantDeparture,
 )
-from .ledger import FleetLedger, TenantLedger
+from .ledger import FleetLedger, FleetSummary, TenantLedger, TenantTotals
 from .policy import ReselectionPolicy
 from .problems import EpochProblemBuilder
 from .simulator import (
@@ -125,12 +147,25 @@ class Tenant:
         The tenant's fraction of a fleet budget, used by the fairness
         scenario to derive per-tenant caps.  ``None`` means an equal
         split across tenants whose share is unset.
+    arrival_epoch:
+        First epoch the tenant is present.  ``0`` (the default) means
+        a founding tenant merged into the initial state; a later epoch
+        makes the fleet elastic — the fleet compiles a billed
+        :class:`~repro.simulate.events.TenantArrival` there.
+    departure_epoch:
+        First epoch the tenant is *absent* (active window is
+        ``[arrival_epoch, departure_epoch)``); the fleet compiles a
+        billed :class:`~repro.simulate.events.TenantDeparture` at this
+        epoch, whose record carries only the tenant's settlement.
+        ``None`` (the default) means the tenant stays to the horizon.
     """
 
     name: str
     workload: Workload
     events: Tuple[SimulationEvent, ...] = ()
     budget_share: Optional[float] = None
+    arrival_epoch: int = 0
+    departure_epoch: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -144,6 +179,21 @@ class Tenant:
             raise SimulationError(
                 f"budget_share must be positive, got {self.budget_share}"
             )
+        if self.arrival_epoch < 0:
+            raise SimulationError(
+                f"tenant {self.name!r}: arrival_epoch must be >= 0, "
+                f"got {self.arrival_epoch}"
+            )
+        if (
+            self.departure_epoch is not None
+            and self.departure_epoch <= self.arrival_epoch
+        ):
+            raise SimulationError(
+                f"tenant {self.name!r}: departure_epoch "
+                f"({self.departure_epoch}) must be after arrival_epoch "
+                f"({self.arrival_epoch}) — the active window is "
+                "[arrival, departure)"
+            )
         for event in self.events:
             if not isinstance(event, _WORKLOAD_EVENTS):
                 raise SimulationError(
@@ -151,6 +201,23 @@ class Tenant:
                     f"{type(event).__name__}; only workload events are "
                     "tenant-scoped"
                 )
+            if event.epoch < self.arrival_epoch or (
+                self.departure_epoch is not None
+                and event.epoch >= self.departure_epoch
+            ):
+                raise SimulationError(
+                    f"tenant {self.name!r} schedules a "
+                    f"{type(event).__name__} at epoch {event.epoch}, "
+                    f"outside its active window "
+                    f"[{self.arrival_epoch}, "
+                    f"{self.departure_epoch if self.departure_epoch is not None else 'horizon'})"
+                )
+
+    def active_during(self, epoch: int) -> bool:
+        """Whether the tenant is present (and billed) at ``epoch``."""
+        if epoch < self.arrival_epoch:
+            return False
+        return self.departure_epoch is None or epoch < self.departure_epoch
 
     def qualified_workload(self) -> Workload:
         """The workload with fleet-wide (namespaced) query names."""
@@ -204,6 +271,13 @@ class TenantFleet:
                     f"shared event {type(event).__name__} at epoch "
                     f"{event.epoch} drifts a workload; schedule it on the "
                     "owning tenant instead"
+                )
+            if isinstance(event, (TenantArrival, TenantDeparture)):
+                raise SimulationError(
+                    f"shared event {type(event).__name__} at epoch "
+                    f"{event.epoch}: churn events are compiled by the "
+                    "fleet — set the tenant's arrival_epoch / "
+                    "departure_epoch instead"
                 )
         self._tenants: Tuple[Tenant, ...] = tuple(tenants)
         self._dataset = dataset
@@ -266,10 +340,35 @@ class TenantFleet:
             for name, share in self.budget_shares().items()
         }
 
+    @property
+    def is_elastic(self) -> bool:
+        """Whether any tenant arrives after epoch 0 or departs early."""
+        return any(
+            t.arrival_epoch > 0 or t.departure_epoch is not None
+            for t in self._tenants
+        )
+
+    def active_tenants(self, epoch: int) -> Tuple[str, ...]:
+        """Names of the tenants present at ``epoch``, in merge order."""
+        return tuple(
+            t.name for t in self._tenants if t.active_during(epoch)
+        )
+
     def initial_state(self) -> WarehouseState:
-        """The merged warehouse state the simulation starts from."""
+        """The merged warehouse state the simulation starts from.
+
+        Only founding tenants (``arrival_epoch == 0``) are merged —
+        later arrivals join through their compiled
+        :class:`~repro.simulate.events.TenantArrival` events.
+        """
+        founders = [t for t in self._tenants if t.arrival_epoch == 0]
+        if not founders:
+            raise SimulationError(
+                "a fleet needs at least one founding tenant "
+                "(arrival_epoch == 0) to open the warehouse"
+            )
         merged: List = []
-        for tenant in self._tenants:
+        for tenant in founders:
             merged.extend(tenant.qualified_workload())
         return WarehouseState(
             workload=Workload(self._dataset.schema, merged),
@@ -278,18 +377,76 @@ class TenantFleet:
             market=self._market,
         )
 
-    def events(self) -> Tuple[SimulationEvent, ...]:
-        """All events — qualified tenant drift plus shared — in epoch order.
+    def _departure_names(self, tenant: Tenant) -> Tuple[str, ...]:
+        """The fleet-wide query names a tenant still owns when it leaves.
 
-        Within an epoch, tenant events fire in merge order, then shared
-        events; the sort is stable so each source's internal order is
-        preserved.
+        Replays the tenant's drift — adds and drops before its
+        departure — over its initial workload, preserving insertion
+        order so the settlement export is deterministic.
+        """
+        names: Dict[str, None] = {
+            q.name: None for q in tenant.qualified_workload()
+        }
+        horizon = tenant.departure_epoch
+        for event in tenant.qualified_events():
+            if horizon is not None and event.epoch >= horizon:
+                continue
+            if isinstance(event, AddQueries):
+                for query in event.queries:
+                    names[query.name] = None
+            elif isinstance(event, DropQueries):
+                for name in event.names:
+                    names.pop(name, None)
+        return tuple(names)
+
+    def events(self) -> Tuple[SimulationEvent, ...]:
+        """All events — churn, qualified tenant drift, shared — in epoch
+        order.
+
+        Within an epoch, departures fire first (the leaver's queries
+        must be out of the workload before anything drifts or prices
+        it), then each tenant's arrival and drift in merge order, then
+        shared events; the sort is stable so each source's internal
+        order is preserved.  Static fleets compile no churn events, so
+        their event order is exactly the pre-elastic one.
+
+        Each compiled arrival carries the roster tail as its
+        ``precedes`` hint, so a late arrival's queries are spliced
+        into the merged workload at the tenant's *roster* position
+        rather than appended.  The workload order is therefore a pure
+        function of which tenants are present — never of when they
+        showed up — which is what keeps one tenant's books
+        byte-identical when an unrelated tenant's schedule moves.
         """
         combined: List[SimulationEvent] = []
-        for tenant in self._tenants:
+        for index, tenant in enumerate(self._tenants):
+            if tenant.arrival_epoch > 0:
+                combined.append(
+                    TenantArrival(
+                        epoch=tenant.arrival_epoch,
+                        tenant=tenant.name,
+                        queries=tuple(tenant.qualified_workload()),
+                        precedes=tuple(
+                            later.name
+                            for later in self._tenants[index + 1 :]
+                        ),
+                    )
+                )
             combined.extend(tenant.qualified_events())
+            if tenant.departure_epoch is not None:
+                combined.append(
+                    TenantDeparture(
+                        epoch=tenant.departure_epoch,
+                        tenant=tenant.name,
+                        names=self._departure_names(tenant),
+                    )
+                )
         combined.extend(self._shared)
-        combined.sort(key=lambda e: e.epoch)
+        combined.sort(
+            key=lambda e: (
+                e.epoch, 0 if isinstance(e, TenantDeparture) else 1
+            )
+        )
         return tuple(combined)
 
     def describe(self) -> str:
@@ -297,7 +454,8 @@ class TenantFleet:
         sizes = ", ".join(
             f"{t.name}({len(t.workload)}q)" for t in self._tenants
         )
-        return f"{len(self._tenants)} tenants [{sizes}]"
+        elastic = " elastic" if self.is_elastic else ""
+        return f"{len(self._tenants)}{elastic} tenants [{sizes}]"
 
 
 class MultiTenantSimulator:
@@ -327,6 +485,17 @@ class MultiTenantSimulator:
         self._attributor = SharedCostAttributor(
             fleet.tenant_names, mode=attribution
         )
+        if fleet.is_elastic:
+            # The warehouse must never stand empty: the cost model
+            # prices a workload, and attribution needs somebody to
+            # charge the infrastructure to.
+            for epoch in range(clock.n_epochs):
+                if not fleet.active_tenants(epoch):
+                    raise SimulationError(
+                        f"no tenant is active at epoch {epoch}; keep at "
+                        "least one tenant present for every epoch of "
+                        "the horizon"
+                    )
         self._simulator = LifecycleSimulator(
             initial=fleet.initial_state(),
             clock=clock,
@@ -384,12 +553,22 @@ class MultiTenantSimulator:
             name: TenantLedger(name, policy.describe())
             for name in self._fleet.tenant_names
         }
+        elastic = self._fleet.is_elastic
+        telemetry = current_telemetry()
 
         def attribute(record, problem, breakdown) -> None:
+            active = (
+                self._fleet.active_tenants(record.epoch)
+                if elastic
+                else None
+            )
             for name, share in self._attributor.attribute(
-                problem, record, breakdown
+                problem, record, breakdown, tenants=active
             ).items():
                 ledgers[name].append(share)
+            if telemetry.enabled and (record.arrivals or record.departures):
+                telemetry.inc("fleet.arrivals", len(record.arrivals))
+                telemetry.inc("fleet.departures", len(record.departures))
 
         fleet_ledger = self._simulator.run(
             policy, observer=compose_observers(attribute, observer)
@@ -397,6 +576,58 @@ class MultiTenantSimulator:
         result = FleetLedger(fleet_ledger, ledgers)
         result.verify_attribution()
         return result
+
+    def run_sharded(
+        self,
+        policy: ReselectionPolicy,
+        shards: int = 1,
+        jobs: int = 1,
+        observer: Optional[EpochObserver] = None,
+    ) -> FleetSummary:
+        """Simulate the fleet with sharded, streaming attribution.
+
+        The population-scale counterpart of :meth:`run`: each epoch's
+        attribution is partitioned into ``shards`` contiguous tenant
+        ranges (evaluated across ``jobs`` worker processes when
+        ``jobs > 1``), and the per-tenant record stream is folded into
+        :class:`~repro.simulate.ledger.TenantTotals` — the full
+        per-tenant record matrix is never materialized.  Results are
+        byte-identical for any ``shards`` / ``jobs`` combination and
+        equal, total for total, to what :meth:`run`'s ledgers would
+        fold to (asserted by the books-balance verification on both
+        paths).
+        """
+        from .sharding import ShardedAttribution
+
+        roster = self._fleet.tenant_names
+        totals = {name: TenantTotals(name) for name in roster}
+        elastic = self._fleet.is_elastic
+        telemetry = current_telemetry()
+        sharded = ShardedAttribution(self._attributor, shards=shards, jobs=jobs)
+
+        def attribute(record, problem, breakdown) -> None:
+            active = (
+                self._fleet.active_tenants(record.epoch)
+                if elastic
+                else roster
+            )
+            for share in sharded.attribute_streaming(
+                problem, record, breakdown, active
+            ):
+                totals[share.tenant].fold(share)
+            if telemetry.enabled and (record.arrivals or record.departures):
+                telemetry.inc("fleet.arrivals", len(record.arrivals))
+                telemetry.inc("fleet.departures", len(record.departures))
+
+        try:
+            fleet_ledger = self._simulator.run(
+                policy, observer=compose_observers(attribute, observer)
+            )
+        finally:
+            sharded.close()
+        summary = FleetSummary(fleet_ledger, totals, shards=sharded.shards)
+        summary.verify_totals()
+        return summary
 
     def compare(
         self, policies: Iterable[ReselectionPolicy]
@@ -412,6 +643,7 @@ class MultiTenantSimulator:
         caps: Optional[Dict[str, Money]] = None,
         max_share_slack: Optional[float] = None,
         hard: bool = False,
+        latency_ceilings: Optional[Dict[str, float]] = None,
     ):
         """A per-epoch scenario factory enforcing tenant fairness.
 
@@ -422,7 +654,14 @@ class MultiTenantSimulator:
         ``caps`` are absolute per-tenant dollar caps (e.g. from
         :meth:`TenantFleet.tenant_caps`); ``max_share_slack`` bounds
         every tenant's share to ``(1 + slack)`` times the even split of
-        the fleet bill.
+        the fleet bill; ``latency_ceilings`` caps each tenant's *own*
+        processing hours per epoch (a per-tenant latency SLO in the
+        style of BRAD's ``query_latency_ceiling`` trigger), composing
+        with the dollar constraints.
+
+        On an elastic fleet every constraint is evaluated over the
+        epoch's *present* tenants — a ceiling for a tenant that has
+        not arrived yet (or already left) is simply dormant.
 
         ``hard`` defaults to ``False`` here — the soft (lexicographic)
         mode — because a lifecycle policy must decide *something* every
@@ -432,16 +671,31 @@ class MultiTenantSimulator:
         acceptable.
         """
         attributor = self._attributor
+        fleet = self._fleet
 
         def factory(problem: SelectionProblem) -> FairShareScenario:
+            tenants = (
+                attributor.present_tenants(problem)
+                if fleet.is_elastic
+                else None
+            )
+            extra = {}
+            if latency_ceilings is not None:
+                extra = dict(
+                    latency_ceilings=latency_ceilings,
+                    hours_fn=lambda outcome: attributor.outcome_hours(
+                        problem, outcome, tenants
+                    ),
+                )
             return FairShareScenario(
                 base=base,
                 shares_fn=lambda outcome: attributor.outcome_shares(
-                    problem, outcome
+                    problem, outcome, tenants
                 ),
                 caps=caps,
                 max_share_slack=max_share_slack,
                 hard=hard,
+                **extra,
             )
 
         return factory

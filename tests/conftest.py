@@ -8,6 +8,7 @@ no mutators).
 
 from __future__ import annotations
 
+import functools
 import random
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
@@ -240,3 +241,170 @@ def make_random_world(seed: int) -> RandomWorld:
 def random_world_factory():
     """The seeded generative world factory, as a fixture for suites."""
     return make_random_world
+
+
+# -- seeded generative fleets ------------------------------------------
+#
+# ``make_random_fleet(seed)`` is the elastic-fleet counterpart of
+# ``make_random_world``: a random tenant population — counts, workload
+# prefixes (overlapping, since every tenant draws from the same paper
+# pool), intensities, drift, arrival/departure schedules, attribution
+# mode — derived from one ``random.Random(seed)`` stream over one
+# cached tiny dataset, so fleet property suites are reproducible from
+# their seeds alone.
+
+
+@functools.lru_cache(maxsize=1)
+def _fleet_dataset():
+    """One tiny shared sales dataset for every generated fleet."""
+    return generate_sales(n_rows=2_000, seed=13, target_gb=0.5)
+
+
+@dataclass(frozen=True)
+class RandomFleet:
+    """One generated fleet: the population plus its run parameters.
+
+    ``shiftable`` names a delayed-arrival, never-departing, drift-free
+    tenant whose ``arrival_epoch`` can always be moved one epoch later
+    without leaving the horizon — the handle the churn-causality
+    property shifts.
+    """
+
+    seed: int
+    n_epochs: int
+    tenants: Tuple["Tenant", ...]
+    attribution: str
+    shiftable: str
+
+    def simulator(
+        self,
+        tenants: Optional[Tuple["Tenant", ...]] = None,
+        cache=None,
+    ) -> "MultiTenantSimulator":
+        """A simulator over these tenants (or a modified population)."""
+        from repro.simulate.clock import SimulationClock
+        from repro.simulate.presets import sales_deployment
+        from repro.simulate.tenants import MultiTenantSimulator, TenantFleet
+
+        fleet = TenantFleet(
+            tenants if tenants is not None else self.tenants,
+            dataset=_fleet_dataset(),
+            deployment=sales_deployment(),
+        )
+        return MultiTenantSimulator(
+            fleet,
+            clock=SimulationClock(self.n_epochs),
+            attribution=self.attribution,
+            cache=cache,
+        )
+
+
+def make_random_fleet(seed: int) -> RandomFleet:
+    """A reproducible random elastic fleet.
+
+    Tenant ``a0`` anchors the fleet (founder, never departs), so every
+    epoch keeps at least one active tenant whatever the rest of the
+    schedule samples.  The other tenants draw overlapping paper-pool
+    prefixes at varied intensities, may arrive late and/or depart
+    early, and may drift (a dashboard arrival, a reweight, a drop)
+    inside their active window.  One delayed-arrival tenant is kept
+    drift-free with slack at the horizon so causality tests can shift
+    its arrival (see :class:`RandomFleet`).
+    """
+    from repro.simulate.attribution import ATTRIBUTION_MODES
+    from repro.simulate.events import (
+        AddQueries as _Add,
+        DropQueries as _Drop,
+        ReweightQueries as _Reweight,
+    )
+    from repro.simulate.tenants import Tenant
+
+    rng = random.Random(seed)
+    schema = _fleet_dataset().schema
+    n_epochs = rng.randint(6, 10)
+    n_tenants = rng.randint(2, 6)
+
+    def tenant_workload() -> Workload:
+        prefix = rng.randint(1, 5)
+        intensity = rng.choice([0.5, 1.0, 2.0])
+        base = paper_sales_workload(schema, prefix)
+        return base.reweighted(
+            {q.name: q.frequency * intensity for q in base}
+        )
+
+    def drift(arrival: int, departure: Optional[int], size: int):
+        window_end = departure if departure is not None else n_epochs
+        epochs = list(range(arrival + 1, window_end))
+        events = []
+        if epochs and rng.random() < 0.5:
+            events.append(
+                _Add(
+                    epoch=rng.choice(epochs),
+                    queries=(
+                        AggregateQuery.per(
+                            schema,
+                            "D1",
+                            {"time": "day", "geography": "country"},
+                            frequency=rng.choice([1.0, 3.0]),
+                        ),
+                    ),
+                )
+            )
+        if epochs and rng.random() < 0.4:
+            events.append(
+                _Reweight(
+                    epoch=rng.choice(epochs),
+                    frequencies=(("Q1", rng.choice([0.25, 4.0])),),
+                )
+            )
+        if epochs and size >= 2 and rng.random() < 0.3:
+            events.append(
+                _Drop(epoch=rng.choice(epochs), names=(f"Q{size}",))
+            )
+        return tuple(sorted(events, key=lambda e: e.epoch))
+
+    tenants = [Tenant(name="a0", workload=tenant_workload())]
+    # The guaranteed shiftable tenant: late arrival with room to move
+    # one epoch later (arrival + 1 <= n_epochs - 2 keeps a >= 2-epoch
+    # window), no departure, no drift.
+    shift_arrival = rng.randint(1, n_epochs - 3)
+    tenants.append(
+        Tenant(
+            name="shift",
+            workload=tenant_workload(),
+            arrival_epoch=shift_arrival,
+        )
+    )
+    for i in range(n_tenants - 2):
+        arrival = 0
+        departure: Optional[int] = None
+        roll = rng.random()
+        if roll < 0.4:
+            arrival = rng.randint(1, n_epochs - 3)
+            if rng.random() < 0.5:
+                departure = rng.randint(arrival + 2, n_epochs - 1)
+        elif roll < 0.7:
+            departure = rng.randint(2, n_epochs - 1)
+        workload = tenant_workload()
+        tenants.append(
+            Tenant(
+                name=f"t{i}",
+                workload=workload,
+                events=drift(arrival, departure, len(workload)),
+                arrival_epoch=arrival,
+                departure_epoch=departure,
+            )
+        )
+    return RandomFleet(
+        seed=seed,
+        n_epochs=n_epochs,
+        tenants=tuple(tenants),
+        attribution=rng.choice(ATTRIBUTION_MODES),
+        shiftable="shift",
+    )
+
+
+@pytest.fixture(scope="session")
+def random_fleet_factory():
+    """The seeded generative fleet factory, as a fixture for suites."""
+    return make_random_fleet

@@ -1,0 +1,386 @@
+"""Elastic fleets: churn billing semantics, parity, and edge cases.
+
+Complements the generative suite in ``test_fleet_properties.py`` with
+hand-computed examples: onboarding and offboarding priced against the
+transfer schedules directly, settlement-only records, static-fleet
+byte parity for the multi-tenant presets, and the loud-failure edges
+(empty fleets, horizonless departures, gaps with nobody active).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.money import Money, ZERO
+from repro.pricing.providers import (
+    TierSchedule,
+    TransferPricing,
+    aws_2012,
+    flat_cloud,
+)
+from repro.simulate import (
+    AddQueries,
+    DropQueries,
+    LifecycleSimulator,
+    MultiTenantSimulator,
+    NeverReselect,
+    SimulationClock,
+    Tenant,
+    TenantFleet,
+    make_policy,
+    multi_tenant_min_epochs,
+    multi_tenant_sales_simulator,
+    qualify,
+)
+from repro.simulate.builds import BuildConfig
+from repro.simulate.events import ProviderMigration, TenantArrival
+from repro.simulate.presets import (
+    elastic_multi_tenant_simulator,
+    sales_deployment,
+)
+from repro.simulate.stochastic import FleetChurn
+from repro.workload import paper_sales_workload
+
+
+def _paid_book():
+    """An aws-2012 variant with paid ingress and untiered egress, so
+    churn charges are nonzero and hand-computable on tiny datasets."""
+    base = aws_2012()
+    return replace(
+        base,
+        name="paid-cloud",
+        transfer=TransferPricing(
+            outbound=TierSchedule.flat(Money("0.20")),
+            inbound=TierSchedule.flat(Money("0.10")),
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def paid_deployment():
+    return replace(sales_deployment(), provider=_paid_book())
+
+
+@pytest.fixture(scope="module")
+def churn_fleet(sales_dataset_10gb, paid_deployment):
+    """Founder ``a`` plus tenant ``b`` active over epochs [1, 3)."""
+    schema = sales_dataset_10gb.schema
+    return TenantFleet(
+        [
+            Tenant("a", paper_sales_workload(schema, 3)),
+            Tenant(
+                "b",
+                paper_sales_workload(schema, 2),
+                arrival_epoch=1,
+                departure_epoch=3,
+            ),
+        ],
+        dataset=sales_dataset_10gb,
+        deployment=paid_deployment,
+    )
+
+
+@pytest.fixture(scope="module")
+def churn_ledger(churn_fleet):
+    sim = MultiTenantSimulator(churn_fleet, clock=SimulationClock(5))
+    return sim.run(NeverReselect()), sim
+
+
+class TestChurnBilling:
+    """Onboarding and offboarding against the transfer schedules."""
+
+    def test_onboarding_priced_at_inbound_rates(
+        self, churn_fleet, churn_ledger
+    ):
+        ledger, sim = churn_ledger
+        b_names = [qualify("b", q.name) for q in churn_fleet.tenants[1].workload]
+        # Result sizes depend only on (dataset, deployment, query), so
+        # any problem over a workload containing b's queries prices
+        # them; use the post-arrival epoch's own names via a problem
+        # built on a state that includes b.
+        state = churn_fleet.initial_state()
+        arrival = next(
+            e for e in churn_fleet.events() if isinstance(e, TenantArrival)
+        )
+        inputs = sim.builder.problem_for(arrival.apply(state)).inputs
+        volume = sum(inputs.result_sizes_gb[name] for name in b_names)
+        expected = _paid_book().transfer.inbound_cost(volume)
+        assert expected > ZERO
+        assert ledger.fleet.records[1].arrivals == (("b", expected),)
+        assert ledger.tenant("b").records[0].onboarding_cost == expected
+        # Onboarding is 100% direct: nobody else pays for b's arrival.
+        assert ledger.tenant("a").total_onboarding_cost == ZERO
+
+    def test_offboarding_priced_at_outbound_rates(
+        self, churn_fleet, churn_ledger
+    ):
+        ledger, sim = churn_ledger
+        b_names = [qualify("b", q.name) for q in churn_fleet.tenants[1].workload]
+        state = churn_fleet.initial_state()
+        arrival = next(
+            e for e in churn_fleet.events() if isinstance(e, TenantArrival)
+        )
+        inputs = sim.builder.problem_for(arrival.apply(state)).inputs
+        volume = sum(inputs.result_sizes_gb[name] for name in b_names)
+        expected = _paid_book().transfer.outbound_cost(volume)
+        assert expected > ZERO
+        assert ledger.fleet.records[3].departures == (("b", expected),)
+        assert ledger.tenant("b").records[-1].offboarding_cost == expected
+
+    def test_settlement_record_is_settlement_only(self, churn_ledger):
+        """The departure epoch carries the export and nothing else."""
+        ledger, _sim = churn_ledger
+        final = ledger.tenant("b").records[-1]
+        assert final.epoch == 3
+        assert final.offboarding_cost > ZERO
+        assert final.total_cost == final.offboarding_cost
+        assert final.processing_hours == 0.0
+
+    def test_active_window_is_half_open(self, churn_ledger):
+        """b is billed for [1, 3) plus the settlement record at 3."""
+        ledger, _sim = churn_ledger
+        assert [r.epoch for r in ledger.tenant("b").records] == [1, 2, 3]
+        # The founder is billed every epoch of the horizon.
+        assert [r.epoch for r in ledger.tenant("a").records] == list(range(5))
+
+    def test_free_ingress_book_onboards_at_zero(self, sales_dataset_10gb):
+        """On the paper's 2012 AWS book, arrival loads are free — the
+        event is still recorded, with a $0 charge."""
+        schema = sales_dataset_10gb.schema
+        fleet = TenantFleet(
+            [
+                Tenant("a", paper_sales_workload(schema, 3)),
+                Tenant(
+                    "b", paper_sales_workload(schema, 2), arrival_epoch=1
+                ),
+            ],
+            dataset=sales_dataset_10gb,
+            deployment=sales_deployment(),
+        )
+        ledger = MultiTenantSimulator(fleet, clock=SimulationClock(3)).run(
+            NeverReselect()
+        )
+        (pair,) = ledger.fleet.records[1].arrivals
+        assert pair == ("b", ZERO)
+
+    def test_drifted_departure_settles_remaining_footprint(
+        self, sales_dataset_10gb, paid_deployment
+    ):
+        """Queries dropped before departure are not exported again."""
+        schema = sales_dataset_10gb.schema
+        fleet = TenantFleet(
+            [
+                Tenant("a", paper_sales_workload(schema, 3)),
+                Tenant(
+                    "b",
+                    paper_sales_workload(schema, 2),
+                    events=(DropQueries(epoch=2, names=("Q2",)),),
+                    departure_epoch=3,
+                ),
+            ],
+            dataset=sales_dataset_10gb,
+            deployment=paid_deployment,
+        )
+        sim = MultiTenantSimulator(fleet, clock=SimulationClock(4))
+        ledger = sim.run(NeverReselect())
+        inputs = sim.builder.problem_for(fleet.initial_state()).inputs
+        remaining = inputs.result_sizes_gb[qualify("b", "Q1")]
+        expected = _paid_book().transfer.outbound_cost(remaining)
+        assert ledger.fleet.records[3].departures == (("b", expected),)
+
+
+class TestStaticParity:
+    """No-churn fleets keep the pre-elastic books, byte for byte."""
+
+    @pytest.mark.parametrize("n_tenants", [2, 3])
+    def test_preset_fleet_matches_manual_lifecycle(self, n_tenants):
+        """The fleet path prices exactly what a hand-merged
+        LifecycleSimulator over the same state and events prices."""
+        n_epochs = multi_tenant_min_epochs(n_tenants)
+        sim = multi_tenant_sales_simulator(
+            n_tenants=n_tenants, n_epochs=n_epochs, n_rows=8_000, seed=7
+        )
+        fleet = sim.fleet
+        assert not fleet.is_elastic
+        manual = LifecycleSimulator(
+            initial=fleet.initial_state(),
+            clock=SimulationClock(n_epochs),
+            events=fleet.events(),
+        )
+        assert (
+            sim.run(NeverReselect()).fleet.records
+            == manual.run(NeverReselect()).records
+        )
+
+    def test_no_churn_elastic_preset_is_static(self):
+        """Zero arrival rate compiles a fleet with no churn at all."""
+        sim = elastic_multi_tenant_simulator(
+            n_tenants=2,
+            churn=FleetChurn(arrival_rate=0.0),
+            n_epochs=8,
+            n_rows=8_000,
+        )
+        assert not sim.fleet.is_elastic
+        ledger = sim.run(NeverReselect())
+        for record in ledger.fleet.records:
+            assert record.arrivals == ()
+            assert record.departures == ()
+        assert ledger.fleet.arrival_count == 0
+        assert ledger.fleet.departure_count == 0
+
+    def test_static_ledgers_are_dense(self):
+        """Every static tenant is billed every epoch — no settlement
+        rows, no gaps — so pre-elastic CSV shapes are unchanged."""
+        n_epochs = multi_tenant_min_epochs(3)
+        sim = multi_tenant_sales_simulator(
+            n_tenants=3, n_epochs=n_epochs, n_rows=8_000, seed=7
+        )
+        ledger = sim.run(NeverReselect())
+        for tenant_ledger in ledger.tenants.values():
+            assert [r.epoch for r in tenant_ledger.records] == list(
+                range(n_epochs)
+            )
+            assert tenant_ledger.total_onboarding_cost == ZERO
+            assert tenant_ledger.total_offboarding_cost == ZERO
+
+
+class TestElasticEdges:
+    """The loud-failure contract around degenerate schedules."""
+
+    def test_empty_fleet_rejected(self, sales_dataset_10gb):
+        with pytest.raises(SimulationError, match="at least one tenant"):
+            TenantFleet(
+                [],
+                dataset=sales_dataset_10gb,
+                deployment=sales_deployment(),
+            )
+
+    def test_fleet_needs_a_founder(self, sales_dataset_10gb):
+        schema = sales_dataset_10gb.schema
+        fleet = TenantFleet(
+            [Tenant("a", paper_sales_workload(schema, 3), arrival_epoch=1)],
+            dataset=sales_dataset_10gb,
+            deployment=sales_deployment(),
+        )
+        with pytest.raises(SimulationError, match="active at epoch 0"):
+            MultiTenantSimulator(fleet, clock=SimulationClock(4))
+
+    def test_nobody_active_epoch_rejected(self, sales_dataset_10gb):
+        """A schedule that empties the warehouse mid-run fails at
+        construction, not at the empty epoch."""
+        schema = sales_dataset_10gb.schema
+        fleet = TenantFleet(
+            [
+                Tenant(
+                    "a", paper_sales_workload(schema, 3), departure_epoch=2
+                ),
+                Tenant(
+                    "b", paper_sales_workload(schema, 2), arrival_epoch=3
+                ),
+            ],
+            dataset=sales_dataset_10gb,
+            deployment=sales_deployment(),
+        )
+        with pytest.raises(SimulationError, match="active at epoch 2"):
+            MultiTenantSimulator(fleet, clock=SimulationClock(5))
+
+    def test_departure_at_horizon_rejected(self, sales_dataset_10gb):
+        """Leaving exactly at the horizon has no epoch to settle in —
+        the timeline refuses it; a tenant staying to the end uses
+        ``departure_epoch=None``."""
+        schema = sales_dataset_10gb.schema
+        fleet = TenantFleet(
+            [
+                Tenant("a", paper_sales_workload(schema, 3)),
+                Tenant(
+                    "b", paper_sales_workload(schema, 2), departure_epoch=4
+                ),
+            ],
+            dataset=sales_dataset_10gb,
+            deployment=sales_deployment(),
+        )
+        with pytest.raises(SimulationError, match="only runs 4 epochs"):
+            MultiTenantSimulator(fleet, clock=SimulationClock(4))
+
+    def test_departure_before_arrival_rejected(self, sales_dataset_10gb):
+        schema = sales_dataset_10gb.schema
+        with pytest.raises(SimulationError, match="after arrival_epoch"):
+            Tenant(
+                "b",
+                paper_sales_workload(schema, 2),
+                arrival_epoch=3,
+                departure_epoch=3,
+            )
+
+    def test_drift_outside_window_rejected(self, sales_dataset_10gb):
+        schema = sales_dataset_10gb.schema
+        with pytest.raises(SimulationError, match="outside its active"):
+            Tenant(
+                "b",
+                paper_sales_workload(schema, 2),
+                events=(
+                    AddQueries(
+                        epoch=1,
+                        queries=tuple(paper_sales_workload(schema, 3))[2:],
+                    ),
+                ),
+                arrival_epoch=2,
+            )
+
+    def test_departure_with_in_flight_builds(self, sales_dataset_10gb):
+        """A tenant can leave while the async queue still holds work;
+        the books stay balanced and its billing stops at departure."""
+        schema = sales_dataset_10gb.schema
+        fleet = TenantFleet(
+            [
+                Tenant("a", paper_sales_workload(schema, 3)),
+                Tenant(
+                    "b",
+                    paper_sales_workload(schema, 2),
+                    arrival_epoch=1,
+                    departure_epoch=2,
+                ),
+            ],
+            dataset=sales_dataset_10gb,
+            deployment=sales_deployment(),
+        )
+        sim = MultiTenantSimulator(
+            fleet,
+            clock=SimulationClock(4),
+            builds=BuildConfig(slots=1, hours_per_month=2000.0),
+        )
+        ledger = sim.run(make_policy("periodic"))
+        ledger.verify_attribution()
+        assert ledger.tenant("b").records[-1].epoch == 2
+
+    def test_departure_settles_before_same_epoch_migration(
+        self, sales_dataset_10gb, paid_deployment
+    ):
+        """Departures fire first within an epoch, so the settlement is
+        exported at the book being *left*, not the migration target."""
+        schema = sales_dataset_10gb.schema
+        fleet = TenantFleet(
+            [
+                Tenant("a", paper_sales_workload(schema, 3)),
+                Tenant(
+                    "b", paper_sales_workload(schema, 2), departure_epoch=2
+                ),
+            ],
+            dataset=sales_dataset_10gb,
+            deployment=paid_deployment,
+            shared_events=[ProviderMigration(epoch=2, provider=flat_cloud())],
+        )
+        sim = MultiTenantSimulator(fleet, clock=SimulationClock(4))
+        ledger = sim.run(NeverReselect())
+        ledger.verify_attribution()
+        inputs = sim.builder.problem_for(fleet.initial_state()).inputs
+        volume = sum(
+            inputs.result_sizes_gb[qualify("b", q.name)]
+            for q in fleet.tenants[1].workload
+        )
+        expected = _paid_book().transfer.outbound_cost(volume)
+        assert ledger.fleet.records[2].departures == (("b", expected),)
+        assert ledger.fleet.records[2].migrated_to == "flat-cloud"
