@@ -60,6 +60,19 @@ deterministic Prometheus text dump, completed spans in a JSON-lines
 trace, and a human rollup on stdout — with zero effect on the
 ledgers and summaries themselves (telemetry is strictly passive).
 
+``--explain-out PATH`` records decision provenance for any simulate
+run (:mod:`repro.explain`): every policy trigger, optimizer solve,
+arbitrage assessment and build outcome, plus an exact epoch-over-epoch
+cost decomposition whose terms sum byte-exactly to each delta — as a
+deterministic JSON-lines export, byte-identical for identical
+``--seed`` whatever ``--jobs``/``--shards`` are.  The ``explain``
+subcommand answers queries over such an export: ``why-bill`` (exact
+cost lineage for one epoch, fleet-wide or per tenant),
+``why-reselect`` (triggers and solves), ``why-view`` (one view's
+history) and ``diff`` (cause-level change between two epochs).  Like
+telemetry, the recorder is strictly passive: with the flag absent the
+ledgers, summaries and CSVs are byte-identical to a run without it.
+
 ``--no-kernel`` (any command) prices subsets through the exact
 Decimal oracle instead of the vectorized kernel
 (:mod:`repro.kernel`).  Output is byte-identical either way — the
@@ -74,13 +87,23 @@ import argparse
 import dataclasses
 import os
 import sys
-from contextlib import contextmanager
+from contextlib import ExitStack, contextmanager
 from typing import Iterator, List, Optional
 
 from .errors import ReproError, SimulationError
 from .kernel import NO_KERNEL_ENV
 from .experiments.context import ExperimentConfig, ExperimentContext
 from .experiments.runner import EXPERIMENTS, run_all, run_experiment
+from .explain import (
+    ExplainLog,
+    activate as activate_explain,
+    diff_epochs,
+    load_explain,
+    why_bill,
+    why_reselect,
+    why_view,
+    write_explain,
+)
 from .telemetry import (
     Telemetry,
     activate,
@@ -491,7 +514,104 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    provenance = simulate.add_argument_group(
+        "explain", "decision provenance and exact cost lineage"
+    )
+    provenance.add_argument(
+        "--explain-out",
+        default=None,
+        metavar="PATH",
+        help=(
+            "record every decision (policy triggers, optimizer solves, "
+            "arbitrage assessments, build outcomes) and the exact "
+            "epoch-over-epoch cost decomposition, and write them as a "
+            "JSON-lines export; deterministic — byte-identical for "
+            "identical --seed, whatever --jobs/--shards are (query it "
+            "with the 'explain' subcommand)"
+        ),
+    )
+
+    _add_explain_parser(sub)
+
     return parser
+
+
+def _add_explain_parser(sub) -> None:
+    """The ``explain`` subcommand: queries over an --explain-out export."""
+    explain = sub.add_parser(
+        "explain",
+        help="answer provenance queries over an --explain-out export",
+        description=(
+            "Answer 'why' questions about a recorded simulate run: why a "
+            "bill moved epoch-over-epoch (exact cost lineage, terms that "
+            "sum byte-exactly to the delta), why a policy re-selected, "
+            "what happened to one view, and how two epochs differ. "
+            "Reads the JSON-lines file a 'simulate --explain-out PATH' "
+            "run wrote."
+        ),
+    )
+    queries = explain.add_subparsers(dest="explain_command", required=True)
+
+    why_bill_cmd = queries.add_parser(
+        "why-bill",
+        help="decompose one epoch's cost delta into exact causal terms",
+    )
+    why_bill_cmd.add_argument("log", help="an --explain-out JSONL file")
+    why_bill_cmd.add_argument(
+        "--epoch",
+        type=int,
+        required=True,
+        metavar="E",
+        help="the epoch whose delta to explain",
+    )
+    why_bill_cmd.add_argument(
+        "--tenant",
+        default=None,
+        metavar="NAME",
+        help="explain one tenant's attributed delta instead of the fleet's",
+    )
+
+    why_reselect_cmd = queries.add_parser(
+        "why-reselect",
+        help="show what each policy decided and why (triggers + solves)",
+    )
+    why_reselect_cmd.add_argument("log", help="an --explain-out JSONL file")
+    why_reselect_cmd.add_argument(
+        "--epoch",
+        type=int,
+        default=None,
+        metavar="E",
+        help="restrict to one epoch (default: every epoch)",
+    )
+
+    why_view_cmd = queries.add_parser(
+        "why-view",
+        help="trace one view's history: selections, drops, builds",
+    )
+    why_view_cmd.add_argument("log", help="an --explain-out JSONL file")
+    why_view_cmd.add_argument("view", help="the view name to trace")
+
+    diff_cmd = queries.add_parser(
+        "diff",
+        help="attribute the cost change between two epochs to causes",
+    )
+    diff_cmd.add_argument("log", help="an --explain-out JSONL file")
+    diff_cmd.add_argument(
+        "--from",
+        dest="from_epoch",
+        type=int,
+        required=True,
+        metavar="E",
+        help="the baseline epoch",
+    )
+    diff_cmd.add_argument(
+        "--to",
+        dest="to_epoch",
+        type=int,
+        required=True,
+        metavar="E",
+        help="the epoch to compare against the baseline",
+    )
 
 
 def _add_common(sub: argparse.ArgumentParser) -> None:
@@ -726,13 +846,29 @@ def _export_telemetry(
         print(f"{spans} trace spans written to {args.trace_out}")
 
 
+def _export_explain(log: ExplainLog, args: argparse.Namespace) -> None:
+    with open(
+        args.explain_out, "w", encoding="utf-8", newline="\n"
+    ) as handle:
+        records = write_explain(log, handle)
+    print(f"{records} explain records written to {args.explain_out}")
+
+
 def _run_simulate(args: argparse.Namespace) -> int:
     collector = _telemetry_collector(args)
-    if collector is None:
+    log = None if args.explain_out is None else ExplainLog()
+    if collector is None and log is None:
         return _dispatch_simulate(args)
-    with activate(collector):
+    with ExitStack() as stack:
+        if collector is not None:
+            stack.enter_context(activate(collector))
+        if log is not None:
+            stack.enter_context(activate_explain(log))
         code = _dispatch_simulate(args)
-    _export_telemetry(collector, args)
+    if log is not None:
+        _export_explain(log, args)
+    if collector is not None:
+        _export_telemetry(collector, args)
     return code
 
 
@@ -969,6 +1105,19 @@ def _run_simulate_sharded(args, simulator, factory) -> int:
     return 0
 
 
+def _run_explain(args: argparse.Namespace) -> int:
+    entries = load_explain(args.log)
+    if args.explain_command == "why-bill":
+        print(why_bill(entries, args.epoch, tenant=args.tenant))
+    elif args.explain_command == "why-reselect":
+        print(why_reselect(entries, epoch=args.epoch))
+    elif args.explain_command == "why-view":
+        print(why_view(entries, args.view))
+    else:  # diff
+        print(diff_epochs(entries, args.from_epoch, args.to_epoch))
+    return 0
+
+
 @contextmanager
 def _kernel_opt_out(args: argparse.Namespace) -> Iterator[None]:
     """Honour ``--no-kernel`` via the environment, scoped to the run.
@@ -998,6 +1147,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         with _kernel_opt_out(args):
             if args.command == "simulate":
                 return _run_simulate(args)
+            if args.command == "explain":
+                return _run_explain(args)
             if args.command == "list":
                 for experiment_id in sorted(EXPERIMENTS):
                     print(experiment_id)

@@ -24,6 +24,7 @@ __all__ = [
     "SimulationError",
     "KernelError",
     "FixedPointOverflow",
+    "ExplainError",
 ]
 
 
@@ -112,6 +113,17 @@ class KernelError(ReproError):
 
     Raised for inputs the kernel cannot represent (rather than
     silently producing numbers that differ from the Decimal oracle).
+    """
+
+
+class ExplainError(ReproError):
+    """A provenance query could not be answered.
+
+    Raised when an explain export lacks the records a ``repro
+    explain`` subcommand asks about — an epoch outside the run, a
+    tenant the log never saw, a view no decision ever touched —
+    rather than printing an empty report that reads like "nothing
+    happened".
     """
 
 

@@ -1,0 +1,52 @@
+"""Deterministic JSON-lines export of an :class:`ExplainLog`.
+
+The ``--explain-out`` artifact follows the repo's determinism
+contract: one JSON object per line, keys sorted, compact separators,
+no wall-clock or process-identity fields — so the bytes are a pure
+function of (config, seed) and ``cmp`` across ``--jobs`` /
+``--shards`` combinations passes in CI, exactly like the metrics and
+CSV artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Union
+
+from .core import ExplainLog
+
+__all__ = ["explain_lines", "write_explain"]
+
+
+def explain_lines(log: ExplainLog) -> "list[str]":
+    """The log's entries serialized, one JSON text per entry.
+
+    Args:
+        log: A live :class:`~repro.explain.core.ExplainLog`.
+
+    Returns:
+        One compact, key-sorted JSON string per entry, in emission
+        order.  Non-finite floats (an infeasible decision's infinite
+        regret) serialize as JavaScript-style ``Infinity`` tokens —
+        deterministic, and read back by :func:`json.loads`.
+    """
+    return [
+        json.dumps(entry, sort_keys=True, separators=(",", ":"))
+        for entry in log.snapshot()
+    ]
+
+
+def write_explain(log: ExplainLog, stream: Union[IO[str], object]) -> int:
+    """Write the log as JSON lines; returns the entry count.
+
+    Args:
+        log: A live :class:`~repro.explain.core.ExplainLog`.
+        stream: Any object with ``write(str)``.
+
+    Returns:
+        The number of lines written.
+    """
+    lines = explain_lines(log)
+    for line in lines:
+        stream.write(line + "\n")
+    return len(lines)

@@ -1,0 +1,227 @@
+"""Decision records: the frozen facts the provenance layer emits.
+
+Every record answers one operator question about one moment of a
+lifecycle run:
+
+* :class:`PolicyTriggerRecord` — *why did the policy (not) re-select
+  this epoch?*  Trigger reason, regret, hysteresis streak, and the
+  held-vs-chosen subsets.
+* :class:`OptimizerSolveRecord` — *what did one optimizer solve do?*
+  Spec name, evaluation budget actually spent, the warm-start
+  incumbent, and the add/drop delta against it.
+* :class:`ArbitrageAssessmentRecord` — *why did we (not) migrate?*
+  One candidate book's full quote: per-epoch savings, switch cost,
+  amortized margin, and the hold counter.
+* :class:`BuildOutcomeRecord` — *what happened in the build queue?*
+  Views that landed, views cancelled at sunk cost, and the latency
+  paid.
+* :class:`EpochDeltaRecord` — *why did the bill change?*  The
+  epoch-over-epoch cost delta decomposed into exact
+  :class:`~repro.money.Money` terms (see :mod:`repro.explain.delta`).
+
+All records are frozen dataclasses of plain values — strings, ints,
+floats, tuples, and :class:`~repro.money.Money` — so they pickle
+across Monte Carlo worker processes and serialize deterministically:
+:func:`record_to_json` renders Money as its exact decimal string and
+never touches the wall clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, is_dataclass
+from typing import ClassVar, Optional, Tuple
+
+from ..money import Money
+
+__all__ = [
+    "ArbitrageAssessmentRecord",
+    "BuildOutcomeRecord",
+    "DeltaTerm",
+    "EpochDeltaRecord",
+    "OptimizerSolveRecord",
+    "PolicyTriggerRecord",
+    "RECORD_KINDS",
+    "record_to_json",
+]
+
+
+@dataclass(frozen=True)
+class DeltaTerm:
+    """One cause's exact contribution to an epoch-over-epoch delta.
+
+    ``amount`` is an exact :class:`~repro.money.Money`; the terms of a
+    record sum byte-exactly to its total delta (the invariant
+    :mod:`repro.explain.delta` constructs and the property suite
+    pins).  ``subterms`` optionally refine a term — the ``operating``
+    term of a live run carries one sub-term per drift/price/churn
+    event plus the residual re-selection effect, and those close
+    exactly against the parent amount.
+    """
+
+    cause: str
+    amount: Money
+    detail: str = ""
+    subterms: Tuple["DeltaTerm", ...] = ()
+
+
+@dataclass(frozen=True)
+class PolicyTriggerRecord:
+    """Why a re-selection policy did (or did not) act this epoch."""
+
+    kind: ClassVar[str] = "policy-trigger"
+
+    epoch: int
+    policy: str
+    #: Machine-readable reason: ``initial``, ``hold``, ``periodic``,
+    #: ``regret``, ``regret-hold``, ``infeasible``, ``arbitrage``.
+    trigger: str
+    reoptimized: bool
+    regret: float
+    #: Consecutive over-threshold epochs at decision time (hysteresis
+    #: policies; 0 elsewhere).
+    streak: int
+    subset: Tuple[str, ...]
+    #: The subset held coming into the epoch (``None`` on the first).
+    previous: Optional[Tuple[str, ...]]
+    trial: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class OptimizerSolveRecord:
+    """One optimizer solve: spec, budget spent, and the subset delta."""
+
+    kind: ClassVar[str] = "optimizer-solve"
+
+    #: The epoch the solve served (``None`` outside a simulation).
+    epoch: Optional[int]
+    policy: str
+    algorithm: str
+    subset: Tuple[str, ...]
+    #: The warm-start incumbent handed to the solver (``None`` = cold).
+    warm_start: Optional[Tuple[str, ...]]
+    #: Views the solve added relative to the incumbent (the whole
+    #: subset on a cold solve).
+    added: Tuple[str, ...]
+    #: Views the solve dropped from the incumbent.
+    dropped: Tuple[str, ...]
+    #: evaluate() calls the solve spent (including cache hits).
+    evaluations: int
+    #: Subsets actually priced through the cost model.
+    priced: int
+    #: evaluate() calls answered from cache.
+    cache_hits: int
+    trial: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class ArbitrageAssessmentRecord:
+    """One candidate book's migration economics at one epoch."""
+
+    kind: ClassVar[str] = "arbitrage-assessment"
+
+    epoch: int
+    policy: str
+    target: str
+    stay_cost: Money
+    move_cost: Money
+    savings_per_epoch: Money
+    switch_cost: Money
+    amortized_savings: Money
+    net_savings: Money
+    horizon: int
+    worthwhile: bool
+    #: Consecutive epochs the winning family has stayed worthwhile
+    #: (after this epoch's update).
+    streak: int
+    #: The hold bar the streak must reach before the policy moves.
+    hold: int
+    #: Whether this quote fired the migration this epoch.
+    migrated: bool
+    trial: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class BuildOutcomeRecord:
+    """What the build path delivered (and abandoned) this epoch."""
+
+    kind: ClassVar[str] = "build-outcome"
+
+    epoch: int
+    policy: str
+    #: Views whose builds landed (were billed) this epoch.
+    landed: Tuple[str, ...]
+    #: In-flight builds cancelled at sunk cost this epoch.
+    cancelled: Tuple[str, ...]
+    build_cost: Money
+    cancelled_cost: Money
+    #: Total submit-to-landing wall-clock months paid this epoch.
+    latency_months: float
+    trial: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class EpochDeltaRecord:
+    """The exact decomposition of one epoch-over-epoch cost change.
+
+    ``tenant`` is ``None`` for the fleet-level record; per-tenant
+    records decompose the tenant's attributed bill the same way.  The
+    record's :meth:`delta` — the fold of its terms — is repr-equal to
+    ``total - previous_total`` (or to ``total`` on a first record),
+    because exact Decimal addition carries the minimum operand
+    exponent whichever way the same component multiset is folded.
+    """
+
+    kind: ClassVar[str] = "epoch-delta"
+
+    epoch: int
+    policy: str
+    total: Money
+    #: ``None`` on the first record of the (fleet or tenant) series.
+    previous_total: Optional[Money]
+    terms: Tuple[DeltaTerm, ...]
+    tenant: Optional[str] = None
+    trial: Optional[int] = None
+
+    def delta(self) -> Money:
+        """The terms folded to one exact amount (no seed, no rounding)."""
+        total = self.terms[0].amount
+        for term in self.terms[1:]:
+            total = total + term.amount
+        return total
+
+
+#: Every record kind the log can carry, in emission-priority order.
+RECORD_KINDS: Tuple[str, ...] = (
+    PolicyTriggerRecord.kind,
+    OptimizerSolveRecord.kind,
+    ArbitrageAssessmentRecord.kind,
+    BuildOutcomeRecord.kind,
+    EpochDeltaRecord.kind,
+)
+
+
+def _json_value(value: object) -> object:
+    """One field rendered JSON-safe and deterministic."""
+    if isinstance(value, Money):
+        return str(value.amount)
+    if isinstance(value, tuple):
+        return [_json_value(item) for item in value]
+    if is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _json_value(getattr(value, f.name))
+            for f in fields(value)
+        }
+    return value
+
+
+def record_to_json(record: object) -> dict:
+    """A record as a plain JSON-safe dict (``Money`` as exact strings).
+
+    The dict leads with the record's ``kind`` discriminator; field
+    order follows the dataclass, and exporters sort keys anyway, so
+    two identical records always serialize to identical bytes.
+    """
+    out = {"kind": record.kind}
+    for f in fields(record):
+        out[f.name] = _json_value(getattr(record, f.name))
+    return out

@@ -35,6 +35,8 @@ from dataclasses import dataclass
 from typing import ClassVar, Dict, FrozenSet, List, Optional, Tuple, Union
 
 from ..errors import InfeasibleProblemError, OptimizationError, ScenarioMismatchError
+from ..explain import OptimizerSolveRecord
+from ..explain import current as current_explain
 from ..telemetry import current as current_telemetry
 from .exhaustive import exhaustive_select
 from .fairness import FairShareScenario
@@ -360,12 +362,50 @@ def select_views(
     """
     spec = resolve(algorithm)
     telemetry = current_telemetry()
+    explain = current_explain()
+    if explain.enabled:
+        stats = problem.stats
+        calls_before = stats.calls
+        priced_before = stats.priced
+        hits_before = stats.hits
     with telemetry.span("optimizer.solve", algorithm=spec.name):
         outcome = spec.solve(problem, scenario, warm_start=warm_start)
     if telemetry.enabled:
         telemetry.inc("optimizer.solves", algorithm=spec.name)
         telemetry.observe(
             "optimizer.selected_views", len(outcome.subset)
+        )
+    if explain.enabled:
+        # Everything mutable is captured *now* — the stat counters
+        # keep counting and the scope closes when the epoch ends — but
+        # the record itself (four sorted tuples, a dataclass) is built
+        # lazily at log-read time, off the solve path.
+        stats = problem.stats
+        epoch, policy = explain.context
+        incumbent = None if warm_start is None else frozenset(warm_start)
+        chosen = outcome.subset
+        evaluations = stats.calls - calls_before
+        priced = stats.priced - priced_before
+        cache_hits = stats.hits - hits_before
+        explain.emit_deferred(
+            lambda: OptimizerSolveRecord(
+                epoch=epoch,
+                policy=policy,
+                algorithm=spec.name,
+                subset=tuple(sorted(chosen)),
+                warm_start=(
+                    None if incumbent is None else tuple(sorted(incumbent))
+                ),
+                added=tuple(
+                    sorted(chosen - (incumbent or frozenset()))
+                ),
+                dropped=tuple(
+                    sorted((incumbent or frozenset()) - chosen)
+                ),
+                evaluations=evaluations,
+                priced=priced,
+                cache_hits=cache_hits,
+            )
         )
     return SelectionResult(
         scenario=scenario,

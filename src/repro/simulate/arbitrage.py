@@ -35,6 +35,8 @@ from dataclasses import dataclass
 from typing import AbstractSet, FrozenSet, Optional
 
 from ..errors import SimulationError
+from ..explain import ArbitrageAssessmentRecord
+from ..explain import current as current_explain
 from ..money import Money
 from ..optimizer.problem import SelectionProblem
 from ..pricing.migration import MigrationEstimate
@@ -295,6 +297,8 @@ class ArbitrageAware(ReselectionPolicy):
         if not candidates:
             return decision
         telemetry = current_telemetry()
+        explain = current_explain()
+        quotes = []
         best: Optional[MigrationAssessment] = None
         with telemetry.span("arbitrage.assess", epoch=epoch_index):
             for book in candidates:
@@ -310,12 +314,15 @@ class ArbitrageAware(ReselectionPolicy):
                     telemetry.inc("arbitrage.quotes")
                     if assessment.worthwhile:
                         telemetry.inc("arbitrage.worthwhile")
+                if explain.enabled:
+                    quotes.append(assessment)
                 if not assessment.worthwhile:
                     continue
                 if best is None or assessment.net_savings > best.net_savings:
                     best = assessment
         if best is None:
             self._reset()
+            self._emit_quotes(explain, epoch_index, quotes, best, False)
             return decision
         family = provider_family(best.target.name)
         if family == self._streak_family:
@@ -324,13 +331,16 @@ class ArbitrageAware(ReselectionPolicy):
             self._streak_family = family
             self._streak = 1
         if self._streak < self._hysteresis:
+            self._emit_quotes(explain, epoch_index, quotes, best, False)
             return decision
+        streak = self._streak
         self._reset()
         if telemetry.enabled:
             telemetry.inc("arbitrage.migrations")
             telemetry.observe(
                 "arbitrage.net_savings", best.net_savings
             )
+        self._emit_quotes(explain, epoch_index, quotes, best, True, streak)
         # Everything re-materializes on the target anyway, so there is
         # no carry benefit: re-select under the target's book.
         subset = self._inner.optimum(context.counterfactual(best.target))
@@ -341,7 +351,59 @@ class ArbitrageAware(ReselectionPolicy):
             migration=ProviderMigration(
                 epoch=epoch_index, provider=best.target
             ),
+            trigger="arbitrage",
+            streak=streak,
         )
+
+    def _emit_quotes(
+        self,
+        explain,
+        epoch_index: int,
+        quotes,
+        best: Optional[MigrationAssessment],
+        migrated: bool,
+        streak: Optional[int] = None,
+    ) -> None:
+        """Record every book's quote into the ambient explain log.
+
+        ``streak`` is the hold counter *after* this epoch's update
+        (passed explicitly on the migration path, where the counter
+        has already been reset); ``migrated`` marks the winning quote
+        when the move fired.
+
+        Each quote parks as a deferred log slot: the assessment is a
+        frozen value object and every other captured input (the
+        counter, the shared policy description, the winning identity)
+        is immutable, so the record — a dozen exact ``Money`` reads
+        plus a dataclass — materializes at log-read time instead of
+        inside the decision loop.
+        """
+        if not explain.enabled:
+            return
+        counter = streak if streak is not None else self._streak
+        # One description per emission batch, not per book: describe()
+        # renders nested policy reprs, and every quote shares it.
+        policy = self.describe()
+        hold = self._hysteresis
+        for quote in quotes:
+            explain.emit_deferred(
+                lambda quote=quote: ArbitrageAssessmentRecord(
+                    epoch=epoch_index,
+                    policy=policy,
+                    target=quote.target.name,
+                    stay_cost=quote.stay_cost,
+                    move_cost=quote.move_cost,
+                    savings_per_epoch=quote.savings_per_epoch,
+                    switch_cost=quote.estimate.total,
+                    amortized_savings=quote.amortized_savings,
+                    net_savings=quote.net_savings,
+                    horizon=quote.horizon,
+                    worthwhile=quote.worthwhile,
+                    streak=counter,
+                    hold=hold,
+                    migrated=migrated and quote is best,
+                )
+            )
 
     def describe(self) -> str:
         """``arbitrage[inner, h=H(, hold N)]``."""

@@ -57,6 +57,7 @@ the full per-tenant record matrix in memory.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 
 from ..errors import SimulationError
@@ -169,10 +170,15 @@ class EpochRecord:
         calls = self.evaluate_calls
         return self.cache_hits / calls if calls else 0.0
 
-    @property
+    @cached_property
     def total_cost(self) -> Money:
         """Everything this epoch cost (operating + build + teardown +
-        migration + cancelled + onboarding + offboarding)."""
+        migration + cancelled + onboarding + offboarding).
+
+        Cached: the record is frozen, and the explain layer's delta
+        decomposition reads each epoch's total twice (as ``total``,
+        then as the next epoch's ``previous_total``) on the hot path.
+        """
         return (
             self.operating_cost
             + self.build_cost
@@ -455,9 +461,14 @@ class TenantEpochRecord:
             + self.storage_cost
         )
 
-    @property
+    @cached_property
     def total_cost(self) -> Money:
-        """Everything attributed to the tenant this epoch."""
+        """Everything attributed to the tenant this epoch.
+
+        Cached for the same reason as
+        :attr:`EpochRecord.total_cost` — the per-tenant delta fold
+        reads consecutive totals pairwise.
+        """
         return (
             self.operating_cost
             + self.build_cost

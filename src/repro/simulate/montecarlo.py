@@ -33,6 +33,9 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import SimulationError
+from ..explain import ExplainLog
+from ..explain import activate as activate_explain
+from ..explain import current as current_explain
 from ..money import Money
 from ..optimizer.registry import OptimizerSpec
 from ..telemetry import Telemetry, activate, current as current_telemetry
@@ -414,28 +417,49 @@ def run_trial(config: MonteCarloConfig, trial: int) -> Tuple[TrialOutcome, ...]:
     return tuple(outcomes)
 
 
-def _trial_with_snapshot(config: MonteCarloConfig, trial: int, collect: bool):
-    """Run one trial, optionally under a fresh telemetry collector.
+def _trial_with_snapshot(
+    config: MonteCarloConfig,
+    trial: int,
+    collect: bool,
+    collect_explain: bool = False,
+):
+    """Run one trial, optionally under fresh telemetry/explain collectors.
 
-    Returns ``(outcomes, snapshot)`` where ``snapshot`` is the trial's
-    own registry snapshot (``None`` when ``collect`` is false).  Every
-    trial — serial or pooled — records into a *fresh* registry whose
-    snapshot the parent merges in trial order, so the merged telemetry
-    is byte-identical for any ``jobs``: the serial path must not write
-    straight into the parent registry, or its fold order would differ
-    from the pooled path's.  ``collect`` travels as an argument rather
-    than being read ambiently so spawn-start pools (whose workers
-    reset the ambient telemetry to the no-op singleton) behave exactly
-    like fork-start ones.
+    Returns ``(outcomes, snapshot, explain_snapshot)`` where
+    ``snapshot`` is the trial's own registry snapshot and
+    ``explain_snapshot`` the trial's explain-log snapshot (each
+    ``None`` when its collection flag is false).  Every trial — serial
+    or pooled — records into *fresh* collectors whose snapshots the
+    parent merges in trial order, so the merged telemetry and the
+    merged provenance are byte-identical for any ``jobs``: the serial
+    path must not write straight into the parent collectors, or its
+    fold order would differ from the pooled path's.  The flags travel
+    as arguments rather than being read ambiently so spawn-start
+    pools (whose workers reset the ambient objects to the no-op
+    singletons) behave exactly like fork-start ones.
     """
+    explain_snapshot = None
+    if collect_explain:
+        with activate_explain(ExplainLog()) as log:
+            if not collect:
+                outcomes = run_trial(config, trial)
+                return outcomes, None, log.snapshot()
+            with activate(Telemetry()) as telemetry:
+                with telemetry.span("montecarlo.trial", trial=trial):
+                    outcomes = run_trial(config, trial)
+                telemetry.inc("montecarlo.trials")
+                telemetry.inc("montecarlo.outcomes", len(outcomes))
+                registry_snapshot = telemetry.registry.snapshot()
+            explain_snapshot = log.snapshot()
+        return outcomes, registry_snapshot, explain_snapshot
     if not collect:
-        return run_trial(config, trial), None
+        return run_trial(config, trial), None, None
     with activate(Telemetry()) as telemetry:
         with telemetry.span("montecarlo.trial", trial=trial):
             outcomes = run_trial(config, trial)
         telemetry.inc("montecarlo.trials")
         telemetry.inc("montecarlo.outcomes", len(outcomes))
-        return outcomes, telemetry.registry.snapshot()
+        return outcomes, telemetry.registry.snapshot(), None
 
 
 # ---------------------------------------------------------------------------
@@ -711,25 +735,37 @@ def run_monte_carlo(
     if jobs < 1:
         raise SimulationError(f"jobs must be >= 1, got {jobs}")
     telemetry = current_telemetry()
+    explain = current_explain()
     collect = telemetry.enabled
+    collect_explain = explain.enabled
     trials = range(config.n_trials)
     if jobs == 1 or config.n_trials == 1:
         bundles = []
         for trial in trials:
-            bundles.append(_trial_with_snapshot(config, trial, collect))
+            bundles.append(
+                _trial_with_snapshot(config, trial, collect, collect_explain)
+            )
             if progress is not None:
                 progress(trial + 1, config.n_trials)
     else:
         with _pool_context().Pool(min(jobs, config.n_trials)) as pool:
             bundles = pool.starmap(
                 _trial_with_snapshot,
-                [(config, trial, collect) for trial in trials],
+                [
+                    (config, trial, collect, collect_explain)
+                    for trial in trials
+                ],
             )
     if collect:
         # Fold the per-trial registries in trial order — the one order
         # both execution paths share — so the merged telemetry is
         # byte-identical whatever the worker count.
-        for _, snapshot in bundles:
+        for _, snapshot, _explain in bundles:
             telemetry.registry.merge(snapshot)
-    flat = [outcome for outcomes, _ in bundles for outcome in outcomes]
+    if collect_explain:
+        # Same discipline for provenance: each trial's explain log is
+        # folded in trial order, stamped with its trial index.
+        for trial, (_, _snapshot, explain_snapshot) in zip(trials, bundles):
+            explain.merge(explain_snapshot, trial=trial)
+    flat = [outcome for outcomes, _, _ in bundles for outcome in outcomes]
     return MonteCarloResult(config, flat)

@@ -120,6 +120,16 @@ class PolicyDecision:
     #: migration's target book — and bills the switch (egress,
     #: ingress, full re-materialization).
     migration: Optional["ProviderMigration"] = None
+    #: Machine-readable trigger reason, recorded into the provenance
+    #: log: ``initial`` (first-epoch optimize), ``hold``, ``periodic``
+    #: (schedule fired), ``regret`` (threshold crossed and hysteresis
+    #: satisfied), ``regret-hold`` (over threshold but streak still
+    #: building), ``infeasible`` (constraint violated — hysteresis
+    #: bypassed), ``arbitrage`` (provider switch fired).
+    trigger: str = ""
+    #: The hysteresis streak at decision time (consecutive epochs the
+    #: trigger condition has held; 0 for streak-free policies).
+    streak: int = 0
 
 
 class ReselectionPolicy:
@@ -259,8 +269,10 @@ class NeverReselect(ReselectionPolicy):
     ) -> PolicyDecision:
         """Optimize once on the first epoch, then hold forever."""
         if current is None:
-            return PolicyDecision(self._optimum(problem), reoptimized=True)
-        return PolicyDecision(current, reoptimized=False)
+            return PolicyDecision(
+                self._optimum(problem), reoptimized=True, trigger="initial"
+            )
+        return PolicyDecision(current, reoptimized=False, trigger="hold")
 
 
 class PeriodicReselect(ReselectionPolicy):
@@ -297,9 +309,11 @@ class PeriodicReselect(ReselectionPolicy):
         """Re-optimize on schedule epochs, hold in between."""
         if current is None or epoch_index % self._period == 0:
             return PolicyDecision(
-                self._optimum(problem, current), reoptimized=True
+                self._optimum(problem, current),
+                reoptimized=True,
+                trigger="initial" if current is None else "periodic",
             )
-        return PolicyDecision(current, reoptimized=False)
+        return PolicyDecision(current, reoptimized=False, trigger="hold")
 
     def describe(self) -> str:
         """``periodic(every k)``."""
@@ -381,25 +395,43 @@ class RegretTriggered(ReselectionPolicy):
         ).outcome.subset
         if current is None:
             self._streak = 0
-            return PolicyDecision(best, reoptimized=True)
+            return PolicyDecision(best, reoptimized=True, trigger="initial")
         held = problem.evaluate(current)
         if not scenario.feasible(held):
             # Under a constrained scenario an infeasible holding can
             # look *cheap* on the objective; regret must not excuse a
             # violated constraint.
             self._streak = 0
-            return PolicyDecision(best, reoptimized=True, regret=float("inf"))
+            return PolicyDecision(
+                best,
+                reoptimized=True,
+                regret=float("inf"),
+                trigger="infeasible",
+            )
         regret = _relative_regret(
             scenario.key(held), scenario.key(problem.evaluate(best))
         )
         if regret > self._threshold:
             self._streak += 1
             if self._streak >= self._hysteresis:
+                streak = self._streak
                 self._streak = 0
-                return PolicyDecision(best, reoptimized=True, regret=regret)
-            return PolicyDecision(current, reoptimized=False, regret=regret)
+                return PolicyDecision(
+                    best,
+                    reoptimized=True,
+                    regret=regret,
+                    trigger="regret",
+                    streak=streak,
+                )
+            return PolicyDecision(
+                current,
+                reoptimized=False,
+                regret=regret,
+                trigger="regret-hold",
+                streak=self._streak,
+            )
         self._streak = 0
-        return PolicyDecision(current, reoptimized=False, regret=regret)
+        return PolicyDecision(current, reoptimized=False, regret=regret, trigger="hold")
 
     def describe(self) -> str:
         """``regret(>r)``, with ``hold n`` once hysteresis is sticky."""

@@ -63,11 +63,21 @@ from ..cube.candidates import enumerate_candidates
 from ..cube.lattice import CuboidLattice
 from ..cube.views import CandidateView
 from ..errors import SimulationError
+from ..explain import (
+    BuildOutcomeRecord,
+    EpochDeltaRecord,
+    PolicyTriggerRecord,
+    chain_subterms,
+    event_cause,
+    fleet_epoch_delta,
+)
+from ..explain import current as current_explain
 from ..money import Money, ZERO
 from ..optimizer.problem import SelectionProblem, SubsetEvaluationCache
 from ..pricing.migration import migration_transfer_cost, migration_volume_gb
 from ..pricing.providers import Provider
 from ..telemetry import current as current_telemetry
+from .arbitrage import operating_cost as _subset_operating_cost
 from .builds import BuildConfig, BuildJob, tile_fractions
 from .clock import Epoch, SimulationClock
 from .events import (
@@ -281,12 +291,23 @@ class LifecycleSimulator:
         if self._builds is not None:
             return self._run_async(policy, observer)
         telemetry = current_telemetry()
+        explain = current_explain()
         ledger = SimulationLedger(policy.describe())
         state = self._initial
         current: Optional[FrozenSet[str]] = None
+        previous_record: Optional[EpochRecord] = None
+        previous_problem: Optional[SelectionProblem] = None
         stats_before = self._builder.evaluation_stats()
         for epoch in self._clock:
             fired = self._timeline.at(epoch.index)
+            # Provenance capture: after each event applies, the
+            # (event, intermediate state) pair — the telescoping chain
+            # the explain layer later re-prices to attribute the
+            # operating delta per event.  Capture is two pointer
+            # stores; classification, description, and pricing all
+            # happen at log-read time (emit_deferred).  None when
+            # explain is off, so the disabled path allocates nothing.
+            chain = [] if explain.enabled else None
             # Each migration hop is billed from the book it actually
             # leaves — captured at apply time, because earlier events
             # in the same epoch (a forced PriceChange, another hop)
@@ -321,17 +342,22 @@ class LifecycleSimulator:
                     state = event.apply(state)
                     if isinstance(event, TenantArrival):
                         arrived.append(event)
+                if chain is not None:
+                    chain.append((event, state))
             problem = self._builder.problem_for(state)
             arrivals = tuple(
                 self._price_arrival(problem, event) for event in arrived
             )
             context = EpochContext(state=state, builder=self._builder)
-            with telemetry.span(
-                "epoch.decide", epoch=epoch.index, policy=ledger.policy_name
-            ):
-                decision = policy.decide_in_context(
-                    epoch.index, problem, current, context
-                )
+            with explain.scope(epoch.index, ledger.policy_name):
+                with telemetry.span(
+                    "epoch.decide",
+                    epoch=epoch.index,
+                    policy=ledger.policy_name,
+                ):
+                    decision = policy.decide_in_context(
+                        epoch.index, problem, current, context
+                    )
             described = [e.describe() for e in fired]
             if decision.migration is not None:
                 # A policy-decided switch: the state follows the
@@ -341,6 +367,8 @@ class LifecycleSimulator:
                 hops.append((source, state.deployment.provider))
                 problem = self._builder.problem_for(state)
                 described.append(decision.migration.describe())
+                if chain is not None:
+                    chain.append((decision.migration, state))
             held = current if current is not None else frozenset()
             dropped = held - decision.subset
             if hops:
@@ -373,8 +401,172 @@ class LifecycleSimulator:
             ledger.append(record)
             if observer is not None:
                 observer(record, problem, breakdown)
+            if explain.enabled:
+                self._emit_explain(
+                    explain, ledger.policy_name, decision, record,
+                    previous_record, current, current,
+                    chain, problem, previous_problem,
+                )
+            previous_record = record
+            previous_problem = problem
             current = decision.subset
         return ledger
+
+    def _emit_explain(
+        self,
+        explain,
+        policy_name: str,
+        decision,
+        record: EpochRecord,
+        previous_record: Optional[EpochRecord],
+        previous_subset: Optional[FrozenSet[str]],
+        baseline_subset: Optional[FrozenSet[str]],
+        chain,
+        problem: SelectionProblem,
+        previous_problem: Optional[SelectionProblem],
+    ) -> None:
+        """Emit one epoch's provenance: trigger, builds, exact delta.
+
+        Called only when explain is enabled, after the epoch's record
+        is appended and observed — provenance is derived from finished
+        facts, never interleaved with accounting.  All three records
+        are parked as deferred slots
+        (:meth:`~repro.explain.ExplainLog.emit_deferred`) and
+        materialized on first log read: the run loop pays three
+        closure allocations per epoch, and the real work — record
+        construction, chain re-pricing, the exact ``Money`` fold —
+        happens off the run's critical path.  Every input the thunks
+        close over is frozen (ledger records, the decision) or
+        interned (problems, chain states), so late resolution is
+        byte-identical to eager emission — and because no explain
+        pricing flows through the shared evaluation cache *during*
+        the run, the ledger's cache statistics are exactly those of an
+        uninstrumented run.
+
+        ``previous_subset`` is the incumbent the *policy* saw (its
+        ``current``); ``baseline_subset`` is the subset the
+        telescoping event chain is priced with — the same thing on
+        synchronous runs, but the physically *live* holdings at epoch
+        start on asynchronous ones (``None`` on the first epoch — no
+        chain).  ``chain`` holds ``(event, state)`` snapshots taken
+        after each event applied.
+
+        ``problem`` and ``previous_problem`` are the epoch's and the
+        previous epoch's decision problems, passed by reference so the
+        chain endpoints skip the problem lookup entirely: the carry
+        baseline *is* the previous epoch's decision state, and the
+        final chain state *is* this epoch's (holdings never enter
+        operating pricing — problem inputs are workload × dataset ×
+        deployment — so the holdings rewrite between a chain snapshot
+        and the decision state cannot move the priced value).  Only
+        intermediate states of multi-event epochs build problems of
+        their own.
+        """
+        explain.emit_deferred(
+            lambda: PolicyTriggerRecord(
+                epoch=record.epoch,
+                policy=policy_name,
+                trigger=decision.trigger,
+                reoptimized=decision.reoptimized,
+                regret=decision.regret,
+                streak=decision.streak,
+                subset=tuple(record.subset),
+                previous=(
+                    None
+                    if previous_subset is None
+                    else tuple(sorted(previous_subset))
+                ),
+            )
+        )
+        if record.views_built or record.views_cancelled:
+            explain.emit_deferred(
+                lambda: BuildOutcomeRecord(
+                    epoch=record.epoch,
+                    policy=policy_name,
+                    landed=tuple(record.views_built),
+                    cancelled=tuple(record.views_cancelled),
+                    build_cost=record.build_cost,
+                    cancelled_cost=record.cancelled_cost,
+                    latency_months=record.build_latency_months,
+                )
+            )
+        explain.emit_deferred(
+            lambda: self._epoch_delta_record(
+                policy_name, record, previous_record, baseline_subset,
+                chain, problem, previous_problem,
+            )
+        )
+
+    def _epoch_delta_record(
+        self,
+        policy_name: str,
+        record: EpochRecord,
+        previous_record: Optional[EpochRecord],
+        baseline_subset: Optional[FrozenSet[str]],
+        chain,
+        problem: SelectionProblem,
+        previous_problem: Optional[SelectionProblem],
+    ) -> EpochDeltaRecord:
+        """Build one epoch's exact delta record (deferred-thunk body).
+
+        Runs at log-read time, after the simulation returned — see
+        :meth:`_emit_explain` for why that is safe.  Chain pricing
+        flows through the shared problem builder and evaluation cache,
+        so a state the run itself priced resolves as a cache hit.
+        """
+        subterms = ()
+        if previous_record is not None:
+            base = (
+                baseline_subset
+                if baseline_subset is not None
+                else frozenset()
+            )
+            triples = []
+            if chain:
+                triples.append(
+                    (
+                        "carry-over",
+                        "",
+                        _subset_operating_cost(previous_problem, base),
+                    )
+                )
+                last = len(chain) - 1
+                for index, (event, chain_state) in enumerate(chain):
+                    triples.append(
+                        (
+                            event_cause(event),
+                            event.describe(),
+                            _subset_operating_cost(problem, base)
+                            if index == last
+                            else self._chain_operating(chain_state, base),
+                        )
+                    )
+            subterms = chain_subterms(
+                previous_record.operating_cost,
+                triples,
+                record.operating_cost,
+            )
+        return fleet_epoch_delta(
+            record,
+            previous_record,
+            policy_name,
+            operating_subterms=subterms,
+        )
+
+    def _chain_operating(
+        self,
+        state: WarehouseState,
+        subset: FrozenSet[str],
+    ) -> Money:
+        """Price one intermediate chain state at the baseline subset.
+
+        Only multi-event epochs reach this — the chain's endpoints are
+        priced on the epoch problems the run loop already holds (see
+        :meth:`_emit_explain`).  Flows through the shared problem
+        builder, so a repeated intermediate state is still a cache hit.
+        """
+        problem = self._builder.problem_for(state)
+        return _subset_operating_cost(problem, subset)
 
     def _finish_epoch(self, telemetry, record, stats_before):
         """Stamp the epoch's cache deltas on its record; emit metrics.
@@ -430,15 +622,22 @@ class LifecycleSimulator:
         start and this loop reproduces :meth:`run`'s ledger exactly.
         """
         telemetry = current_telemetry()
+        explain = current_explain()
         ledger = SimulationLedger(policy.describe())
         state = self._initial
         queue = self._builds.queue()
         live: FrozenSet[str] = frozenset()
         current: Optional[FrozenSet[str]] = None
+        previous_record: Optional[EpochRecord] = None
+        previous_problem: Optional[SelectionProblem] = None
         last_index = self._clock.n_epochs - 1
         stats_before = self._builder.evaluation_stats()
         for epoch in self._clock:
             fired = self._timeline.at(epoch.index)
+            # Provenance capture (see run()); the async chain is
+            # priced at the subset physically live at epoch start.
+            baseline_live = live if previous_record is not None else None
+            chain = [] if explain.enabled else None
             hops = []
             # Sunk compute of builds a migration abandons was burned on
             # the book being *left*: remember the deployment as it
@@ -470,20 +669,26 @@ class LifecycleSimulator:
                     state = event.apply(state)
                     if isinstance(event, TenantArrival):
                         arrived.append(event)
-            state = state.with_holdings(
-                Holdings(live=live, pending=queue.pending_views())
+                if chain is not None:
+                    chain.append((event, state))
+            epoch_holdings = Holdings(
+                live=live, pending=queue.pending_views()
             )
+            state = state.with_holdings(epoch_holdings)
             problem = self._builder.problem_for(state)
             arrivals = tuple(
                 self._price_arrival(problem, event) for event in arrived
             )
             context = EpochContext(state=state, builder=self._builder)
-            with telemetry.span(
-                "epoch.decide", epoch=epoch.index, policy=ledger.policy_name
-            ):
-                decision = policy.decide_in_context(
-                    epoch.index, problem, current, context
-                )
+            with explain.scope(epoch.index, ledger.policy_name):
+                with telemetry.span(
+                    "epoch.decide",
+                    epoch=epoch.index,
+                    policy=ledger.policy_name,
+                ):
+                    decision = policy.decide_in_context(
+                        epoch.index, problem, current, context
+                    )
             described = [e.describe() for e in fired]
             if decision.migration is not None:
                 if pre_hop_deployment is None:
@@ -493,6 +698,8 @@ class LifecycleSimulator:
                 hops.append((source, state.deployment.provider))
                 problem = self._builder.problem_for(state)
                 described.append(decision.migration.describe())
+                if chain is not None:
+                    chain.append((decision.migration, state))
             target = decision.subset
             live_at_start = live
             # In-flight builds the decision no longer wants are
@@ -561,6 +768,14 @@ class LifecycleSimulator:
             ledger.append(record)
             if observer is not None:
                 observer(record, problem, breakdown)
+            if explain.enabled:
+                self._emit_explain(
+                    explain, ledger.policy_name, decision, record,
+                    previous_record, current, baseline_live,
+                    chain, problem, previous_problem,
+                )
+            previous_record = record
+            previous_problem = problem
             current = target
         return ledger
 

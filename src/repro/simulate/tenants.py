@@ -52,6 +52,8 @@ from ..costmodel.params import DeploymentSpec
 from ..cube.views import CandidateView
 from ..data.generator import Dataset
 from ..errors import SimulationError
+from ..explain import TenantDeltaFold
+from ..explain import current as current_explain
 from ..money import Money
 from ..optimizer.fairness import FairShareScenario
 from ..optimizer.problem import SelectionProblem, SubsetEvaluationCache
@@ -555,6 +557,10 @@ class MultiTenantSimulator:
         }
         elastic = self._fleet.is_elastic
         telemetry = current_telemetry()
+        explain = current_explain()
+        fold = (
+            TenantDeltaFold(policy.describe()) if explain.enabled else None
+        )
 
         def attribute(record, problem, breakdown) -> None:
             active = (
@@ -566,6 +572,8 @@ class MultiTenantSimulator:
                 problem, record, breakdown, tenants=active
             ).items():
                 ledgers[name].append(share)
+                if fold is not None:
+                    explain.emit(fold.feed(share))
             if telemetry.enabled and (record.arrivals or record.departures):
                 telemetry.inc("fleet.arrivals", len(record.arrivals))
                 telemetry.inc("fleet.departures", len(record.departures))
@@ -603,6 +611,13 @@ class MultiTenantSimulator:
         totals = {name: TenantTotals(name) for name in roster}
         elastic = self._fleet.is_elastic
         telemetry = current_telemetry()
+        explain = current_explain()
+        # The shard merge yields shares in global tenant order in the
+        # *parent* process, so feeding the fold here keeps the explain
+        # stream byte-identical for any shards/jobs combination.
+        fold = (
+            TenantDeltaFold(policy.describe()) if explain.enabled else None
+        )
         sharded = ShardedAttribution(self._attributor, shards=shards, jobs=jobs)
 
         def attribute(record, problem, breakdown) -> None:
@@ -615,6 +630,8 @@ class MultiTenantSimulator:
                 problem, record, breakdown, active
             ):
                 totals[share.tenant].fold(share)
+                if fold is not None:
+                    explain.emit(fold.feed(share))
             if telemetry.enabled and (record.arrivals or record.departures):
                 telemetry.inc("fleet.arrivals", len(record.arrivals))
                 telemetry.inc("fleet.departures", len(record.departures))

@@ -86,7 +86,15 @@ class NullTelemetry:
         """No-op."""
 
     def span(self, name: str, **attrs: object) -> _NullSpan:
-        """A shared do-nothing context manager."""
+        """A shared do-nothing context manager.
+
+        Args:
+            name: Ignored.
+            **attrs: Ignored.
+
+        Returns:
+            The shared :class:`_NullSpan` singleton.
+        """
         return _NULL_SPAN
 
 
@@ -138,23 +146,47 @@ class Telemetry:
     def inc(
         self, name: str, value: Union[int, float] = 1, **labels: str
     ) -> None:
-        """Add ``value`` to counter ``name``."""
+        """Add ``value`` to counter ``name``.
+
+        Args:
+            name: The dotted metric name.
+            value: The amount to add (default 1).
+            **labels: Label pairs selecting the series.
+        """
         self.registry.inc(name, value, **labels)
 
     def gauge_max(self, name: str, value: float, **labels: str) -> None:
-        """Raise high-water gauge ``name`` to at least ``value``."""
+        """Raise high-water gauge ``name`` to at least ``value``.
+
+        Args:
+            name: The dotted metric name.
+            value: The candidate high-water mark.
+            **labels: Label pairs selecting the series.
+        """
         self.registry.gauge_max(name, value, **labels)
 
     def observe(self, name: str, value: _Observable, **labels: str) -> None:
-        """Fold ``value`` into histogram ``name``."""
+        """Fold ``value`` into histogram ``name``.
+
+        Args:
+            name: The dotted metric name.
+            value: The observation; :class:`~repro.money.Money` and
+                :class:`decimal.Decimal` enter the sum exactly.
+            **labels: Label pairs selecting the series.
+        """
         self.registry.observe(name, value, **labels)
 
     def span(self, name: str, **attrs: object) -> _Span:
         """A context manager timing one named unit of work.
 
-        ``attrs`` are free-form span attributes (epoch index, policy
-        name, …) carried into the trace record; they do not create
-        metric label series.
+        Args:
+            name: The span name statistics aggregate under.
+            **attrs: Free-form span attributes (epoch index, policy
+                name, …) carried into the trace record; they do not
+                create metric label series.
+
+        Returns:
+            An unentered context manager; timing starts on ``with``.
         """
         return _Span(self, name, attrs)
 
@@ -178,17 +210,28 @@ _ACTIVE: Union[Telemetry, NullTelemetry] = NULL
 
 
 def current() -> Union[Telemetry, NullTelemetry]:
-    """The ambient telemetry object (:data:`NULL` unless installed)."""
+    """The ambient telemetry object.
+
+    Returns:
+        The installed collector, or :data:`NULL` when none is.
+    """
     return _ACTIVE
 
 
 def install(
     telemetry: Optional[Union[Telemetry, NullTelemetry]],
 ) -> Union[Telemetry, NullTelemetry]:
-    """Replace the ambient telemetry object; returns the previous one.
+    """Replace the ambient telemetry object.
 
-    ``None`` restores :data:`NULL`.  Prefer :func:`activate` in tests —
-    it restores the previous object on exit.
+    Prefer :func:`activate` in tests — it restores the previous object
+    on exit.
+
+    Args:
+        telemetry: The collector to install; ``None`` restores
+            :data:`NULL`.
+
+    Returns:
+        The previously ambient object, for later reinstallation.
     """
     global _ACTIVE
     previous = _ACTIVE
@@ -202,7 +245,12 @@ def activate(
 ) -> Iterator[Union[Telemetry, NullTelemetry]]:
     """Scoped :func:`install`: ambient inside the block, restored after.
 
-    With no argument, activates a fresh :class:`Telemetry`.
+    Args:
+        telemetry: The collector to activate; ``None`` activates a
+            fresh :class:`Telemetry`.
+
+    Yields:
+        The activated object (handy for reading metrics afterwards).
     """
     active = telemetry if telemetry is not None else Telemetry()
     previous = install(active)

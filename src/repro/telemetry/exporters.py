@@ -41,10 +41,39 @@ def _metric_name(name: str) -> str:
     return _PREFIX + name.replace(".", "_").replace("-", "_")
 
 
+def _escape_label_value(value: str) -> str:
+    """A label value escaped per the Prometheus exposition format.
+
+    Backslash, double quote, and newline are the three characters the
+    text format requires escaping inside quoted label values.
+
+    Args:
+        value: The raw label value.
+
+    Returns:
+        The value with ``\\``, ``"`` and newlines escaped.
+    """
+    return (
+        value.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def _labels_text(labels: MetricKey) -> str:
+    """Label pairs rendered as a ``{key="value",...}`` block.
+
+    Args:
+        labels: The sorted label pairs of one metric series.
+
+    Returns:
+        The rendered block, or ``""`` for an unlabelled series.
+    """
     if not labels:
         return ""
-    body = ",".join(f'{key}="{value}"' for key, value in labels)
+    body = ",".join(
+        f'{key}="{_escape_label_value(value)}"' for key, value in labels
+    )
     return "{" + body + "}"
 
 
@@ -64,7 +93,15 @@ def prometheus_text(registry: MetricsRegistry) -> str:
     Counters are exported as ``<name>_total``, histograms as
     ``_count`` / ``_sum`` / ``_min`` / ``_max`` series, and span call
     counts as ``repro_span_calls_total{span="..."}``.  Span seconds
-    are deliberately absent — see the module docstring.
+    are deliberately absent — see the module docstring.  Label values
+    are escaped per the exposition format.
+
+    Args:
+        registry: The registry to export.
+
+    Returns:
+        The sorted, newline-terminated text dump (``""`` when the
+        registry is empty).
     """
     lines: List[str] = []
 
@@ -99,20 +136,36 @@ def prometheus_text(registry: MetricsRegistry) -> str:
     spans = registry.spans
     for name in sorted(spans):
         lines.append(
-            f'{_PREFIX}span_calls_total{{span="{name}"}} {spans[name].count}'
+            f'{_PREFIX}span_calls_total'
+            f'{{span="{_escape_label_value(name)}"}} {spans[name].count}'
         )
 
     return "\n".join(lines) + ("\n" if lines else "")
 
 
 def trace_lines(telemetry: Telemetry) -> Iterator[str]:
-    """The collector's completed spans as JSON lines (chronological)."""
+    """The collector's completed spans as JSON lines (chronological).
+
+    Args:
+        telemetry: The live collector whose trace buffer to render.
+
+    Yields:
+        One sorted-key JSON object per completed span.
+    """
     for event in telemetry.trace_events:
         yield json.dumps(event, sort_keys=True, default=str)
 
 
 def write_trace(telemetry: Telemetry, stream: IO[str]) -> int:
-    """Write the JSON-lines trace to ``stream``; returns lines written."""
+    """Write the JSON-lines trace to ``stream``.
+
+    Args:
+        telemetry: The live collector whose trace buffer to write.
+        stream: An open text stream.
+
+    Returns:
+        The number of lines written.
+    """
     count = 0
     for line in trace_lines(telemetry):
         stream.write(line + "\n")
@@ -121,7 +174,17 @@ def write_trace(telemetry: Telemetry, stream: IO[str]) -> int:
 
 
 def summary_table(registry: MetricsRegistry) -> str:
-    """A human-readable rollup of everything the registry holds."""
+    """A human-readable rollup of everything the registry holds.
+
+    Spans come first with call counts and total/mean/min/max timings,
+    then counters, high-water gauges, and histograms.
+
+    Args:
+        registry: The registry to summarize.
+
+    Returns:
+        The rendered multi-line table.
+    """
     lines: List[str] = ["telemetry summary"]
 
     spans = registry.spans
@@ -131,9 +194,16 @@ def summary_table(registry: MetricsRegistry) -> str:
         for name in sorted(spans):
             stats = spans[name]
             mean_ms = 1000.0 * stats.seconds / stats.count
+            extremes = ""
+            if stats.maximum >= stats.minimum:
+                extremes = (
+                    f"  min={1000.0 * stats.minimum:.3f}ms"
+                    f"  max={1000.0 * stats.maximum:.3f}ms"
+                )
             lines.append(
                 f"    {name:<{width}}  calls={stats.count}"
                 f"  total={stats.seconds:.3f}s  mean={mean_ms:.3f}ms"
+                + extremes
             )
 
     counters = registry.counters

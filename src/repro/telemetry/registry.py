@@ -118,18 +118,28 @@ class HistogramStats:
 
 
 class SpanStats:
-    """Call count and total wall-clock seconds of one span name."""
+    """Call count, total, and min/max wall-clock seconds of one span name."""
 
-    __slots__ = ("count", "seconds")
+    __slots__ = ("count", "seconds", "minimum", "maximum")
 
     def __init__(self) -> None:
         self.count = 0
         self.seconds = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
 
     def record(self, seconds: float) -> None:
-        """Fold one completed span in."""
+        """Fold one completed span in.
+
+        Args:
+            seconds: The span's wall-clock duration.
+        """
         self.count += 1
         self.seconds += seconds
+        if seconds < self.minimum:
+            self.minimum = seconds
+        if seconds > self.maximum:
+            self.maximum = seconds
 
 
 class MetricsRegistry:
@@ -245,7 +255,12 @@ class MetricsRegistry:
                 for key, hist in self._histograms.items()
             },
             "spans": {
-                name: (stats.count, stats.seconds)
+                name: (
+                    stats.count,
+                    stats.seconds,
+                    stats.minimum,
+                    stats.maximum,
+                )
                 for name, stats in self._spans.items()
             },
         }
@@ -282,9 +297,17 @@ class MetricsRegistry:
                 hist.minimum = entry["min"]
             if entry["max"] > hist.maximum:
                 hist.maximum = entry["max"]
-        for name, (count, seconds) in spans.items():
+        for name, (count, seconds, *extremes) in spans.items():
             stats = self._spans.get(name)
             if stats is None:
                 stats = self._spans[name] = SpanStats()
             stats.count += count
             stats.seconds += seconds
+            # Snapshots from before min/max tracking are 2-tuples;
+            # their extremes stay whatever this side already holds.
+            if extremes:
+                minimum, maximum = extremes
+                if minimum < stats.minimum:
+                    stats.minimum = minimum
+                if maximum > stats.maximum:
+                    stats.maximum = maximum

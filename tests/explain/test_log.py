@@ -1,0 +1,132 @@
+"""The ambient explain seam: NULL passivity, scoping, merge order."""
+
+from __future__ import annotations
+
+from repro.explain import (
+    NULL,
+    DeltaTerm,
+    EpochDeltaRecord,
+    ExplainLog,
+    activate,
+    current,
+    explain_lines,
+    install,
+)
+from repro.money import Money
+
+
+def _record(epoch: int, trial=None) -> EpochDeltaRecord:
+    return EpochDeltaRecord(
+        epoch=epoch,
+        policy="never",
+        total=Money("1"),
+        previous_total=None,
+        terms=(DeltaTerm(cause="operating", amount=Money("1")),),
+        trial=trial,
+    )
+
+
+class TestNullSeam:
+    def test_null_is_ambient_by_default(self):
+        assert current() is NULL
+        assert not NULL.enabled
+
+    def test_null_swallows_everything(self):
+        NULL.emit(_record(0))
+        with NULL.scope(3, "never"):
+            assert NULL.context == (None, "")
+        # Nothing grew anywhere: NULL has no entry storage at all.
+        assert not hasattr(NULL, "_entries")
+
+    def test_null_never_calls_deferred_thunks(self):
+        calls = []
+        NULL.emit_deferred(lambda: calls.append("ran"))
+        assert calls == []
+
+    def test_activate_restores_previous(self):
+        log = ExplainLog()
+        with activate(log) as active:
+            assert active is log
+            assert current() is log
+        assert current() is NULL
+
+    def test_install_returns_previous(self):
+        log = ExplainLog()
+        previous = install(log)
+        try:
+            assert previous is NULL
+            assert current() is log
+        finally:
+            install(previous)
+        assert current() is NULL
+
+
+class TestExplainLog:
+    def test_scope_sets_and_restores_context(self):
+        log = ExplainLog()
+        assert log.context == (None, "")
+        with log.scope(5, "periodic(4)"):
+            assert log.context == (5, "periodic(4)")
+        assert log.context == (None, "")
+
+    def test_emit_keeps_order(self):
+        log = ExplainLog()
+        log.emit(_record(0))
+        log.emit(_record(1))
+        assert [r.epoch for r in log.records] == [0, 1]
+
+    def test_deferred_slots_keep_emission_order(self):
+        log = ExplainLog()
+        log.emit(_record(0))
+        log.emit_deferred(lambda: _record(1))
+        log.emit(_record(2))
+        assert [r.epoch for r in log.records] == [0, 1, 2]
+
+    def test_deferred_thunk_resolves_exactly_once(self):
+        calls = []
+
+        def thunk():
+            calls.append("ran")
+            return _record(4)
+
+        log = ExplainLog()
+        log.emit_deferred(thunk)
+        assert calls == [], "emission must not run the thunk"
+        assert [r.epoch for r in log.records] == [4]
+        assert len(log.entries) == 1
+        assert log.snapshot()[0]["epoch"] == 4
+        assert calls == ["ran"]
+
+    def test_deferred_slots_export_like_eager_ones(self):
+        eager, lazy = ExplainLog(), ExplainLog()
+        eager.emit(_record(3))
+        lazy.emit_deferred(lambda: _record(3))
+        assert explain_lines(lazy) == explain_lines(eager)
+
+    def test_snapshot_is_plain_json_dicts(self):
+        log = ExplainLog()
+        log.emit(_record(0))
+        snapshot = log.snapshot()
+        assert isinstance(snapshot[0], dict)
+        assert snapshot[0]["kind"] == "epoch-delta"
+
+    def test_merge_stamps_trial_and_preserves_order(self):
+        worker = ExplainLog()
+        worker.emit(_record(0))
+        worker.emit(_record(1))
+        parent = ExplainLog()
+        parent.merge(worker.snapshot(), trial=7)
+        entries = parent.snapshot()
+        assert [e["trial"] for e in entries] == [7, 7]
+        assert [e["epoch"] for e in entries] == [0, 1]
+
+    def test_lines_are_compact_sorted_json(self):
+        log = ExplainLog()
+        log.emit(_record(2))
+        (line,) = explain_lines(log)
+        assert line.startswith('{"')
+        assert ": " not in line and ", " not in line
+        # sort_keys: "epoch" precedes "kind" precedes "policy".
+        assert line.index('"epoch"') < line.index('"kind"') < line.index(
+            '"policy"'
+        )

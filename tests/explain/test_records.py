@@ -1,0 +1,140 @@
+"""Decision records: immutability, picklability, exact JSON rendering."""
+
+from __future__ import annotations
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.explain import (
+    RECORD_KINDS,
+    ArbitrageAssessmentRecord,
+    BuildOutcomeRecord,
+    DeltaTerm,
+    EpochDeltaRecord,
+    OptimizerSolveRecord,
+    PolicyTriggerRecord,
+    record_to_json,
+)
+from repro.money import Money
+
+
+def _delta_record() -> EpochDeltaRecord:
+    return EpochDeltaRecord(
+        epoch=3,
+        policy="regret(>0.05)",
+        total=Money("10.123456789012345678"),
+        previous_total=Money("9.000000000000000001"),
+        terms=(
+            DeltaTerm(cause="operating", amount=Money("1.2")),
+            DeltaTerm(cause="builds", amount=Money("-0.076543210987654323")),
+        ),
+    )
+
+
+SAMPLES = (
+    PolicyTriggerRecord(
+        epoch=0,
+        policy="periodic(4)",
+        trigger="initial",
+        reoptimized=True,
+        regret=0.0,
+        streak=0,
+        subset=("V1",),
+        previous=None,
+    ),
+    OptimizerSolveRecord(
+        epoch=1,
+        policy="periodic(4)",
+        algorithm="greedy",
+        subset=("V1", "V4"),
+        warm_start=("V1",),
+        added=("V4",),
+        dropped=(),
+        evaluations=12,
+        priced=7,
+        cache_hits=5,
+    ),
+    ArbitrageAssessmentRecord(
+        epoch=2,
+        policy="arbitrage",
+        target="flat-rate",
+        stay_cost=Money("5"),
+        move_cost=Money("4"),
+        savings_per_epoch=Money("1"),
+        switch_cost=Money("3"),
+        amortized_savings=Money("6"),
+        net_savings=Money("3"),
+        horizon=6,
+        worthwhile=True,
+        streak=1,
+        hold=2,
+        migrated=False,
+    ),
+    BuildOutcomeRecord(
+        epoch=4,
+        policy="never",
+        landed=("V2",),
+        cancelled=(),
+        build_cost=Money("0.25"),
+        cancelled_cost=Money("0"),
+        latency_months=0.5,
+    ),
+    _delta_record(),
+)
+
+
+class TestRecordContracts:
+    def test_every_kind_is_registered(self):
+        assert {type(r).kind for r in SAMPLES} == set(RECORD_KINDS)
+
+    def test_records_are_frozen(self):
+        for record in SAMPLES:
+            with pytest.raises(dataclasses.FrozenInstanceError):
+                object.__setattr__  # appease linters; the real poke:
+                setattr(record, "epoch", 99)
+
+    def test_records_pickle_round_trip(self):
+        for record in SAMPLES:
+            clone = pickle.loads(pickle.dumps(record))
+            assert clone == record
+
+
+class TestDeltaFold:
+    def test_delta_folds_without_a_seed(self):
+        """The fold is terms[0] + terms[1] + ...; no ZERO seed that
+        could mask a coarse exponent (the byte-exactness rule 2)."""
+        record = _delta_record()
+        assert repr(record.delta()) == repr(
+            Money("1.2") + Money("-0.076543210987654323")
+        )
+
+    def test_single_term_delta_is_the_term(self):
+        record = dataclasses.replace(
+            _delta_record(),
+            terms=(DeltaTerm(cause="operating", amount=Money("0E-19")),),
+        )
+        assert repr(record.delta()) == repr(Money("0E-19"))
+
+
+class TestJsonRendering:
+    def test_kind_leads_and_money_is_exact(self):
+        entry = record_to_json(_delta_record())
+        assert list(entry)[0] == "kind"
+        assert entry["kind"] == "epoch-delta"
+        # Money is serialized as the exact decimal string, not the
+        # cent-quantized display form.
+        assert entry["total"] == "10.123456789012345678"
+        assert entry["terms"][0]["amount"] == "1.2"
+
+    def test_tuples_become_lists(self):
+        entry = record_to_json(SAMPLES[1])
+        assert entry["subset"] == ["V1", "V4"]
+        assert entry["dropped"] == []
+
+    def test_every_sample_is_json_clean(self):
+        import json
+
+        for record in SAMPLES:
+            json.dumps(record_to_json(record), sort_keys=True)
